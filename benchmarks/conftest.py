@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables at reduced
+scale (``ExperimentOptions.quick()``: 60 k accesses, three
+representative workloads) and reports the rows via
+``benchmark.extra_info`` so the shape can be inspected from the
+pytest-benchmark output.  Experiments run once per benchmark (they are
+deterministic; statistical repetition adds nothing but wall-clock).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import ExperimentOptions, run_experiment
+
+
+@pytest.fixture(scope="session")
+def quick_options() -> ExperimentOptions:
+    return ExperimentOptions.quick()
+
+
+@pytest.fixture
+def run_quick(benchmark, quick_options):
+    """Run one experiment once under the benchmark clock."""
+
+    def _run(experiment_id: str, options: ExperimentOptions | None = None):
+        opts = options or quick_options
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id, opts),
+            rounds=1, iterations=1, warmup_rounds=0)
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["title"] = result.title
+        benchmark.extra_info["rows"] = [
+            [str(cell) for cell in row] for row in result.rows]
+        return result
+
+    return _run

@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each sweeps one Domino design parameter on the OLTP workload (the
+paper's showcase) and records coverage so regressions in a design knob
+are visible in benchmark history.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers.registry import make_prefetcher
+from repro.sim.engine import simulate_trace
+from repro.workloads import default_suite
+
+N_ACCESSES = 60_000
+WARMUP = N_ACCESSES // 2
+
+
+@pytest.fixture(scope="module")
+def oltp_trace():
+    return default_suite().trace("oltp", N_ACCESSES)
+
+
+def _coverage(trace, config, **kwargs):
+    prefetcher = make_prefetcher("domino", config, **kwargs)
+    return simulate_trace(trace, config, prefetcher, warmup=WARMUP).coverage
+
+
+def test_ablation_eit_entries_per_super(benchmark, oltp_trace):
+    """Paper: three (address, pointer) entries per super-entry."""
+
+    def sweep():
+        return {n: _coverage(oltp_trace,
+                             SystemConfig().scaled(eit_entries_per_super=n))
+                for n in (1, 2, 3, 6)}
+
+    coverages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["coverage_by_entries"] = coverages
+    # One entry per super-entry forfeits the two-address disambiguation.
+    assert coverages[3] >= coverages[1] - 0.01
+
+
+def test_ablation_sampling_probability(benchmark, oltp_trace):
+    """Paper: 12.5% sampled metadata updates."""
+
+    def sweep():
+        return {p: _coverage(oltp_trace,
+                             SystemConfig().scaled(sampling_probability=p))
+                for p in (0.03125, 0.125, 0.5, 1.0)}
+
+    coverages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["coverage_by_sampling"] = coverages
+    assert coverages[1.0] >= coverages[0.03125] - 0.02
+
+
+def test_ablation_active_streams(benchmark, oltp_trace):
+    """Paper: four active streams."""
+
+    def sweep():
+        return {n: _coverage(oltp_trace, SystemConfig().scaled(active_streams=n))
+                for n in (1, 2, 4, 8)}
+
+    coverages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["coverage_by_streams"] = coverages
+    assert coverages[4] >= coverages[1] - 0.02
+
+
+def test_ablation_stream_end_detection(benchmark, oltp_trace):
+    """Stream-end detection trades a little coverage for overpredictions."""
+
+    def sweep():
+        out = {}
+        for enabled in (True, False):
+            config = SystemConfig().scaled(stream_end_detection=enabled)
+            result = simulate_trace(oltp_trace, config,
+                                    make_prefetcher("domino", config),
+                                    warmup=WARMUP)
+            out[enabled] = (result.coverage, result.overprediction_ratio)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["by_stream_end"] = {
+        str(k): v for k, v in results.items()}
+
+
+def test_ablation_prefetch_degree(benchmark, oltp_trace):
+    """Degree 1 vs 4: coverage rises, so do overpredictions (Figs 11/13)."""
+
+    def sweep():
+        out = {}
+        config = SystemConfig()
+        for degree in (1, 2, 4, 8):
+            result = simulate_trace(oltp_trace, config,
+                                    make_prefetcher("domino", config,
+                                                    degree=degree),
+                                    warmup=WARMUP)
+            out[degree] = (result.coverage, result.overprediction_ratio)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["by_degree"] = results
+    assert results[4][0] >= results[1][0] - 0.01
+    assert results[4][1] >= results[1][1]

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate ext01 (heterogeneous-mix speedups, extension)."""
+
+
+def test_ext01(run_quick):
+    result = run_quick("ext01")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate ext02 (memory-latency sensitivity, extension)."""
+
+
+def test_ext02(run_quick):
+    result = run_quick("ext02")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig02 (average stream length)."""
+
+
+def test_fig02(run_quick):
+    result = run_quick("fig02")
+    assert result.rows

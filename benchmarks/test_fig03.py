@@ -1,0 +1,8 @@
+"""Benchmark: regenerate fig03 (lookup accuracy vs depth)."""
+
+
+def test_fig03(run_quick):
+    result = run_quick("fig03")
+    assert result.rows
+    for row in result.rows:
+        assert row[2] >= row[1] - 0.05  # depth 2 at least as accurate

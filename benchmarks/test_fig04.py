@@ -1,0 +1,8 @@
+"""Benchmark: regenerate fig04 (lookup match rate vs depth)."""
+
+
+def test_fig04(run_quick):
+    result = run_quick("fig04")
+    assert result.rows
+    for row in result.rows:
+        assert row[1] >= row[-1] - 1e-9  # shallower matches more often

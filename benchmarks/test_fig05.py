@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig05 (coverage/overprediction vs lookup depth)."""
+
+
+def test_fig05(run_quick):
+    result = run_quick("fig05")
+    assert result.rows

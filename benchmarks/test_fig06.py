@@ -1,0 +1,9 @@
+"""Benchmark: regenerate fig06 (metadata round-trip timing)."""
+
+
+def test_fig06(run_quick):
+    result = run_quick("fig06")
+    assert result.rows
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["stms"][1] == 2
+    assert by_name["domino"][1] == 1

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig09 (Domino coverage vs HT size)."""
+
+
+def test_fig09(run_quick):
+    result = run_quick("fig09")
+    assert result.rows

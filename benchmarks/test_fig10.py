@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig10 (Domino coverage vs EIT rows)."""
+
+
+def test_fig10(run_quick):
+    result = run_quick("fig10")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig11 (full comparison, degree 1)."""
+
+
+def test_fig11(run_quick):
+    result = run_quick("fig11")
+    assert result.rows

@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig12 (stream length histogram)."""
+
+
+def test_fig12(run_quick):
+    result = run_quick("fig12")
+    assert result.rows

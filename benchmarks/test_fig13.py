@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig13 (full comparison, degree 4)."""
+
+
+def test_fig13(run_quick):
+    result = run_quick("fig13")
+    assert result.rows

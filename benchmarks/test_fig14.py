@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig14 (quad-core speedup)."""
+
+
+def test_fig14(run_quick):
+    result = run_quick("fig14")
+    assert result.rows

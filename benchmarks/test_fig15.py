@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig15 (off-chip traffic overhead)."""
+
+
+def test_fig15(run_quick):
+    result = run_quick("fig15")
+    assert result.rows

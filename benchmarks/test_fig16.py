@@ -1,0 +1,6 @@
+"""Benchmark: regenerate fig16 (spatio-temporal stack)."""
+
+
+def test_fig16(run_quick):
+    result = run_quick("fig16")
+    assert result.rows

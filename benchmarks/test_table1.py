@@ -1,0 +1,6 @@
+"""Benchmark: regenerate table1 (Table I, evaluation parameters)."""
+
+
+def test_table1(run_quick):
+    result = run_quick("table1")
+    assert result.rows

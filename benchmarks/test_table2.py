@@ -1,0 +1,6 @@
+"""Benchmark: regenerate table2 (Table II, workload catalogue)."""
+
+
+def test_table2(run_quick):
+    result = run_quick("table2")
+    assert result.rows

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Spatio-temporal prefetching (the Fig. 16 experiment as an example).
+
+VLDP predicts *unobserved* misses from in-page delta patterns — it can
+catch compulsory misses but never crosses a page.  Domino replays
+*observed* global sequences across pages but cannot predict cold
+misses.  Stacking them covers the union: this example reproduces that
+on the Data Serving workload and prints which component each covered
+miss came from.
+
+Run:  python examples/spatio_temporal_stack.py
+"""
+
+from repro import SystemConfig, make_prefetcher, simulate_trace
+from repro.workloads import default_suite
+
+N_ACCESSES = 100_000
+WARMUP = N_ACCESSES // 2
+
+
+def main() -> None:
+    config = SystemConfig()
+    suite = default_suite()
+    for workload in ("data_serving", "oltp", "media_streaming"):
+        trace = suite.trace(workload, N_ACCESSES)
+        vldp = simulate_trace(trace, config, make_prefetcher("vldp", config),
+                              warmup=WARMUP)
+        domino = simulate_trace(trace, config,
+                                make_prefetcher("domino", config),
+                                warmup=WARMUP)
+        combo = simulate_trace(trace, config,
+                               make_prefetcher("vldp+domino", config),
+                               warmup=WARMUP)
+        hits = combo.extras["component_hits"]
+        total_hits = max(hits["vldp"] + hits["domino"], 1)
+        print(f"{workload}:")
+        print(f"  vldp alone     {vldp.coverage:6.1%}")
+        print(f"  domino alone   {domino.coverage:6.1%}")
+        print(f"  stacked        {combo.coverage:6.1%}  "
+              f"(vldp share of hits {hits['vldp'] / total_hits:.0%})")
+        gain_v = combo.coverage - vldp.coverage
+        gain_d = combo.coverage - domino.coverage
+        print(f"  gain over vldp {gain_v:+.1%}, over domino {gain_d:+.1%}\n")
+
+    print("Expected shape (paper): the stack beats both components; "
+          "OLTP gains almost nothing over Domino alone (few spatial "
+          "patterns), Data Serving gains a lot.")
+
+
+if __name__ == "__main__":
+    main()

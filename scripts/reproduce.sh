@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: install, test, benchmark, regenerate every
+# figure/table at full experiment size.  Takes ~30-40 minutes on a laptop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pip install -e . --no-build-isolation 2>/dev/null || pip install -e .
+
+echo "== unit / property / integration tests =="
+pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (one per paper figure + ablations) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== full-size experiments (every table and figure) =="
+python -m repro.cli run all 2>&1 | tee experiments_output.txt
+
+echo "done; see test_output.txt, bench_output.txt, experiments_output.txt"

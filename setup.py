@@ -1,0 +1,6 @@
+"""Legacy shim so ``pip install -e .`` works without the wheel package
+(this environment is offline; modern editable installs need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,143 @@
+"""Command-line interface: ``domino-repro``.
+
+Subcommands::
+
+    domino-repro list                     # workloads, prefetchers, experiments
+    domino-repro run fig11 [--quick] [--workloads oltp,web_apache] [--n 200000]
+    domino-repro run all [--quick]
+    domino-repro compare --workload oltp [--degree 4] [--n 200000]
+    domino-repro trace --workload oltp --n 100000 --out oltp.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .config import SystemConfig
+from .experiments import ExperimentOptions, experiment_ids, run_experiment
+from .prefetchers.registry import PAPER_PREFETCHERS, make_prefetcher, prefetcher_names
+from .sim.engine import simulate_trace
+from .sim.trace import save_trace
+from .workloads import default_suite, get_workload, workload_names
+from .workloads.synthetic import generate_trace
+
+
+def _options_from_args(args: argparse.Namespace) -> ExperimentOptions:
+    options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
+    overrides = {}
+    if args.n:
+        overrides["n_accesses"] = args.n
+    if args.workloads:
+        overrides["workloads"] = tuple(args.workloads.split(","))
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return options.scaled(**overrides) if overrides else options
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:   " + ", ".join(workload_names()))
+    print("prefetchers: " + ", ".join(prefetcher_names()))
+    print("experiments: " + ", ".join(experiment_ids()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .stats.reporting import bar_chart, to_csv, to_markdown
+
+    options = _options_from_args(args)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, options)
+        if args.format == "md":
+            print(to_markdown(result.headers, result.rows, title=result.title))
+        elif args.format == "csv":
+            print(to_csv(result.headers, result.rows), end="")
+        else:
+            print(result.render())
+        if args.chart:
+            try:
+                values = [float(v) for v in result.column(args.chart)]
+            except (ValueError, TypeError):
+                print(f"(column {args.chart!r} is not numeric; no chart)")
+            else:
+                labels = [str(row[0]) for row in result.rows]
+                print(bar_chart(labels, values, title=f"{args.chart}:"))
+        print(f"({time.time() - start:.1f}s)\n")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    options = _options_from_args(args)
+    config = SystemConfig()
+    suite = default_suite(seed=options.seed)
+    trace = suite.trace(args.workload, options.n_accesses)
+    print(f"workload {args.workload}: {len(trace)} accesses, "
+          f"{trace.footprint_blocks} distinct blocks")
+    for name in PAPER_PREFETCHERS:
+        prefetcher = make_prefetcher(name, config, degree=args.degree)
+        result = simulate_trace(trace, config, prefetcher,
+                                warmup=options.warmup)
+        print(f"  {result.summary()}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = get_workload(args.workload)
+    trace = generate_trace(config, args.n, seed=args.seed or 1234)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} accesses to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="domino-repro",
+        description="Domino Temporal Data Prefetcher (HPCA 2018) reproduction")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads/prefetchers/experiments")
+
+    run_p = sub.add_parser("run", help="run a paper experiment by id")
+    run_p.add_argument("experiment", help="e.g. fig11, table1, or 'all'")
+    run_p.add_argument("--quick", action="store_true",
+                       help="small sizes / three workloads")
+    run_p.add_argument("--n", type=int, default=None, help="accesses per trace")
+    run_p.add_argument("--workloads", default=None,
+                       help="comma-separated workload names")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--format", choices=["table", "md", "csv"],
+                       default="table", help="output format")
+    run_p.add_argument("--chart", default=None, metavar="COLUMN",
+                       help="append an ASCII bar chart of COLUMN")
+
+    cmp_p = sub.add_parser("compare", help="compare prefetchers on one workload")
+    cmp_p.add_argument("--workload", required=True, choices=workload_names())
+    cmp_p.add_argument("--degree", type=int, default=4)
+    cmp_p.add_argument("--quick", action="store_true")
+    cmp_p.add_argument("--n", type=int, default=None)
+    cmp_p.add_argument("--workloads", default=None, help=argparse.SUPPRESS)
+    cmp_p.add_argument("--seed", type=int, default=None)
+
+    trace_p = sub.add_parser("trace", help="generate and save a trace")
+    trace_p.add_argument("--workload", required=True, choices=workload_names())
+    trace_p.add_argument("--n", type=int, default=100_000)
+    trace_p.add_argument("--out", required=True)
+    trace_p.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run,
+                "compare": _cmd_compare, "trace": _cmd_trace}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: the Domino prefetcher and its structures.
+
+* :mod:`repro.core.history` — the off-chip circular History Table (HT)
+  shared by all global-miss-sequence temporal prefetchers.
+* :mod:`repro.core.stream` — active-stream bookkeeping (the per-core
+  Prefetch Buffer / PointBuf state machine, four streams, LRU).
+* :mod:`repro.core.eit` — the Enhanced Index Table (Figs. 7/8).
+* :mod:`repro.core.domino` — the Domino prefetcher itself.
+"""
+
+from .domino import DominoPrefetcher
+from .eit import EnhancedIndexTable, SuperEntry
+from .history import HistoryTable
+from .stream import ActiveStream, StreamTable
+
+__all__ = [
+    "ActiveStream",
+    "DominoPrefetcher",
+    "EnhancedIndexTable",
+    "HistoryTable",
+    "StreamTable",
+    "SuperEntry",
+]

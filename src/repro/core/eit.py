@@ -1,0 +1,147 @@
+"""The Enhanced Index Table (EIT) — Figures 7 and 8 of the paper.
+
+The EIT is what makes Domino practical.  Like the classic Index Table it
+is indexed (hashed) by a *single* miss address, but where the classic IT
+stores one pointer per address, an EIT row associates each resident tag
+with a **super-entry**: up to three ``(address, pointer)`` *entries*,
+meaning "the last occurrence of miss ``tag`` followed by ``address`` is
+at History-Table position ``pointer``".
+
+This one structure gives Domino both lookup modes:
+
+* **single-address** — the most recent entry of the super-entry names
+  the most likely next miss, so the first prefetch of a stream is issued
+  after a *single* off-chip round trip (STMS needs two);
+* **two-address** — when the following triggering event arrives, it
+  selects the entry whose ``address`` field matches, and that entry's
+  pointer locates the correct stream in the HT.
+
+Both the super-entries within a row and the entries within a super-entry
+are managed with LRU, as in the paper.  Rows are sized in super-entries
+(``assoc``); the table is sized in rows.  An *unbounded* mode (every
+address gets its own row, no evictions) supports the paper's
+infinite-metadata comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SuperEntry:
+    """Tag plus its LRU-ordered (address -> HT pointer) entries.
+
+    ``entries`` is ordered least- to most-recently-used, so
+    ``next(reversed(entries))`` is the most recent next-address.
+    """
+
+    tag: int
+    max_entries: int
+    entries: "OrderedDict[int, int]" = field(default_factory=OrderedDict)
+
+    def update(self, address: int, pointer: int) -> int | None:
+        """Record that ``tag`` was followed by ``address`` at ``pointer``.
+
+        Returns the evicted next-address when the LRU entry was displaced.
+        """
+        if address in self.entries:
+            self.entries[address] = pointer
+            self.entries.move_to_end(address)
+            return None
+        victim = None
+        if len(self.entries) >= self.max_entries:
+            victim, _ = self.entries.popitem(last=False)
+        self.entries[address] = pointer
+        return victim
+
+    def most_recent(self) -> tuple[int, int] | None:
+        """(address, pointer) of the most recently recorded entry."""
+        if not self.entries:
+            return None
+        address = next(reversed(self.entries))
+        return address, self.entries[address]
+
+    def match(self, address: int) -> int | None:
+        """Pointer of the entry whose next-address equals ``address``
+        (the two-address lookup); promotes the entry to MRU."""
+        pointer = self.entries.get(address)
+        if pointer is not None:
+            self.entries.move_to_end(address)
+        return pointer
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """Entries as (address, pointer) pairs, LRU -> MRU order."""
+        return list(self.entries.items())
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class EitStats:
+    lookups: int = 0
+    super_entry_hits: int = 0
+    super_entry_evictions: int = 0
+    entry_evictions: int = 0
+    updates: int = 0
+
+
+class EnhancedIndexTable:
+    """Hash-indexed table of rows, each holding LRU super-entries."""
+
+    def __init__(self, rows: int, assoc: int = 4, entries_per_super: int = 3,
+                 unbounded: bool = False) -> None:
+        if rows <= 0 or assoc <= 0 or entries_per_super <= 0:
+            raise ValueError("EIT geometry values must be positive")
+        self.rows = rows
+        self.assoc = assoc
+        self.entries_per_super = entries_per_super
+        self.unbounded = unbounded
+        self._table: dict[int, OrderedDict[int, SuperEntry]] = {}
+        self.stats = EitStats()
+
+    def _row_index(self, tag: int) -> int:
+        if self.unbounded:
+            return tag
+        # Multiplicative hashing spreads sequential tags across rows.
+        return (tag * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF) % self.rows
+
+    def lookup(self, tag: int) -> SuperEntry | None:
+        """Fetch the super-entry for ``tag`` (one row read), promoting it."""
+        self.stats.lookups += 1
+        row = self._table.get(self._row_index(tag))
+        if row is None:
+            return None
+        super_entry = row.get(tag)
+        if super_entry is None:
+            return None
+        row.move_to_end(tag)
+        self.stats.super_entry_hits += 1
+        return super_entry
+
+    def update(self, tag: int, address: int, pointer: int) -> None:
+        """Record that ``tag`` was followed by ``address`` at HT position
+        ``pointer`` (the sampled metadata update path)."""
+        self.stats.updates += 1
+        row_idx = self._row_index(tag)
+        row = self._table.get(row_idx)
+        if row is None:
+            row = OrderedDict()
+            self._table[row_idx] = row
+        super_entry = row.get(tag)
+        if super_entry is None:
+            if not self.unbounded and len(row) >= self.assoc:
+                row.popitem(last=False)
+                self.stats.super_entry_evictions += 1
+            super_entry = SuperEntry(tag=tag, max_entries=self.entries_per_super)
+            row[tag] = super_entry
+        else:
+            row.move_to_end(tag)
+        if super_entry.update(address, pointer) is not None:
+            self.stats.entry_evictions += 1
+
+    def resident_tags(self) -> int:
+        """Total super-entries resident (test/diagnostic helper)."""
+        return sum(len(row) for row in self._table.values())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace object is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class GrammarError(ReproError):
+    """The Sequitur grammar violated one of its invariants."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was requested that is not in the registry."""
+
+
+class UnknownPrefetcherError(ReproError, KeyError):
+    """A prefetcher name was requested that is not in the registry."""
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id was requested that is not in the registry."""

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per figure/table of the paper.
+
+Every experiment exposes ``run(options) -> ExperimentResult`` and is
+registered in :mod:`repro.experiments.registry` under its paper id
+(``fig01`` … ``fig16``, ``table1``, ``table2``).  The CLI
+(``domino-repro run fig11``) and the benchmark harness both go through
+:func:`run_experiment`.
+"""
+
+from .common import ExperimentOptions, ExperimentResult
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOptions",
+    "ExperimentResult",
+    "experiment_ids",
+    "run_experiment",
+]

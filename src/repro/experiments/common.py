@@ -1,0 +1,135 @@
+"""Shared experiment plumbing: options, results, and cached helpers.
+
+All experiments follow the same measurement protocol:
+
+* traces of ``n_accesses`` accesses per workload (deterministic seed);
+* the leading ``warmup_frac`` of every run trains caches and the
+  sampled metadata tables but is excluded from the reported counters —
+  the trace-scale analogue of SimFlex checkpoint warming;
+* trace-driven experiments use the Table I :class:`SystemConfig`;
+  cycle-accounting experiments use :func:`repro.config.timing_config`
+  (scaled LLC; see DESIGN.md §2).
+
+``ExperimentOptions.quick()`` shrinks everything for benchmarks/tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from ..config import SystemConfig, timing_config
+from ..prefetchers.registry import make_prefetcher
+from ..sim.engine import SimulationResult, collect_miss_stream, simulate_trace
+from ..stats.tables import format_table
+from ..workloads.server import workload_names
+from ..workloads.suite import WorkloadSuite
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Knobs shared by every experiment driver."""
+
+    n_accesses: int = 200_000
+    warmup_frac: float = 0.5
+    degree: int = 4
+    workloads: tuple[str, ...] = field(default_factory=lambda: tuple(workload_names()))
+    seed: int = 1234
+
+    def scaled(self, **overrides: Any) -> "ExperimentOptions":
+        return replace(self, **overrides)
+
+    @classmethod
+    def quick(cls, **overrides: Any) -> "ExperimentOptions":
+        """Small sizes for CI/benchmark runs."""
+        base = cls(n_accesses=60_000,
+                   workloads=("oltp", "web_apache", "media_streaming"))
+        return base.scaled(**overrides) if overrides else base
+
+    @property
+    def warmup(self) -> int:
+        return int(self.n_accesses * self.warmup_frac)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated figure/table."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    #: Free-form machine-readable extras (per-workload series etc).
+    series: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = format_table(self.headers, self.rows,
+                           title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            out += f"\n{self.notes}"
+        return out
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+class ExperimentContext:
+    """Caches traces and baseline miss streams across one experiment."""
+
+    def __init__(self, options: ExperimentOptions) -> None:
+        self.options = options
+        self.config = SystemConfig()
+        self.timing = timing_config()
+        self.suite = WorkloadSuite(seed=options.seed)
+        self._miss_streams: dict[str, list[tuple[int, int]]] = {}
+
+    def trace(self, workload: str):
+        return self.suite.trace(workload, self.options.n_accesses)
+
+    def core_traces(self, workload: str):
+        per_core = max(self.options.n_accesses // 2, 20_000)
+        return self.suite.core_traces(workload, per_core,
+                                      n_cores=self.timing.n_cores)
+
+    def miss_stream(self, workload: str) -> list[tuple[int, int]]:
+        """Baseline (pc, block) miss sequence of the measured window."""
+        if workload not in self._miss_streams:
+            trace = self.trace(workload)
+            window = trace.slice(self.options.warmup, len(trace))
+            self._miss_streams[workload] = collect_miss_stream(window, self.config)
+        return self._miss_streams[workload]
+
+    def miss_blocks(self, workload: str) -> list[int]:
+        return [block for _, block in self.miss_stream(workload)]
+
+    def run_prefetcher(self, workload: str, name: str,
+                       degree: int | None = None,
+                       config: SystemConfig | None = None,
+                       **kwargs: Any) -> SimulationResult:
+        """Trace-driven run with the standard warm-up protocol."""
+        options = self.options
+        cfg = config if config is not None else self.config
+        prefetcher = make_prefetcher(
+            name, cfg, degree=degree if degree is not None else options.degree,
+            **kwargs)
+        return simulate_trace(self.trace(workload), cfg, prefetcher,
+                              warmup=options.warmup)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean, 0.0 on empty input."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def gmean_speedup(speedups: Sequence[float]) -> float:
+    """Geometric mean of speedup ratios (the paper's summary metric)."""
+    import math
+
+    speedups = list(speedups)
+    if not speedups:
+        return 1.0
+    return math.exp(sum(math.log(max(s, 1e-9)) for s in speedups) / len(speedups))

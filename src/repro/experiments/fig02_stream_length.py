@@ -1,0 +1,39 @@
+"""Figure 2 — average temporal stream length: STMS vs Digram vs Sequitur.
+
+A *stream* is a run of consecutive correct prefetches.  Two-address
+lookup (Digram) locks onto longer streams than single-address lookup
+(STMS); the Sequitur decomposition gives the streams an oracle would
+pick.
+"""
+
+from __future__ import annotations
+
+from ..sequitur.analysis import analyze_sequence
+from .common import ExperimentContext, ExperimentOptions, ExperimentResult, mean
+
+
+def run(options: ExperimentOptions | None = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    ctx = ExperimentContext(options)
+    rows: list[list] = []
+    per_prefetcher: dict[str, list[float]] = {"stms": [], "digram": [], "sequitur": []}
+    for workload in options.workloads:
+        stms = ctx.run_prefetcher(workload, "stms")
+        digram = ctx.run_prefetcher(workload, "digram")
+        seq = analyze_sequence(ctx.miss_blocks(workload))
+        lengths = [stms.stream_lengths.mean_length,
+                   digram.stream_lengths.mean_length,
+                   seq.mean_stream_length]
+        for key, value in zip(per_prefetcher, lengths):
+            per_prefetcher[key].append(value)
+        rows.append([workload] + [round(v, 2) for v in lengths])
+    rows.append(["average"] + [round(mean(per_prefetcher[k]), 2)
+                               for k in per_prefetcher])
+    return ExperimentResult(
+        experiment_id="fig02",
+        title="Average stream length with STMS, Digram, and Sequitur",
+        headers=["workload", "stms", "digram", "sequitur"],
+        rows=rows,
+        notes=("Paper shape: Sequitur streams longest (7.6 avg in the "
+               "paper), Digram longer than STMS (1.4 avg in the paper)."),
+    )

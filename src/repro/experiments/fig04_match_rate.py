@@ -1,0 +1,35 @@
+"""Figure 4 — fraction of lookups that find a match, by lookup depth.
+
+The flip side of Fig. 3: deeper lookups are more accurate but match
+less often, which is why a pure pair-lookup (Digram) forfeits
+opportunity and Domino falls back to a single address.
+"""
+
+from __future__ import annotations
+
+from ..prefetchers.multi_lookup import LookupDepthAnalyzer
+from .common import ExperimentContext, ExperimentOptions, ExperimentResult, mean
+
+MAX_DEPTH = 5
+
+
+def run(options: ExperimentOptions | None = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    ctx = ExperimentContext(options)
+    rows: list[list] = []
+    per_depth: list[list[float]] = [[] for _ in range(MAX_DEPTH)]
+    for workload in options.workloads:
+        stats = LookupDepthAnalyzer(MAX_DEPTH).analyze(ctx.miss_blocks(workload))
+        values = [s.match_rate for s in stats]
+        for depth, value in enumerate(values):
+            per_depth[depth].append(value)
+        rows.append([workload] + [round(v, 3) for v in values])
+    rows.append(["average"] + [round(mean(vals), 3) for vals in per_depth])
+    return ExperimentResult(
+        experiment_id="fig04",
+        title="Fraction of lookups that find a match in the history, "
+              "by lookup depth",
+        headers=["workload"] + [f"depth{d}" for d in range(1, MAX_DEPTH + 1)],
+        rows=rows,
+        notes="Paper shape: match rate decreases monotonically with depth.",
+    )

@@ -1,0 +1,54 @@
+"""Experiment registry: paper id -> driver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownExperimentError
+from .common import ExperimentOptions, ExperimentResult
+from . import (ext01_mixes, ext02_latency, fig01_coverage_gap, fig02_stream_length,
+               fig03_lookup_accuracy, fig04_match_rate, fig05_lookup_depth,
+               fig06_timing_events, fig09_ht_sensitivity,
+               fig10_eit_sensitivity, fig11_degree1, fig12_stream_histogram,
+               fig13_degree4, fig14_speedup, fig15_bandwidth,
+               fig16_spatio_temporal, tables)
+
+Driver = Callable[[ExperimentOptions | None], ExperimentResult]
+
+EXPERIMENTS: dict[str, Driver] = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "fig01": fig01_coverage_gap.run,
+    "fig02": fig02_stream_length.run,
+    "fig03": fig03_lookup_accuracy.run,
+    "fig04": fig04_match_rate.run,
+    "fig05": fig05_lookup_depth.run,
+    "fig06": fig06_timing_events.run,
+    "fig09": fig09_ht_sensitivity.run,
+    "fig10": fig10_eit_sensitivity.run,
+    "fig11": fig11_degree1.run,
+    "fig12": fig12_stream_histogram.run,
+    "fig13": fig13_degree4.run,
+    "fig14": fig14_speedup.run,
+    "fig15": fig15_bandwidth.run,
+    "fig16": fig16_spatio_temporal.run,
+    "ext01": ext01_mixes.run,
+    "ext02": ext02_latency.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, tables first then figures."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str,
+                   options: ExperimentOptions | None = None) -> ExperimentResult:
+    """Run one experiment by its paper id (e.g. ``"fig11"``)."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}") from None
+    return driver(options)

@@ -1,0 +1,35 @@
+"""Address arithmetic helpers.
+
+All simulators in this repository operate on *block* addresses (byte
+address divided by the 64-byte line size).  These helpers centralise the
+shifts so the line/page geometry lives in exactly one place
+(:mod:`repro.config`).
+"""
+
+from __future__ import annotations
+
+from ..config import BLOCK_SHIFT, BLOCKS_PER_PAGE, PAGE_SHIFT
+
+
+def block_of(byte_addr: int) -> int:
+    """Block (line) number containing ``byte_addr``."""
+    return byte_addr >> BLOCK_SHIFT
+
+def byte_of(block: int) -> int:
+    """First byte address of ``block``."""
+    return block << BLOCK_SHIFT
+
+
+def page_of(block: int) -> int:
+    """4 KB page number containing block address ``block``."""
+    return block >> (PAGE_SHIFT - BLOCK_SHIFT)
+
+
+def page_offset_of(block: int) -> int:
+    """Block offset of ``block`` within its 4 KB page (0..63)."""
+    return block & (BLOCKS_PER_PAGE - 1)
+
+
+def block_in_page(page: int, offset: int) -> int:
+    """Block address of ``offset`` within ``page``."""
+    return (page << (PAGE_SHIFT - BLOCK_SHIFT)) | (offset & (BLOCKS_PER_PAGE - 1))

@@ -1,0 +1,86 @@
+"""Two-level cache hierarchy (64 KB L1-D over a shared 4 MB LLC).
+
+The trace-driven coverage engine only needs the L1-D (the paper trains
+and evaluates all prefetchers on L1-D miss sequences), but the timing
+model also needs to know whether an L1 miss is served by the LLC
+(18 cycles) or by main memory (45 ns), so this module composes the two
+levels and classifies each access.
+
+The LLC is physically shared between cores; for the quad-core timing
+simulation every core gets a *slice view* of one shared :class:`Cache`
+instance, which naturally models capacity contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import SystemConfig
+from .cache import Cache
+
+
+class AccessOutcome(Enum):
+    """Where a demand access was served from."""
+
+    L1_HIT = "l1_hit"
+    LLC_HIT = "llc_hit"
+    MEMORY = "memory"
+
+
+@dataclass
+class HierarchyStats:
+    l1_hits: int = 0
+    llc_hits: int = 0
+    memory_accesses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.llc_hits + self.memory_accesses
+
+
+class MemoryHierarchy:
+    """L1-D in front of a (possibly shared) LLC."""
+
+    def __init__(self, config: SystemConfig, shared_llc: Cache | None = None) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1d)
+        self.llc = shared_llc if shared_llc is not None else Cache(config.llc)
+        self.stats = HierarchyStats()
+
+    def access(self, block: int) -> AccessOutcome:
+        """Demand access; fills both levels on the respective misses."""
+        if self.l1.access(block):
+            self.stats.l1_hits += 1
+            return AccessOutcome.L1_HIT
+        if self.llc.access(block):
+            self.stats.llc_hits += 1
+            return AccessOutcome.LLC_HIT
+        self.stats.memory_accesses += 1
+        return AccessOutcome.MEMORY
+
+    def fill_l1(self, block: int) -> None:
+        """Install a block in the L1 (e.g. promoted from the prefetch
+        buffer after a prefetch hit) without access accounting."""
+        self.l1.fill(block)
+
+    def probe_prefetch_target(self, block: int) -> AccessOutcome:
+        """Classify where a *prefetch* for ``block`` would be served from
+        (prefetches that hit in the LLC cost an LLC access, not DRAM).
+
+        Prefetched blocks go to the prefetch buffer only — they are NOT
+        installed in the LLC, so useless prefetches cannot pollute it
+        (the point of buffering prefetches outside the hierarchy)."""
+        if self.llc.probe(block):
+            self.llc.access(block)  # LRU touch on the resident line
+            return AccessOutcome.LLC_HIT
+        return AccessOutcome.MEMORY
+
+    def latency_of(self, outcome: AccessOutcome) -> int:
+        """Load-to-use latency in cycles for an access outcome (memory
+        latency excludes queueing, which the DRAM model adds)."""
+        if outcome is AccessOutcome.L1_HIT:
+            return self.config.l1d.hit_latency
+        if outcome is AccessOutcome.LLC_HIT:
+            return self.config.llc_latency_cycles
+        return self.config.memory_latency_cycles

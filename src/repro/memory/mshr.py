@@ -1,0 +1,71 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs bound the number of outstanding misses a cache level can sustain
+and merge secondary misses to the same block into the primary one.  The
+timing simulator uses this to cap memory-level parallelism per core (the
+paper's L1-D has 32 MSHRs, the LLC 64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MshrStats:
+    allocations: int = 0
+    merges: int = 0
+    stalls: int = 0
+
+
+class MshrFile:
+    """Tracks outstanding misses keyed by block, each with a ready time."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, float] = {}
+        self.stats = MshrStats()
+
+    def outstanding(self, block: int) -> float | None:
+        """Ready time of an in-flight miss to ``block``, or None."""
+        return self._entries.get(block)
+
+    def can_allocate(self) -> bool:
+        """Is a free MSHR available for a new primary miss?"""
+        return len(self._entries) < self.capacity
+
+    def allocate(self, block: int, ready_time: float) -> bool:
+        """Register an outstanding miss.  Returns False (a merge) if one
+        to the same block already exists; merges keep the earlier ready
+        time so a later duplicate request never delays the first."""
+        if block in self._entries:
+            self.stats.merges += 1
+            self._entries[block] = min(self._entries[block], ready_time)
+            return False
+        if len(self._entries) >= self.capacity:
+            self.stats.stalls += 1
+            raise RuntimeError("MSHR file full; caller must retire first")
+        self._entries[block] = ready_time
+        self.stats.allocations += 1
+        return True
+
+    def retire_until(self, now: float) -> list[int]:
+        """Free every entry whose fill has completed by ``now``."""
+        done = [b for b, t in self._entries.items() if t <= now]
+        for b in done:
+            del self._entries[b]
+        return done
+
+    def earliest_completion(self) -> float | None:
+        """Ready time of the next fill, or None when idle."""
+        if not self._entries:
+            return None
+        return min(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries

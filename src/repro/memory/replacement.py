@@ -1,0 +1,180 @@
+"""Replacement policies for set-associative structures.
+
+A policy instance manages a *single* set.  The cache allocates one policy
+object per set; each policy tracks insertion/touch order over opaque keys
+(block tags here, but the EIT reuses :class:`LruPolicy` for super-entries).
+
+The three classic policies are provided.  LRU is what the paper's
+structures use (IT rows, EIT super-entries and entries are all explicitly
+"managed with LRU replacement"); FIFO and Random exist for ablations and
+to test the policy interface itself.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Hashable, Iterator
+
+
+class ReplacementPolicy(ABC):
+    """Tracks residency of up to ``capacity`` keys and picks victims."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+
+    @abstractmethod
+    def insert(self, key: Hashable) -> Hashable | None:
+        """Insert ``key``; return the evicted key if the set was full."""
+
+    @abstractmethod
+    def touch(self, key: Hashable) -> None:
+        """Record a use of resident ``key`` (hit promotion)."""
+
+    @abstractmethod
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` (invalidate) if resident."""
+
+    @abstractmethod
+    def __contains__(self, key: Hashable) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate keys from eviction candidate to most protected."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used replacement over an ordered dict."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._stack: OrderedDict[Hashable, None] = OrderedDict()
+
+    def insert(self, key: Hashable) -> Hashable | None:
+        if key in self._stack:
+            self._stack.move_to_end(key)
+            return None
+        victim = None
+        if len(self._stack) >= self.capacity:
+            victim, _ = self._stack.popitem(last=False)
+        self._stack[key] = None
+        return victim
+
+    def touch(self, key: Hashable) -> None:
+        if key in self._stack:
+            self._stack.move_to_end(key)
+
+    def remove(self, key: Hashable) -> None:
+        self._stack.pop(key, None)
+
+    def victim(self) -> Hashable | None:
+        """Key that would be evicted next, or None if not full."""
+        if len(self._stack) < self.capacity:
+            return None
+        return next(iter(self._stack))
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._stack
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._stack)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: hits do not promote."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: OrderedDict[Hashable, None] = OrderedDict()
+
+    def insert(self, key: Hashable) -> Hashable | None:
+        if key in self._queue:
+            return None
+        victim = None
+        if len(self._queue) >= self.capacity:
+            victim, _ = self._queue.popitem(last=False)
+        self._queue[key] = None
+        return victim
+
+    def touch(self, key: Hashable) -> None:
+        """FIFO ignores hits."""
+
+    def remove(self, key: Hashable) -> None:
+        self._queue.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._queue)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a seedable RNG (deterministic in tests)."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        super().__init__(capacity)
+        self._members: dict[Hashable, int] = {}
+        self._order: list[Hashable] = []
+        self._rng = random.Random(seed)
+
+    def insert(self, key: Hashable) -> Hashable | None:
+        if key in self._members:
+            return None
+        victim = None
+        if len(self._order) >= self.capacity:
+            victim = self._order[self._rng.randrange(len(self._order))]
+            self.remove(victim)
+        self._members[key] = len(self._order)
+        self._order.append(key)
+        return victim
+
+    def touch(self, key: Hashable) -> None:
+        """Random ignores hits."""
+
+    def remove(self, key: Hashable) -> None:
+        if key not in self._members:
+            return
+        idx = self._members.pop(key)
+        last = self._order.pop()
+        if idx < len(self._order):
+            self._order[idx] = last
+            self._members[last] = idx
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._order)
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, capacity: int) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; "
+                         f"choose from {sorted(_POLICIES)}") from None
+    return cls(capacity)

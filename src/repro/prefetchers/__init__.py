@@ -1,0 +1,61 @@
+"""Prefetcher implementations: the paper's baselines plus Domino.
+
+All prefetchers implement the :class:`~repro.prefetchers.base.Prefetcher`
+interface consumed by the simulators:
+
+* :mod:`repro.prefetchers.stms` — Sampled Temporal Memory Streaming
+  (single-address lookup; the state of the art the paper improves on).
+* :mod:`repro.prefetchers.digram` — two-address (pair) lookup.
+* :mod:`repro.prefetchers.isb` — idealised PC-localised address
+  correlation (the ISB comparison point).
+* :mod:`repro.prefetchers.vldp` — Variable Length Delta Prefetcher
+  (the spatial comparison point, and Domino's partner in Fig. 16).
+* :mod:`repro.core.domino` — Domino itself (re-exported here).
+* :mod:`repro.prefetchers.multi_lookup` — idealised variable-depth
+  lookup used by the motivation study (Figs. 3–5).
+* :mod:`repro.prefetchers.stride`, ``nextline``, ``markov``, ``ghb``,
+  ``sms``, ``best_offset`` — classic and related-work baselines for
+  examples and ablations (GHB G/DC, Spatial Memory Streaming, and
+  Best-Offset are all cited comparison points in the paper).
+* :mod:`repro.prefetchers.spatio_temporal` — the VLDP+Domino stack.
+"""
+
+from ..core.domino import DominoPrefetcher
+from .base import Prefetcher, NullPrefetcher
+from .best_offset import BestOffsetPrefetcher
+from .digram import DigramPrefetcher
+from .ghb import GhbPrefetcher
+from .isb import IsbPrefetcher
+from .markov import MarkovPrefetcher
+from .multi_lookup import MultiLookupPrefetcher, LookupDepthAnalyzer
+from .nextline import NextLinePrefetcher
+from .registry import PREFETCHERS, make_prefetcher, prefetcher_names
+from .sms import SmsPrefetcher
+from .spatio_temporal import SpatioTemporalPrefetcher
+from .stms import StmsPrefetcher
+from .stride import StridePrefetcher
+from .temporal_base import GlobalHistoryPrefetcher
+from .vldp import VldpPrefetcher
+
+__all__ = [
+    "BestOffsetPrefetcher",
+    "DigramPrefetcher",
+    "GhbPrefetcher",
+    "DominoPrefetcher",
+    "GlobalHistoryPrefetcher",
+    "IsbPrefetcher",
+    "LookupDepthAnalyzer",
+    "MarkovPrefetcher",
+    "MultiLookupPrefetcher",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "PREFETCHERS",
+    "SmsPrefetcher",
+    "Prefetcher",
+    "SpatioTemporalPrefetcher",
+    "StmsPrefetcher",
+    "StridePrefetcher",
+    "VldpPrefetcher",
+    "make_prefetcher",
+    "prefetcher_names",
+]

@@ -1,0 +1,92 @@
+"""Best-Offset Prefetcher (Michaud, HPCA 2016).
+
+Reference [62] of the paper's related-work discussion.  BOP learns a
+single good prefetch *offset* D by testing candidate offsets against a
+recent-requests table: candidate D scores a point whenever the current
+miss address X arrives and X - D was seen recently (meaning a D-offset
+prefetch issued back then would have been timely).  After a learning
+round, the best-scoring offset becomes the active one and every trigger
+prefetches X + D.
+
+Included as a modern non-temporal baseline: like all offset/stride
+prefetchers it cannot capture the pointer-chase misses that motivate
+Domino, which shows up as near-zero coverage on OLTP.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import SystemConfig
+from .base import Candidate, Prefetcher
+
+#: Offset candidates from the original proposal (small smooth numbers).
+DEFAULT_OFFSETS = (1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24,
+                   25, 27, 30, 32, 36, 40)
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    """Offset prefetcher with round-based best-offset learning."""
+
+    name = "bop"
+    first_prefetch_round_trips = 0
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 offsets: tuple[int, ...] = DEFAULT_OFFSETS,
+                 rr_entries: int = 256, round_max: int = 100,
+                 score_max: int = 31, bad_score: int = 1) -> None:
+        super().__init__(config, degree)
+        if not offsets:
+            raise ValueError("need at least one candidate offset")
+        self.offsets = tuple(offsets)
+        self._scores = {d: 0 for d in self.offsets}
+        self._round_len = 0
+        self._round_max = round_max
+        self._score_max = score_max
+        self._bad_score = bad_score
+        #: Recent requests: block -> None (LRU set).
+        self._recent: OrderedDict[int, None] = OrderedDict()
+        self._rr_entries = rr_entries
+        self._candidate_idx = 0
+        #: The currently deployed offset (None while still learning).
+        self.active_offset: int | None = None
+
+    # -- learning ---------------------------------------------------------
+    def _remember(self, block: int) -> None:
+        if block in self._recent:
+            self._recent.move_to_end(block)
+            return
+        if len(self._recent) >= self._rr_entries:
+            self._recent.popitem(last=False)
+        self._recent[block] = None
+
+    def _learn(self, block: int) -> None:
+        candidate = self.offsets[self._candidate_idx]
+        self._candidate_idx = (self._candidate_idx + 1) % len(self.offsets)
+        if block - candidate in self._recent:
+            self._scores[candidate] += 1
+            if self._scores[candidate] >= self._score_max:
+                self._finish_round()
+                return
+        self._round_len += 1
+        if self._round_len >= self._round_max * len(self.offsets):
+            self._finish_round()
+
+    def _finish_round(self) -> None:
+        best = max(self.offsets, key=lambda d: self._scores[d])
+        # A hopeless best offset turns prefetching off for a round.
+        self.active_offset = best if self._scores[best] > self._bad_score else None
+        self._scores = {d: 0 for d in self.offsets}
+        self._round_len = 0
+
+    # -- triggering events --------------------------------------------------
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        self._learn(block)
+        self._remember(block)
+        if self.active_offset is None:
+            return []
+        return [(block + k * self.active_offset, 0)
+                for k in range(1, self.degree + 1)]
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self.on_miss(pc, block)

@@ -1,0 +1,90 @@
+"""GHB G/DC — Global History Buffer with delta correlation.
+
+Nesbit & Smith (HPCA 2004), reference [11] of the paper.  The GHB is
+the structural ancestor of STMS's History Table: an on-chip FIFO of
+recent misses with an index table pointing at each address's last
+occurrence.  The G/DC variant correlates *deltas* rather than
+addresses: on a miss it computes the last two global deltas, finds the
+previous occurrence of that delta pair in the history, and replays the
+deltas that followed it.
+
+Included as a reference baseline: on server workloads its small
+on-chip history is the binding constraint, which is exactly why the
+paper's lineage (TMS → STMS) moved the metadata off chip.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from .base import Candidate, Prefetcher
+
+
+class GhbPrefetcher(Prefetcher):
+    """Global History Buffer, global delta correlation (G/DC)."""
+
+    name = "ghb"
+    first_prefetch_round_trips = 0  # on-chip structure
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 ghb_entries: int = 512) -> None:
+        super().__init__(config, degree)
+        if ghb_entries < 4:
+            raise ValueError("GHB needs at least 4 entries")
+        self.ghb_entries = ghb_entries
+        #: FIFO of miss addresses (newest last).
+        self._history: list[int] = []
+        #: Global position of _history[0] (the FIFO's base offset).
+        self._base = 0
+        #: (delta1, delta2) -> global position where that pair ended.
+        self._index: dict[tuple[int, int], int] = {}
+        self._prev_block: int | None = None
+        self._prev_delta: int | None = None
+
+    def _resident(self, pos: int) -> bool:
+        return self._base <= pos < self._base + len(self._history)
+
+    def _at(self, pos: int) -> int:
+        return self._history[pos - self._base]
+
+    def _record(self, block: int) -> int:
+        pos = self._base + len(self._history)
+        self._history.append(block)
+        if len(self._history) > self.ghb_entries:
+            del self._history[0]
+            self._base += 1
+        return pos
+
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        candidates: list[Candidate] = []
+        delta = None if self._prev_block is None else block - self._prev_block
+        if delta is not None and self._prev_delta is not None:
+            key = (self._prev_delta, delta)
+            match = self._index.get(key)
+            if match is not None and self._resident(match + 1):
+                candidates = self._replay_deltas(block, match)
+            pos = self._record(block)
+            self._index[key] = pos
+        else:
+            self._record(block)
+        self._prev_block = block
+        self._prev_delta = delta
+        return candidates
+
+    def _replay_deltas(self, block: int, match: int) -> list[Candidate]:
+        """Apply the delta sequence that followed the matched pair."""
+        out: list[Candidate] = []
+        cursor = block
+        pos = match
+        for _ in range(self.degree):
+            if not (self._resident(pos) and self._resident(pos + 1)):
+                break
+            next_delta = self._at(pos + 1) - self._at(pos)
+            cursor += next_delta
+            if cursor < 0:
+                break
+            out.append((cursor, 0))
+            pos += 1
+        return out
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self.on_miss(pc, block)

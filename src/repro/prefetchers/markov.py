@@ -1,0 +1,61 @@
+"""First-order Markov prefetcher (Joseph & Grunwald, ISCA 1997).
+
+The ancestor of all temporal prefetchers: a correlation table mapping
+each miss address to its most recent successors.  Kept here as a
+historical baseline for examples and ablations — it is effectively STMS
+with a one-address lookup, no history replay (it can only prefetch the
+immediate successors stored in the table), and on-chip metadata.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import SystemConfig
+from .base import Candidate, Prefetcher
+
+
+class MarkovPrefetcher(Prefetcher):
+    """Correlation table of up to ``ways`` successors per miss address."""
+
+    name = "markov"
+    first_prefetch_round_trips = 0
+    is_temporal = True
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 table_entries: int = 1 << 16, ways: int = 4) -> None:
+        super().__init__(config, degree)
+        self._table: OrderedDict[int, OrderedDict[int, None]] = OrderedDict()
+        self._table_entries = table_entries
+        self._ways = ways
+        self._prev: int | None = None
+
+    def _train(self, block: int) -> None:
+        if self._prev is not None:
+            successors = self._table.get(self._prev)
+            if successors is None:
+                if len(self._table) >= self._table_entries:
+                    self._table.popitem(last=False)
+                successors = OrderedDict()
+                self._table[self._prev] = successors
+            else:
+                self._table.move_to_end(self._prev)
+            if block in successors:
+                successors.move_to_end(block)
+            else:
+                if len(successors) >= self._ways:
+                    successors.popitem(last=False)
+                successors[block] = None
+        self._prev = block
+
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        self._train(block)
+        successors = self._table.get(block)
+        if not successors:
+            return []
+        # Most recent successors first, clipped to the degree.
+        ordered = list(reversed(successors))[: self.degree]
+        return [(b, 0) for b in ordered]
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self.on_miss(pc, block)

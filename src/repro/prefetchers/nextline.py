@@ -1,0 +1,29 @@
+"""Next-line prefetcher.
+
+The paper's baseline uses a next-line *instruction* prefetcher; the
+data-side equivalent is the simplest possible spatial prefetcher and is
+included as a reference point for examples and sanity tests (it should
+do modestly on the spatial fraction of a workload and nothing for its
+temporal fraction).
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from .base import Candidate, Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential blocks on every miss."""
+
+    name = "nextline"
+    first_prefetch_round_trips = 0
+
+    def __init__(self, config: SystemConfig, degree: int | None = None) -> None:
+        super().__init__(config, degree)
+
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        return [(block + k, 0) for k in range(1, self.degree + 1)]
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return [(block + k, 0) for k in range(1, self.degree + 1)]

@@ -1,0 +1,67 @@
+"""Name -> factory registry for prefetchers.
+
+Experiments and the CLI construct prefetchers by name; factories accept
+the system config, an optional degree override, and design-specific
+keyword arguments (e.g. ``unbounded`` for the temporal designs or
+``depth`` for the multi-lookup prefetcher).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..config import SystemConfig
+from ..core.domino import DominoPrefetcher
+from ..errors import UnknownPrefetcherError
+from .base import NullPrefetcher, Prefetcher
+from .best_offset import BestOffsetPrefetcher
+from .digram import DigramPrefetcher
+from .ghb import GhbPrefetcher
+from .isb import IsbPrefetcher
+from .markov import MarkovPrefetcher
+from .multi_lookup import MultiLookupPrefetcher
+from .nextline import NextLinePrefetcher
+from .sms import SmsPrefetcher
+from .spatio_temporal import SpatioTemporalPrefetcher
+from .stms import StmsPrefetcher
+from .stride import StridePrefetcher
+from .vldp import VldpPrefetcher
+
+Factory = Callable[..., Prefetcher]
+
+PREFETCHERS: dict[str, Factory] = {
+    "baseline": NullPrefetcher,
+    "nextline": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+    "markov": MarkovPrefetcher,
+    "ghb": GhbPrefetcher,
+    "bop": BestOffsetPrefetcher,
+    "sms": SmsPrefetcher,
+    "vldp": VldpPrefetcher,
+    "isb": IsbPrefetcher,
+    "stms": StmsPrefetcher,
+    "digram": DigramPrefetcher,
+    "domino": DominoPrefetcher,
+    "multi_lookup": MultiLookupPrefetcher,
+    "vldp+domino": SpatioTemporalPrefetcher,
+}
+
+#: The comparison set of Section IV-D, in the paper's plotting order.
+PAPER_PREFETCHERS = ("vldp", "isb", "stms", "digram", "domino")
+
+
+def prefetcher_names() -> list[str]:
+    """All registered prefetcher names."""
+    return list(PREFETCHERS)
+
+
+def make_prefetcher(name: str, config: SystemConfig,
+                    degree: int | None = None, **kwargs: Any) -> Prefetcher:
+    """Instantiate a prefetcher by registry name."""
+    try:
+        factory = PREFETCHERS[name]
+    except KeyError:
+        raise UnknownPrefetcherError(
+            f"unknown prefetcher {name!r}; known: {', '.join(PREFETCHERS)}"
+        ) from None
+    return factory(config, degree=degree, **kwargs)

@@ -1,0 +1,108 @@
+"""SMS — Spatial Memory Streaming (Somogyi et al., ISCA 2006).
+
+Reference [33] of the paper and the canonical spatial prefetcher for
+server workloads: it learns, per *spatial region generation*, the bit
+pattern of blocks touched within a region (here: a 4 KB page), keyed by
+the (PC, region-offset) of the access that opened the generation.  When
+the same trigger recurs, the recorded footprint is prefetched at once.
+
+Structures:
+
+* **Active Generation Table (AGT)** — regions currently being observed;
+  accumulates the footprint bit-vector.  A generation ends when its
+  region is evicted from the AGT (capacity) — the proxy this
+  trace-level model uses for the paper's eviction/invalidation ends.
+* **Pattern History Table (PHT)** — (pc, offset) -> footprint, LRU.
+
+Included as a second spatial baseline next to VLDP: SMS prefetches a
+whole footprint on the trigger access (degree-insensitive burst), VLDP
+chains deltas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..config import BLOCKS_PER_PAGE, SystemConfig
+from ..memory.block import block_in_page, page_of, page_offset_of
+from .base import Candidate, Prefetcher
+
+
+@dataclass
+class _Generation:
+    """One in-flight spatial region generation."""
+
+    trigger_pc: int
+    trigger_offset: int
+    footprint: int = 0  # bit i set <=> offset i touched
+
+    def touch(self, offset: int) -> None:
+        self.footprint |= 1 << offset
+
+
+class SmsPrefetcher(Prefetcher):
+    """Spatial Memory Streaming over 4 KB regions."""
+
+    name = "sms"
+    first_prefetch_round_trips = 0
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 agt_entries: int = 32, pht_entries: int = 2048) -> None:
+        super().__init__(config, degree)
+        self._agt: OrderedDict[int, _Generation] = OrderedDict()
+        self._agt_entries = agt_entries
+        self._pht: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._pht_entries = pht_entries
+
+    # -- training ---------------------------------------------------------
+    def _close_generation(self, page: int, generation: _Generation) -> None:
+        """Commit a finished generation's footprint to the PHT."""
+        key = (generation.trigger_pc, generation.trigger_offset)
+        if key in self._pht:
+            self._pht.move_to_end(key)
+        elif len(self._pht) >= self._pht_entries:
+            self._pht.popitem(last=False)
+        self._pht[key] = generation.footprint
+
+    def _open_generation(self, page: int, pc: int, offset: int) -> None:
+        if len(self._agt) >= self._agt_entries:
+            old_page, old_gen = self._agt.popitem(last=False)
+            self._close_generation(old_page, old_gen)
+        generation = _Generation(trigger_pc=pc, trigger_offset=offset)
+        generation.touch(offset)
+        self._agt[page] = generation
+
+    # -- triggering events ------------------------------------------------
+    def _trigger(self, pc: int, block: int) -> list[Candidate]:
+        page = page_of(block)
+        offset = page_offset_of(block)
+        generation = self._agt.get(page)
+        if generation is not None:
+            generation.touch(offset)
+            self._agt.move_to_end(page)
+            return []  # generation already streaming/observed
+        # New generation: predict from the recorded footprint, if any.
+        candidates = self._predict(pc, page, offset)
+        self._open_generation(page, pc, offset)
+        return candidates
+
+    def _predict(self, pc: int, page: int, offset: int) -> list[Candidate]:
+        footprint = self._pht.get((pc, offset))
+        if footprint is None:
+            return []
+        self._pht.move_to_end((pc, offset))
+        out: list[Candidate] = []
+        for bit in range(BLOCKS_PER_PAGE):
+            if bit == offset or not (footprint >> bit) & 1:
+                continue
+            out.append((block_in_page(page, bit), page))
+            if len(out) >= 4 * self.degree:  # burst cap
+                break
+        return out
+
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        return self._trigger(pc, block)
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self._trigger(pc, block)

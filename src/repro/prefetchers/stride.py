@@ -1,0 +1,62 @@
+"""Classic per-PC stride prefetcher (Baer & Chen style reference table).
+
+Not part of the paper's comparison set — prior work had already shown
+simple stride prefetching ineffective for server workloads, which is why
+the paper's baseline carries no data prefetcher — but included as a
+reference baseline for the examples and ablation benches, and to
+demonstrate that our synthetic workloads reproduce that ineffectiveness.
+
+Each load PC owns a reference-table entry with the classic two-state
+confirmation: a stride must repeat once before prefetches are issued.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import SystemConfig
+from .base import Candidate, Prefetcher
+
+
+class _RptEntry:
+    __slots__ = ("last_block", "stride", "confirmed")
+
+    def __init__(self, last_block: int) -> None:
+        self.last_block = last_block
+        self.stride = 0
+        self.confirmed = False
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-PC stride detection with single-confirmation state machine."""
+
+    name = "stride"
+    first_prefetch_round_trips = 0
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 table_entries: int = 256) -> None:
+        super().__init__(config, degree)
+        self._table: OrderedDict[int, _RptEntry] = OrderedDict()
+        self._table_entries = table_entries
+
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self._table_entries:
+                self._table.popitem(last=False)
+            self._table[pc] = _RptEntry(block)
+            return []
+        self._table.move_to_end(pc)
+        stride = block - entry.last_block
+        if stride != 0 and stride == entry.stride:
+            entry.confirmed = True
+        elif stride != 0:
+            entry.stride = stride
+            entry.confirmed = False
+        entry.last_block = block
+        if not entry.confirmed or entry.stride == 0:
+            return []
+        return [(block + k * entry.stride, pc) for k in range(1, self.degree + 1)]
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self.on_miss(pc, block)

@@ -1,0 +1,148 @@
+"""Variable Length Delta Prefetcher (VLDP), Shevgoor et al., MICRO 2015.
+
+The paper's spatial comparison point (and Domino's partner in the
+Fig. 16 spatio-temporal stack).  VLDP predicts the next block *within a
+page* from the recent history of deltas in that page, preferring the
+prediction of the deepest delta-history table that matches:
+
+* **DHB** — Delta History Buffer: per-page last offset and up to three
+  most recent deltas; 16 entries, LRU (per Section IV-D).
+* **DPT-1..3** — Delta Prediction Tables mapping the last 1, 2, or 3
+  deltas to the next delta; infinite size (per Section IV-D).
+* **OPT** — Offset Prediction Table: predicts the first delta of a page
+  from the offset of its first access; 64 entries.
+
+For degrees above one, VLDP feeds its own predictions back through the
+DPTs ("uses the prediction as input to the metadata tables to make more
+predictions") — the mechanism Section V-B blames for its accuracy
+collapse at degree 4 on server workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..config import BLOCKS_PER_PAGE, SystemConfig
+from ..memory.block import block_in_page, page_of, page_offset_of
+from .base import Candidate, Prefetcher
+
+_MAX_DELTA_HISTORY = 3
+
+
+@dataclass
+class _DhbEntry:
+    """Per-page state in the Delta History Buffer."""
+
+    last_offset: int
+    deltas: list[int] = field(default_factory=list)
+
+    def push_delta(self, delta: int) -> None:
+        self.deltas.append(delta)
+        if len(self.deltas) > _MAX_DELTA_HISTORY:
+            del self.deltas[0]
+
+
+class VldpPrefetcher(Prefetcher):
+    """Multi-degree delta prefetcher with variable-length matching."""
+
+    name = "vldp"
+    first_prefetch_round_trips = 0  # on-chip metadata
+
+    def __init__(self, config: SystemConfig, degree: int | None = None,
+                 dhb_entries: int = 16, opt_entries: int = 64) -> None:
+        super().__init__(config, degree)
+        self._dhb: OrderedDict[int, _DhbEntry] = OrderedDict()
+        self._dhb_entries = dhb_entries
+        #: One table per history length; keys are delta tuples.
+        self._dpt: list[dict[tuple[int, ...], int]] = [
+            {} for _ in range(_MAX_DELTA_HISTORY)
+        ]
+        self._opt: OrderedDict[int, int] = OrderedDict()
+        self._opt_entries = opt_entries
+
+    # -- training -----------------------------------------------------------
+    def _observe(self, page: int, offset: int) -> _DhbEntry:
+        entry = self._dhb.get(page)
+        if entry is None:
+            if len(self._dhb) >= self._dhb_entries:
+                self._dhb.popitem(last=False)
+            entry = _DhbEntry(last_offset=offset)
+            self._dhb[page] = entry
+            return entry
+        self._dhb.move_to_end(page)
+        delta = offset - entry.last_offset
+        if delta != 0:
+            if not entry.deltas:
+                # Second access of the page trains the OPT.
+                self._update_opt(entry.last_offset, delta)
+            self._update_dpts(entry.deltas, delta)
+            entry.push_delta(delta)
+            entry.last_offset = offset
+        return entry
+
+    def _update_dpts(self, history: list[int], delta: int) -> None:
+        for length in range(1, min(len(history), _MAX_DELTA_HISTORY) + 1):
+            key = tuple(history[-length:])
+            self._dpt[length - 1][key] = delta
+
+    def _update_opt(self, first_offset: int, delta: int) -> None:
+        if first_offset in self._opt:
+            self._opt[first_offset] = delta
+            self._opt.move_to_end(first_offset)
+            return
+        if len(self._opt) >= self._opt_entries:
+            self._opt.popitem(last=False)
+        self._opt[first_offset] = delta
+
+    # -- prediction ----------------------------------------------------------
+    def _predict_delta(self, history: list[int]) -> int | None:
+        """Deepest-table-first delta prediction."""
+        for length in range(min(len(history), _MAX_DELTA_HISTORY), 0, -1):
+            delta = self._dpt[length - 1].get(tuple(history[-length:]))
+            if delta is not None:
+                return delta
+        return None
+
+    def _chain_predictions(self, page: int, offset: int,
+                           history: list[int]) -> list[Candidate]:
+        """Feed predictions back through the DPTs up to the degree."""
+        candidates: list[Candidate] = []
+        speculative = list(history)
+        cursor = offset
+        for _ in range(self.degree):
+            delta = self._predict_delta(speculative)
+            if delta is None:
+                break
+            cursor += delta
+            if not (0 <= cursor < BLOCKS_PER_PAGE):
+                break  # VLDP never crosses a page
+            candidates.append((block_in_page(page, cursor), page))
+            speculative.append(delta)
+            if len(speculative) > _MAX_DELTA_HISTORY:
+                del speculative[0]
+        return candidates
+
+    def _trigger(self, block: int) -> list[Candidate]:
+        page = page_of(block)
+        offset = page_offset_of(block)
+        known = page in self._dhb
+        entry = self._observe(page, offset)
+        if not known:
+            # First touch of the page: only the OPT can help.
+            delta = self._opt.get(offset)
+            if delta is None:
+                return []
+            target = offset + delta
+            if not (0 <= target < BLOCKS_PER_PAGE):
+                return []
+            first = [(block_in_page(page, target), page)]
+            return first + self._chain_predictions(page, target, [delta])[: self.degree - 1]
+        return self._chain_predictions(page, offset, entry.deltas)
+
+    # -- triggering events -----------------------------------------------
+    def on_miss(self, pc: int, block: int) -> list[Candidate]:
+        return self._trigger(block)
+
+    def on_prefetch_hit(self, pc: int, block: int, stream_id: int) -> list[Candidate]:
+        return self._trigger(block)

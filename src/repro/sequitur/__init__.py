@@ -1,0 +1,28 @@
+"""Sequitur hierarchical grammar inference and temporal-opportunity analysis.
+
+The paper (following Chilimbi and Wenisch) measures the *opportunity* of
+temporal prefetching by running the Sequitur linear-time grammar
+inference algorithm over the miss sequence: repetition absorbed into
+grammar rules is repetition a perfect temporal prefetcher could exploit.
+
+* :mod:`repro.sequitur.grammar` — the Sequitur algorithm itself
+  (digram uniqueness + rule utility invariants).
+* :mod:`repro.sequitur.analysis` — stream decomposition, opportunity
+  coverage, and stream-length statistics (Figs. 1, 2, 12).
+* :mod:`repro.sequitur.oracle` — an online longest-match oracle
+  predictor used to cross-check the grammar-based opportunity.
+"""
+
+from .grammar import Grammar, Rule, Symbol
+from .analysis import SequiturAnalysis, analyze_sequence
+from .oracle import OracleResult, oracle_replay
+
+__all__ = [
+    "Grammar",
+    "OracleResult",
+    "Rule",
+    "SequiturAnalysis",
+    "Symbol",
+    "analyze_sequence",
+    "oracle_replay",
+]

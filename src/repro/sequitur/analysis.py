@@ -1,0 +1,139 @@
+"""Temporal-prefetching opportunity analysis over a Sequitur grammar.
+
+Following the measurement methodology of Chilimbi and Wenisch that the
+paper adopts, the miss sequence is compressed with Sequitur and the
+resulting rule structure is read as a decomposition of the sequence
+into *temporal streams*:
+
+* walking the root rule left to right, a nonterminal whose rule has
+  been seen before expands to a chunk that is a *repeat* of earlier
+  misses — a stream a perfect temporal prefetcher could have replayed
+  (all of its misses are *covered* opportunity);
+* the first occurrence of a rule is walked recursively (its sub-rules
+  may themselves be repeats);
+* terminals reached this way are singleton, uncovered misses.
+
+``opportunity`` (Fig. 1's rightmost bars), ``mean_stream_length``
+(Fig. 2's Sequitur bars) and the stream-length histogram (Fig. 12) all
+fall out of this decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..stats.streamstats import StreamLengthStats
+from .grammar import Grammar, Rule
+
+
+@dataclass
+class SequiturAnalysis:
+    """Results of one opportunity analysis."""
+
+    total_misses: int
+    covered_misses: int
+    stream_lengths: StreamLengthStats = field(default_factory=StreamLengthStats)
+    grammar_size: int = 0
+    n_rules: int = 0
+
+    @property
+    def opportunity(self) -> float:
+        """Fraction of misses a perfect temporal prefetcher could cover."""
+        if not self.total_misses:
+            return 0.0
+        return self.covered_misses / self.total_misses
+
+    @property
+    def mean_stream_length(self) -> float:
+        """Mean length of the repeated (covered) streams."""
+        return self.stream_lengths.mean_length
+
+    @property
+    def compression_ratio(self) -> float:
+        """Input symbols per grammar symbol (repetitiveness proxy)."""
+        if not self.grammar_size:
+            return 0.0
+        return self.total_misses / self.grammar_size
+
+
+def _expansion_lengths(grammar: Grammar) -> dict[int, int]:
+    """Terminal-expansion length of every rule (iterative post-order)."""
+    lengths: dict[int, int] = {}
+    rules = grammar.rules()
+    # Iterate until fixpoint; rule graphs are DAGs so two passes in
+    # reverse topological order would do, but sizes are small enough for
+    # a simple worklist.
+    pending = rules[:]
+    while pending:
+        progressed = False
+        still_pending: list[Rule] = []
+        for rule in pending:
+            total = 0
+            ready = True
+            for sym in rule.symbols():
+                if sym.is_nonterminal:
+                    sub_len = lengths.get(sym.rule().id)
+                    if sub_len is None:
+                        ready = False
+                        break
+                    total += sub_len
+                else:
+                    total += 1
+            if ready:
+                lengths[rule.id] = total
+                progressed = True
+            else:
+                still_pending.append(rule)
+        if not progressed and still_pending:
+            raise RuntimeError("cycle detected in Sequitur rule graph")
+        pending = still_pending
+    return lengths
+
+
+def analyze_grammar(grammar: Grammar) -> SequiturAnalysis:
+    """Stream decomposition of an already-built grammar."""
+    lengths = _expansion_lengths(grammar)
+    seen: set[int] = set()
+    covered = 0
+    total = 0
+    streams = StreamLengthStats()
+
+    # Iterative first-occurrence walk of the root rule.
+    stack = [iter(list(grammar.root.symbols()))]
+    while stack:
+        try:
+            sym = next(stack[-1])
+        except StopIteration:
+            stack.pop()
+            continue
+        if sym.is_nonterminal:
+            rule = sym.rule()
+            if rule.id in seen:
+                chunk = lengths[rule.id]
+                covered += chunk
+                total += chunk
+                streams.add(chunk)
+            else:
+                seen.add(rule.id)
+                stack.append(iter(list(rule.symbols())))
+        else:
+            total += 1  # uncovered singleton miss
+
+    return SequiturAnalysis(
+        total_misses=total,
+        covered_misses=covered,
+        stream_lengths=streams,
+        grammar_size=grammar.grammar_size(),
+        n_rules=len(grammar.rules()),
+    )
+
+
+def analyze_sequence(sequence: list[int]) -> SequiturAnalysis:
+    """Build the grammar over ``sequence`` and decompose it."""
+    grammar = Grammar()
+    grammar.extend(sequence)
+    analysis = analyze_grammar(grammar)
+    if analysis.total_misses != len(sequence):
+        raise RuntimeError("stream decomposition lost misses "
+                           f"({analysis.total_misses} != {len(sequence)})")
+    return analysis

@@ -1,0 +1,281 @@
+"""The Sequitur algorithm (Nevill-Manning & Witten, JAIR 1997).
+
+Sequitur infers a context-free grammar from a sequence in linear time by
+maintaining two invariants while appending symbols:
+
+* **digram uniqueness** — no pair of adjacent symbols occurs more than
+  once in the grammar; a repeated digram is replaced by (or becomes) a
+  rule;
+* **rule utility** — every rule other than the root is referenced at
+  least twice; a rule whose reference count drops to one is inlined.
+
+The implementation follows the canonical reference structure: symbols
+are doubly-linked nodes, each rule's body is a circular list around a
+guard node, and a digram index maps ``(value, value)`` keys to the left
+symbol of the digram's unique occurrence.
+
+Terminals here are plain ints (block addresses).  Nonterminal symbol
+values are :class:`Rule` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..errors import GrammarError
+
+
+class Rule:
+    """A grammar rule; its body hangs off a circular guard node."""
+
+    __slots__ = ("id", "refcount", "guard")
+
+    def __init__(self, rule_id: int) -> None:
+        self.id = rule_id
+        self.refcount = 0
+        self.guard = Symbol(self, is_guard=True)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+
+    def first(self) -> "Symbol":
+        return self.guard.next
+
+    def last(self) -> "Symbol":
+        return self.guard.prev
+
+    def symbols(self) -> Iterator["Symbol"]:
+        """Iterate the rule body left to right."""
+        node = self.first()
+        while not node.is_guard:
+            yield node
+            node = node.next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = " ".join(str(s.key()) for s in self.symbols())
+        return f"R{self.id} -> {body}"
+
+
+class Symbol:
+    """A node in a rule body: terminal int or reference to a Rule."""
+
+    __slots__ = ("value", "next", "prev", "is_guard")
+
+    def __init__(self, value: int | Rule, is_guard: bool = False) -> None:
+        self.value = value
+        self.next: "Symbol" = None  # type: ignore[assignment]
+        self.prev: "Symbol" = None  # type: ignore[assignment]
+        self.is_guard = is_guard
+
+    @property
+    def is_nonterminal(self) -> bool:
+        return not self.is_guard and isinstance(self.value, Rule)
+
+    def rule(self) -> Rule:
+        if not self.is_nonterminal:
+            raise GrammarError("not a nonterminal symbol")
+        return self.value  # type: ignore[return-value]
+
+    def key(self):
+        """Hashable identity of the symbol's value."""
+        if isinstance(self.value, Rule):
+            return ("R", self.value.id)
+        return ("t", self.value)
+
+    def digram_key(self):
+        return (self.key(), self.next.key())
+
+
+class Grammar:
+    """Sequitur grammar builder; feed symbols with :meth:`append`."""
+
+    def __init__(self) -> None:
+        self._rule_ids = itertools.count()
+        self.root = Rule(next(self._rule_ids))
+        self._digrams: dict[tuple, Symbol] = {}
+        self._length = 0
+
+    # -- public API -----------------------------------------------------
+    def append(self, terminal: int) -> None:
+        """Append one terminal to the sequence."""
+        symbol = Symbol(terminal)
+        self._insert_after(self.root.last(), symbol)
+        self._length += 1
+        if symbol.prev is not self.root.guard:
+            self._check(symbol.prev)
+
+    def extend(self, terminals) -> None:
+        for t in terminals:
+            self.append(t)
+
+    def __len__(self) -> int:
+        """Number of terminals consumed."""
+        return self._length
+
+    def rules(self) -> list[Rule]:
+        """All live rules, root first (reachability walk)."""
+        seen: dict[int, Rule] = {self.root.id: self.root}
+        order = [self.root]
+        frontier = [self.root]
+        while frontier:
+            rule = frontier.pop()
+            for sym in rule.symbols():
+                if sym.is_nonterminal:
+                    sub = sym.rule()
+                    if sub.id not in seen:
+                        seen[sub.id] = sub
+                        order.append(sub)
+                        frontier.append(sub)
+        return order
+
+    def expand(self) -> list[int]:
+        """Reconstruct the original sequence (for verification)."""
+        memo: dict[int, list[int]] = {}
+
+        def expansion(rule: Rule) -> list[int]:
+            cached = memo.get(rule.id)
+            if cached is not None:
+                return cached
+            out: list[int] = []
+            for sym in rule.symbols():
+                if sym.is_nonterminal:
+                    out.extend(expansion(sym.rule()))
+                else:
+                    out.append(sym.value)  # type: ignore[arg-type]
+            memo[rule.id] = out
+            return out
+
+        return expansion(self.root)
+
+    def grammar_size(self) -> int:
+        """Total symbols across all rule bodies (compressed size)."""
+        return sum(1 for rule in self.rules() for _ in rule.symbols())
+
+    # -- linking -------------------------------------------------------------
+    def _join(self, left: Symbol, right: Symbol) -> None:
+        """Link two symbols, maintaining the digram index."""
+        if left.next is not None:
+            self._delete_digram(left)
+            # Triple-repetition fix (canonical implementation): relinking
+            # around e.g. "aaa" must restore index entries for the
+            # overlapping digrams that deleteDigram just dropped.
+            if (right.prev is not None and right.next is not None
+                    and not right.is_guard and not right.prev.is_guard
+                    and not right.next.is_guard
+                    and right.key() == right.prev.key()
+                    and right.key() == right.next.key()):
+                self._digrams[right.digram_key()] = right
+            if (left.prev is not None and left.next is not None
+                    and not left.is_guard and not left.prev.is_guard
+                    and not left.next.is_guard
+                    and left.key() == left.next.key()
+                    and left.key() == left.prev.key()):
+                self._digrams[left.prev.digram_key()] = left.prev
+        left.next = right
+        right.prev = left
+
+    def _insert_after(self, node: Symbol, to_insert: Symbol) -> None:
+        if to_insert.is_nonterminal:
+            to_insert.rule().refcount += 1
+        self._join(to_insert, node.next)
+        self._join(node, to_insert)
+
+    def _delete_digram(self, left: Symbol) -> None:
+        """Drop the index entry for the digram starting at ``left`` if it
+        is the registered occurrence."""
+        if left.is_guard or left.next is None or left.next.is_guard:
+            return
+        key = left.digram_key()
+        if self._digrams.get(key) is left:
+            del self._digrams[key]
+
+    def _unlink(self, symbol: Symbol) -> None:
+        """Remove ``symbol`` from its list, fixing digrams and refcounts."""
+        if symbol.is_nonterminal:
+            symbol.rule().refcount -= 1
+        self._join(symbol.prev, symbol.next)
+        self._delete_digram(symbol)
+
+    # -- the two invariants ---------------------------------------------
+    def _check(self, left: Symbol) -> bool:
+        """Enforce digram uniqueness for the digram starting at ``left``."""
+        if left.is_guard or left.next.is_guard:
+            return False
+        key = left.digram_key()
+        found = self._digrams.get(key)
+        if found is None:
+            self._digrams[key] = left
+            return False
+        if found.next is not left:  # non-overlapping occurrence
+            self._match(left, found)
+        return True
+
+    def _match(self, new: Symbol, matching: Symbol) -> None:
+        """A digram occurred twice: reuse or create a rule."""
+        if matching.prev.is_guard and matching.next.next.is_guard:
+            # The existing occurrence is exactly a rule body: reuse it.
+            rule = matching.prev.value
+            if not isinstance(rule, Rule):
+                raise GrammarError("guard does not reference its rule")
+            self._substitute(new, rule)
+        else:
+            rule = Rule(next(self._rule_ids))
+            # Build the rule body from copies of the matched digram.
+            self._insert_after(rule.last(), self._copy(matching))
+            self._insert_after(rule.last(), self._copy(matching.next))
+            self._substitute(matching, rule)
+            self._substitute(new, rule)
+            self._digrams[rule.first().digram_key()] = rule.first()
+        # Rule utility: inline a rule left with a single use.
+        first = rule.first()
+        if first.is_nonterminal and first.rule().refcount == 1:
+            self._expand(first)
+
+    @staticmethod
+    def _copy(symbol: Symbol) -> Symbol:
+        return Symbol(symbol.value)
+
+    def _substitute(self, left: Symbol, rule: Rule) -> None:
+        """Replace the digram starting at ``left`` with a use of ``rule``."""
+        anchor = left.prev
+        right = left.next
+        self._unlink(left)
+        self._unlink(right)
+        self._insert_after(anchor, Symbol(rule))
+        if not self._check(anchor):
+            self._check(anchor.next)
+
+    def _expand(self, nonterminal: Symbol) -> None:
+        """Inline the body of a once-used rule at its only use site."""
+        rule = nonterminal.rule()
+        anchor = nonterminal.prev
+        follower = nonterminal.next
+        self._unlink(nonterminal)
+        first, last = rule.first(), rule.last()
+        if first.is_guard:
+            return  # empty rule body (cannot normally happen)
+        # Splice the body between anchor and follower.
+        self._join(anchor, first)
+        self._join(last, follower)
+        if not follower.is_guard:
+            self._digrams[last.digram_key()] = last
+
+    # -- invariant inspection (used by tests) -------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`GrammarError` if a Sequitur invariant is broken."""
+        seen_digrams: dict[tuple, tuple[int, int]] = {}
+        for rule in self.rules():
+            symbols = list(rule.symbols())
+            for i in range(len(symbols) - 1):
+                key = (symbols[i].key(), symbols[i + 1].key())
+                where = (rule.id, i)
+                if key in seen_digrams and key[0] != key[1]:
+                    raise GrammarError(
+                        f"digram {key} occurs at {seen_digrams[key]} and {where}")
+                seen_digrams.setdefault(key, where)
+            if rule is not self.root:
+                if rule.refcount < 2:
+                    raise GrammarError(
+                        f"rule R{rule.id} has refcount {rule.refcount} < 2")
+                if len(symbols) < 2:
+                    raise GrammarError(f"rule R{rule.id} has a short body")

@@ -1,0 +1,34 @@
+"""Simulators: trace containers, coverage engine, timing model, sampling.
+
+* :mod:`repro.sim.trace` — the memory-access trace format shared by all
+  simulators (the stand-in for Flexus trace files).
+* :mod:`repro.sim.engine` — trace-driven prefetcher evaluation producing
+  coverage / overprediction / traffic numbers (Figs. 1–5, 9–13, 15, 16).
+* :mod:`repro.sim.timing` / :mod:`repro.sim.multicore` — simplified
+  cycle model for the quad-core performance results (Fig. 14).
+* :mod:`repro.sim.sampling` — SimFlex-style windowed measurement with
+  confidence intervals.
+"""
+
+from .trace import MemoryTrace, TraceBuilder, load_trace, save_trace
+from .engine import TraceSimulator, SimulationResult, simulate_trace
+from .timing import TimingSimulator, TimingResult
+from .multicore import MulticoreResult, simulate_multicore, speedup_over_baseline
+from .sampling import WindowedStat, confidence_interval
+
+__all__ = [
+    "MemoryTrace",
+    "MulticoreResult",
+    "SimulationResult",
+    "TimingResult",
+    "TimingSimulator",
+    "TraceBuilder",
+    "TraceSimulator",
+    "WindowedStat",
+    "confidence_interval",
+    "load_trace",
+    "save_trace",
+    "simulate_multicore",
+    "simulate_trace",
+    "speedup_over_baseline",
+]

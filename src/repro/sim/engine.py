@@ -1,0 +1,181 @@
+"""Trace-driven prefetcher evaluation engine.
+
+Implements the paper's trace-based methodology (Section IV-C/D): all
+prefetchers are trained on the L1-D miss sequence and prefetch into a
+32-block buffer near the L1-D.  For each access the engine:
+
+1. looks up the L1-D (allocating on miss);
+2. on an L1 miss, consults the prefetch buffer — a hit there is a
+   *covered* miss and a triggering event of kind "prefetch hit", a miss
+   is an uncovered miss and a triggering event of kind "miss";
+3. forwards the triggering event to the prefetcher and inserts the
+   returned candidates into the buffer (skipping blocks already
+   resident in L1 or buffer);
+4. routes buffer evictions and stream discards back to the prefetcher
+   (stream-end detection / replacement semantics).
+
+Outputs are :class:`SimulationResult` objects carrying the coverage
+metrics, the metadata traffic, per-stream useful-run lengths, and the
+raw miss sequence when requested (for Sequitur analysis).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..memory.cache import Cache
+from ..memory.metadata import MetadataTraffic
+from ..memory.prefetch_buffer import PrefetchBuffer
+from ..prefetchers.base import NullPrefetcher, Prefetcher
+from ..stats.metrics import CoverageMetrics
+from ..stats.streamstats import StreamLengthStats
+from .trace import MemoryTrace
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured by one trace-driven run."""
+
+    workload: str
+    prefetcher: str
+    degree: int
+    metrics: CoverageMetrics
+    metadata: MetadataTraffic
+    stream_lengths: StreamLengthStats = field(default_factory=StreamLengthStats)
+    #: (pc, block) pairs of uncovered misses, when collection was requested.
+    miss_stream: list[tuple[int, int]] | None = None
+    #: Free-form per-prefetcher extras (e.g. spatio-temporal split).
+    extras: dict = field(default_factory=dict)
+
+    # Convenience passthroughs used all over the experiments.
+    @property
+    def coverage(self) -> float:
+        return self.metrics.coverage
+
+    @property
+    def overprediction_ratio(self) -> float:
+        return self.metrics.overprediction_ratio
+
+    @property
+    def accuracy(self) -> float:
+        return self.metrics.accuracy
+
+    def summary(self) -> str:
+        return (f"{self.workload}/{self.prefetcher} degree={self.degree}: "
+                f"coverage={self.coverage:.1%} "
+                f"overpred={self.overprediction_ratio:.1%} "
+                f"accuracy={self.accuracy:.1%}")
+
+
+class TraceSimulator:
+    """Drives one prefetcher over one trace."""
+
+    def __init__(self, config: SystemConfig, prefetcher: Prefetcher | None = None,
+                 collect_misses: bool = False) -> None:
+        self.config = config
+        self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher(config)
+        self.collect_misses = collect_misses
+        self.l1 = Cache(config.l1d)
+        self.buffer = PrefetchBuffer(config.prefetch_buffer_blocks)
+        self.metrics = CoverageMetrics()
+        self._stream_useful: defaultdict[int, int] = defaultdict(int)
+        self._streams_seen: set[int] = set()
+        self._miss_stream: list[tuple[int, int]] = []
+
+    def run(self, trace: MemoryTrace, warmup: int = 0) -> SimulationResult:
+        """Simulate the whole trace; ``warmup`` leading accesses train
+        state but are excluded from the reported counters."""
+        pcs, blocks, _, _ = trace.as_lists()
+        prefetcher = self.prefetcher
+        l1 = self.l1
+        buffer = self.buffer
+        metrics = self.metrics
+        stream_useful = self._stream_useful
+        streams_seen = self._streams_seen
+
+        for i in range(len(blocks)):
+            if i == warmup and warmup > 0:
+                self._reset_counters()
+                metrics = self.metrics
+            block = blocks[i]
+            pc = pcs[i]
+            metrics.accesses += 1
+            if l1.access(block):
+                metrics.l1_hits += 1
+                continue
+            entry = buffer.lookup(block)
+            if entry is not None:
+                metrics.prefetch_hits += 1
+                stream_useful[entry.stream_id] += 1
+                candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
+            else:
+                metrics.misses += 1
+                if self.collect_misses:
+                    self._miss_stream.append((pc, block))
+                candidates = prefetcher.on_miss(pc, block)
+
+            killed = prefetcher.take_killed_streams()
+            for sid in killed:
+                buffer.invalidate_stream(sid)
+
+            for cand_block, sid in candidates:
+                if buffer.probe(cand_block) or l1.probe(cand_block):
+                    continue
+                metrics.prefetches_issued += 1
+                streams_seen.add(sid)
+                victim = buffer.insert(cand_block, sid)
+                if victim is not None:
+                    prefetcher.on_buffer_eviction(
+                        victim.block, victim.stream_id, victim.used)
+
+        return self._finalise(trace)
+
+    def _reset_counters(self) -> None:
+        """Forget warm-up measurements but keep all simulated state."""
+        self.metrics = CoverageMetrics()
+        self.buffer.stats.__init__()
+        self.prefetcher.reset_traffic()
+        self._stream_useful.clear()
+        self._streams_seen.clear()
+        self._miss_stream.clear()
+
+    def _finalise(self, trace: MemoryTrace) -> SimulationResult:
+        self.buffer.drain()
+        self.metrics.overpredictions = self.buffer.stats.evicted_unused
+        lengths = StreamLengthStats()
+        for sid in self._streams_seen:
+            lengths.add(self._stream_useful.get(sid, 0))
+        extras = {}
+        component_hits = getattr(self.prefetcher, "component_hits", None)
+        if component_hits is not None:
+            extras["component_hits"] = dict(component_hits)
+        return SimulationResult(
+            workload=trace.name,
+            prefetcher=self.prefetcher.name,
+            degree=self.prefetcher.degree,
+            metrics=self.metrics,
+            metadata=self.prefetcher.metadata,
+            stream_lengths=lengths,
+            miss_stream=self._miss_stream if self.collect_misses else None,
+            extras=extras,
+        )
+
+
+def simulate_trace(trace: MemoryTrace, config: SystemConfig,
+                   prefetcher: Prefetcher | None = None,
+                   collect_misses: bool = False,
+                   warmup: int = 0) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`TraceSimulator`."""
+    sim = TraceSimulator(config, prefetcher, collect_misses=collect_misses)
+    return sim.run(trace, warmup=warmup)
+
+
+def collect_miss_stream(trace: MemoryTrace, config: SystemConfig) -> list[tuple[int, int]]:
+    """The baseline (no-prefetcher) L1-D miss sequence of a trace —
+    the input to Sequitur opportunity analysis and the Fig. 3/4 study."""
+    result = simulate_trace(trace, config, NullPrefetcher(config),
+                            collect_misses=True)
+    assert result.miss_stream is not None
+    return result.miss_stream

@@ -1,0 +1,149 @@
+"""Memory-access trace format.
+
+A :class:`MemoryTrace` is the unit of input to every simulator: a
+sequence of demand data accesses, each carrying
+
+* ``pc``     — the (synthetic) program counter of the load, used by the
+  PC-localised ISB prefetcher;
+* ``block``  — the 64-byte block address touched;
+* ``dep``    — 1 if the access depends on the data returned by the
+  previous off-chip miss (a pointer-chase link); dependent misses
+  serialise in the timing model, independent ones overlap in the ROB;
+* ``work``   — the number of non-memory instructions executed since the
+  previous access (drives the instruction count / IPC metric).
+
+The arrays are stored as parallel numpy vectors for compactness, with a
+fast path (:meth:`MemoryTrace.as_lists`) that converts to plain Python
+lists once so the per-access simulator loops never touch numpy scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceError
+
+_FIELDS = ("pcs", "blocks", "deps", "works")
+
+
+@dataclass(frozen=True)
+class MemoryTrace:
+    """Immutable container of parallel access arrays."""
+
+    pcs: np.ndarray
+    blocks: np.ndarray
+    deps: np.ndarray
+    works: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        n = len(self.blocks)
+        for fname in _FIELDS:
+            arr = getattr(self, fname)
+            if arr.ndim != 1:
+                raise TraceError(f"trace field {fname} must be 1-D")
+            if len(arr) != n:
+                raise TraceError("trace fields must have equal length")
+        if n and (self.blocks < 0).any():
+            raise TraceError("block addresses must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction count represented by the trace (memory
+        operations plus the non-memory work between them)."""
+        return int(self.works.sum()) + len(self)
+
+    @property
+    def footprint_blocks(self) -> int:
+        """Number of distinct blocks touched."""
+        return int(np.unique(self.blocks).size)
+
+    def as_lists(self) -> tuple[list[int], list[int], list[int], list[int]]:
+        """Return (pcs, blocks, deps, works) as plain Python int lists."""
+        return (self.pcs.tolist(), self.blocks.tolist(),
+                self.deps.tolist(), self.works.tolist())
+
+    def slice(self, start: int, stop: int) -> "MemoryTrace":
+        """Sub-trace covering accesses [start, stop)."""
+        return MemoryTrace(
+            pcs=self.pcs[start:stop],
+            blocks=self.blocks[start:stop],
+            deps=self.deps[start:stop],
+            works=self.works[start:stop],
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+    def split(self, n_parts: int) -> list["MemoryTrace"]:
+        """Split into ``n_parts`` contiguous near-equal sub-traces (used
+        to feed the four cores of the multicore timing model)."""
+        if n_parts <= 0:
+            raise TraceError("n_parts must be positive")
+        bounds = np.linspace(0, len(self), n_parts + 1, dtype=int)
+        return [self.slice(int(bounds[i]), int(bounds[i + 1])) for i in range(n_parts)]
+
+
+class TraceBuilder:
+    """Incremental trace construction used by the workload generators."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._pcs: list[int] = []
+        self._blocks: list[int] = []
+        self._deps: list[int] = []
+        self._works: list[int] = []
+
+    def append(self, pc: int, block: int, dep: int = 0, work: int = 0) -> None:
+        """Record one access."""
+        self._pcs.append(pc)
+        self._blocks.append(block)
+        self._deps.append(dep)
+        self._works.append(work)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def build(self) -> MemoryTrace:
+        """Freeze into a :class:`MemoryTrace`."""
+        return MemoryTrace(
+            pcs=np.asarray(self._pcs, dtype=np.int64),
+            blocks=np.asarray(self._blocks, dtype=np.int64),
+            deps=np.asarray(self._deps, dtype=np.int8),
+            works=np.asarray(self._works, dtype=np.int32),
+            name=self.name,
+        )
+
+
+def save_trace(trace: MemoryTrace, path: str | Path) -> None:
+    """Persist a trace as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        pcs=trace.pcs,
+        blocks=trace.blocks,
+        deps=trace.deps,
+        works=trace.works,
+        name=np.array(trace.name),
+    )
+
+
+def load_trace(path: str | Path) -> MemoryTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            return MemoryTrace(
+                pcs=data["pcs"],
+                blocks=data["blocks"],
+                deps=data["deps"],
+                works=data["works"],
+                name=str(data["name"]),
+            )
+        except KeyError as exc:
+            raise TraceError(f"malformed trace file {path}: missing {exc}") from exc

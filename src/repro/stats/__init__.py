@@ -1,0 +1,20 @@
+"""Metrics, stream statistics, bandwidth decomposition, table rendering."""
+
+from .metrics import CoverageMetrics
+from .streamstats import StreamLengthStats, histogram_bins, length_cdf
+from .bandwidth import BandwidthBreakdown
+from .reporting import bar_chart, to_csv, to_markdown
+from .tables import format_table, format_percent
+
+__all__ = [
+    "BandwidthBreakdown",
+    "bar_chart",
+    "to_csv",
+    "to_markdown",
+    "CoverageMetrics",
+    "StreamLengthStats",
+    "format_percent",
+    "format_table",
+    "histogram_bins",
+    "length_cdf",
+]

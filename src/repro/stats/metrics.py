@@ -1,0 +1,66 @@
+"""Coverage / overprediction / accuracy metrics.
+
+Definitions follow Section V-B of the paper:
+
+* **covered misses** — baseline misses successfully eliminated by the
+  prefetcher, i.e. demand accesses served by the prefetch buffer;
+* **overpredictions** — incorrectly prefetched blocks (inserted into
+  the prefetch buffer and never consumed before leaving it), normalised
+  against the number of cache misses in the baseline system;
+* **triggering events** — misses + prefetch hits; with the small state
+  perturbation of the prefetch buffer this equals the baseline miss
+  count, so it serves as the normalisation denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoverageMetrics:
+    """Counters from one trace-driven run."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    misses: int = 0            # uncovered (demand went off-core)
+    prefetch_hits: int = 0     # covered
+    prefetches_issued: int = 0
+    overpredictions: int = 0   # prefetched blocks never consumed
+
+    @property
+    def triggering_events(self) -> int:
+        """Misses plus prefetch hits (the baseline-miss proxy)."""
+        return self.misses + self.prefetch_hits
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of would-be misses eliminated (0..1)."""
+        events = self.triggering_events
+        return self.prefetch_hits / events if events else 0.0
+
+    @property
+    def overprediction_ratio(self) -> float:
+        """Useless prefetches normalised to baseline misses (may exceed 1)."""
+        events = self.triggering_events
+        return self.overpredictions / events if events else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Useful fraction of issued prefetches."""
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued
+
+    @property
+    def miss_rate_reduction(self) -> float:
+        """Alias of coverage, for readers thinking in miss-rate terms."""
+        return self.coverage
+
+    def merge(self, other: "CoverageMetrics") -> None:
+        self.accesses += other.accesses
+        self.l1_hits += other.l1_hits
+        self.misses += other.misses
+        self.prefetch_hits += other.prefetch_hits
+        self.prefetches_issued += other.prefetches_issued
+        self.overpredictions += other.overpredictions

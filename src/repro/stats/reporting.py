@@ -1,0 +1,80 @@
+"""Exporters and ASCII charts for experiment results.
+
+Turns an :class:`~repro.experiments.common.ExperimentResult` into
+portable artefacts without plotting dependencies:
+
+* :func:`to_markdown` — a GitHub-flavoured markdown table;
+* :func:`to_csv` — CSV text (``csv`` module quoting rules);
+* :func:`bar_chart` — a horizontal ASCII bar chart of one numeric
+  column, handy for eyeballing a figure's shape in a terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+#: Block-element eighths for sub-character bar resolution.
+_EIGHTHS = " ▏▎▍▌▋▊▉█"
+
+
+def to_markdown(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str | None = None) -> str:
+    """Render rows as a markdown table."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value).replace("|", "\\|")
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, title: str | None = None,
+              fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart.
+
+    Bars are scaled to the maximum value; sub-character resolution uses
+    Unicode eighth-blocks so small differences stay visible.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not labels:
+        return title or ""
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar_chart requires non-negative values")
+        scaled = value / peak * width
+        full, frac = int(scaled), scaled - int(scaled)
+        bar = "█" * full + (_EIGHTHS[round(frac * 8)] if full < width else "")
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+                     + fmt.format(value))
+    return "\n".join(lines)

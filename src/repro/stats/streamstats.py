@@ -1,0 +1,90 @@
+"""Temporal-stream length statistics (Figs. 2 and 12).
+
+The paper defines a *stream* (for measurement purposes) as "the sequence
+of consecutive correct prefetches".  The engine records, per active
+stream the prefetcher allocated, how many of its prefetches were
+consumed; this module summarises those counts and produces the
+power-of-two-binned cumulative histogram of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: Fig. 12's bin edges ("0 2 4 8 16 32 64 128 128+").
+DEFAULT_BINS = (0, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class StreamLengthStats:
+    """Distribution of per-stream useful-prefetch run lengths."""
+
+    lengths: list[int] = field(default_factory=list)
+
+    def add(self, length: int) -> None:
+        if length < 0:
+            raise ValueError("stream length cannot be negative")
+        self.lengths.append(length)
+
+    @property
+    def productive(self) -> list[int]:
+        """Streams that produced at least one correct prefetch."""
+        return [n for n in self.lengths if n > 0]
+
+    @property
+    def count(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def mean_length(self) -> float:
+        """Mean length over productive streams (the Fig. 2 metric)."""
+        productive = self.productive
+        if not productive:
+            return 0.0
+        return sum(productive) / len(productive)
+
+    @property
+    def mean_length_all(self) -> float:
+        """Mean over every allocated stream, zero-length ones included."""
+        if not self.lengths:
+            return 0.0
+        return sum(self.lengths) / len(self.lengths)
+
+    def histogram(self, bins: tuple[int, ...] = DEFAULT_BINS) -> dict[str, int]:
+        """Counts per bin; the final bin is open ('128+')."""
+        labels = [f"<={b}" for b in bins] + [f"{bins[-1]}+"]
+        counts = Counter()
+        for label in labels:
+            counts[label] = 0
+        for length in self.lengths:
+            for b in bins:
+                if length <= b:
+                    counts[f"<={b}"] += 1
+                    break
+            else:
+                counts[f"{bins[-1]}+"] += 1
+        return dict(counts)
+
+
+def histogram_bins(lengths: list[int],
+                   bins: tuple[int, ...] = DEFAULT_BINS) -> dict[str, int]:
+    """Module-level convenience around :meth:`StreamLengthStats.histogram`."""
+    stats = StreamLengthStats(list(lengths))
+    return stats.histogram(bins)
+
+
+def length_cdf(lengths: list[int],
+               bins: tuple[int, ...] = DEFAULT_BINS) -> dict[str, float]:
+    """Cumulative fraction of streams with length <= each bin (Fig. 12)."""
+    if not lengths:
+        return {f"<={b}": 0.0 for b in bins} | {f"{bins[-1]}+": 0.0}
+    total = len(lengths)
+    out: dict[str, float] = {}
+    running = 0
+    hist = histogram_bins(lengths, bins)
+    for b in bins:
+        running += hist[f"<={b}"]
+        out[f"<={b}"] = running / total
+    out[f"{bins[-1]}+"] = 1.0
+    return out

@@ -1,0 +1,46 @@
+"""ASCII table rendering for experiment output.
+
+Every experiment prints its figure/table as rows of labelled values;
+these helpers keep the formatting consistent (and the benchmark output
+legible) without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.163 -> '16.3%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(values)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

@@ -1,0 +1,134 @@
+"""Workload configuration: the knobs of the synthetic trace model.
+
+Temporal prefetchers care about a handful of statistical properties of
+the miss stream; each maps to one field here:
+
+===========================  =====================================================
+property                     field(s)
+===========================  =====================================================
+repetitiveness               ``mutation_rate`` (low = repetitive), ``noise_rate``
+temporal stream length       ``doc_length_mean``, ``truncation_prob``
+one-address ambiguity        ``shared_frac``, ``hot_pool_blocks`` (addresses that
+                             begin/continue several different streams — the very
+                             effect that makes STMS pick wrong streams)
+spatial predictability       ``spatial_doc_frac`` (what VLDP can capture)
+pointer-chase serialisation  ``dependent_frac`` (drives MLP in the timing model)
+working-set pressure         ``dataset_blocks``, ``hot_pool_blocks``
+PC-locality breakdown        ``pc_pool`` shared across documents (why ISB's
+                             PC-localisation hurts on server workloads)
+compute intensity            ``work_mean`` (non-memory instructions per access)
+===========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one synthetic server workload."""
+
+    name: str
+    description: str = ""
+
+    # -- address space ---------------------------------------------------
+    #: Size of the cold dataset in 64 B blocks (must exceed the LLC).
+    dataset_blocks: int = 1 << 21
+    #: Size of the hot shared pool the documents draw from.
+    hot_pool_blocks: int = 1 << 14
+
+    # -- temporal documents (recurring miss sequences) ---------------------
+    #: Number of distinct recurring sequences ("temporal documents").
+    n_documents: int = 2048
+    #: Mean document length (geometric distribution).
+    doc_length_mean: float = 10.0
+    #: Minimum document length.
+    doc_length_min: int = 3
+    #: Zipf skew of document popularity (0 = uniform).
+    zipf_alpha: float = 0.8
+    #: Probability a document element is drawn from the shared hot pool
+    #: (shared addresses create the one-address lookup ambiguity).
+    shared_frac: float = 0.35
+    #: Fraction of documents that are sequential runs inside one page.
+    spatial_doc_frac: float = 0.12
+    #: Documents are generated in *families* of this many variants that
+    #: share their first ``family_prefix`` addresses and then diverge —
+    #: the paper's "two streams that begin with the same miss address",
+    #: the case where a single-address lookup (STMS) picks wrong streams.
+    family_size: int = 1
+    #: Shared head length within a family.
+    family_prefix: int = 1
+
+    # -- concurrency texture ------------------------------------------------
+    #: Number of concurrently replaying contexts (server request handlers
+    #: interleaving their miss streams in the global history).
+    interleave: int = 1
+    #: Per-element probability of switching to another live context
+    #: (lower = burstier interleaving).
+    switch_prob: float = 0.2
+
+    # -- replay perturbation ----------------------------------------------
+    #: Per-element probability of abandoning the current replay early.
+    truncation_prob: float = 0.06
+    #: Per-element probability of substituting a random address.
+    mutation_rate: float = 0.02
+    #: Per-element probability of injecting a cold random access first.
+    noise_rate: float = 0.05
+
+    # -- core/ISA texture ---------------------------------------------------
+    #: Probability an element is a dependent (pointer-chase) access.
+    dependent_frac: float = 0.25
+    #: Number of distinct PCs in the binary's miss-causing loop bodies.
+    pc_pool: int = 96
+    #: PCs a single document cycles through.
+    pcs_per_doc: int = 4
+    #: Mean non-memory instructions between accesses (Poisson).
+    work_mean: float = 6.0
+    #: Memory-level-parallelism texture: accesses arrive in bursts of
+    #: this many (on average) with near-zero instruction gaps inside a
+    #: burst and proportionally longer gaps between bursts (the overall
+    #: ``work_mean`` is preserved).  Independent accesses within a burst
+    #: fit in one ROB window and overlap their misses — high values
+    #: reproduce the paper's high-MLP workloads (Web Search, Media
+    #: Streaming) whose miss latency is already hidden.
+    mlp_cluster: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("workload name must be non-empty")
+        if self.dataset_blocks <= 0 or self.hot_pool_blocks <= 0:
+            raise ConfigError("address-space sizes must be positive")
+        if self.hot_pool_blocks > self.dataset_blocks:
+            raise ConfigError("hot pool cannot exceed the dataset")
+        if self.n_documents <= 0:
+            raise ConfigError("n_documents must be positive")
+        if self.doc_length_mean < self.doc_length_min:
+            raise ConfigError("doc_length_mean must be >= doc_length_min")
+        for frac_name in ("shared_frac", "spatial_doc_frac", "truncation_prob",
+                          "mutation_rate", "noise_rate", "dependent_frac"):
+            value = getattr(self, frac_name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigError(f"{frac_name} must lie in [0, 1], got {value}")
+        if self.pc_pool <= 0 or self.pcs_per_doc <= 0:
+            raise ConfigError("PC parameters must be positive")
+        if self.work_mean < 0:
+            raise ConfigError("work_mean must be non-negative")
+        if self.family_size <= 0 or self.family_prefix <= 0:
+            raise ConfigError("family parameters must be positive")
+        if self.family_prefix >= self.doc_length_min:
+            raise ConfigError("family_prefix must be shorter than the "
+                              "minimum document length")
+        if self.interleave <= 0:
+            raise ConfigError("interleave must be positive")
+        if self.mlp_cluster < 1.0:
+            raise ConfigError("mlp_cluster must be >= 1")
+        if not (0.0 < self.switch_prob <= 1.0):
+            raise ConfigError("switch_prob must lie in (0, 1]")
+
+    def scaled(self, **overrides: Any) -> "WorkloadConfig":
+        """Copy with fields replaced (mirrors :meth:`SystemConfig.scaled`)."""
+        return replace(self, **overrides)

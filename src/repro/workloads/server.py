@@ -1,0 +1,144 @@
+"""The nine named server workloads (Table II analogues).
+
+Each configuration encodes the paper's qualitative description of the
+corresponding commercial workload into the generative knobs of
+:class:`~repro.workloads.base.WorkloadConfig`:
+
+* **Data Serving** (Cassandra/YCSB) — key-value reads over a large LSM
+  store; moderate temporal correlation, a visible spatial component
+  (spatio-temporal prefetching lifts VLDP's coverage strongly, Fig. 16).
+* **MapReduce-C** (Hadoop Bayes classification) — scan-dominated, long
+  repetitive sequences, lowest bandwidth demand of the suite.
+* **MapReduce-W** (Hadoop/Mahout) — "temporal streams … are drastically
+  short", so metadata latency cannot be amortised (Fig. 14 discussion).
+* **Media Streaming** (Darwin) — long sequential segment reads, almost
+  no pointer-chasing, so misses already overlap (high MLP) and
+  prefetching buys little time even at high coverage.
+* **OLTP** (Oracle/TPC-C) — B-tree and tuple pointer chasing: long
+  dependent chains, many concurrent transactions interleaving their
+  misses, and *heavy* stream-head sharing (big families), the case
+  where two-address lookup beats STMS by the widest margin (19 %
+  coverage at degree 4).
+* **SAT Solver** (Cloud9) — "produces its dataset on-the-fly", i.e. low
+  repetitiveness: high mutation and noise; every prefetcher shows low
+  coverage and high overpredictions.
+* **Web Apache / Web Zeus** (SPECweb99) — many concurrent connections,
+  hot request-handling structures shared across streams; the most
+  bandwidth-hungry workloads.
+* **Web Search** (Nutch/Lucene) — independent posting-list probes:
+  moderate correlation, high MLP.
+
+The knob-to-symptom mapping is documented in
+:mod:`repro.workloads.base`; DESIGN.md §2 records why the substitution
+for the paper's Flexus traces preserves the evaluated behaviours.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownWorkloadError
+from .base import WorkloadConfig
+
+SERVER_WORKLOADS: dict[str, WorkloadConfig] = {
+    "data_serving": WorkloadConfig(
+        name="data_serving",
+        description="Cassandra 0.7.3 / YCSB (CloudSuite Data Serving)",
+        n_documents=3000, doc_length_mean=12.0, doc_length_min=5,
+        zipf_alpha=0.7, hot_pool_blocks=8192,
+        shared_frac=0.85, spatial_doc_frac=0.15,
+        family_size=3, family_prefix=1, interleave=2, switch_prob=0.15,
+        truncation_prob=0.03, mutation_rate=0.015, noise_rate=0.04,
+        dependent_frac=0.30, pc_pool=512, pcs_per_doc=8, work_mean=45.0, mlp_cluster=1.5,
+    ),
+    "mapreduce_c": WorkloadConfig(
+        name="mapreduce_c",
+        description="Hadoop 0.20.2 Bayesian classification (MapReduce-C)",
+        n_documents=2000, doc_length_mean=16.0, doc_length_min=6,
+        zipf_alpha=0.7, hot_pool_blocks=8192,
+        shared_frac=0.70, spatial_doc_frac=0.30,
+        family_size=2, family_prefix=1, interleave=1,
+        truncation_prob=0.02, mutation_rate=0.01, noise_rate=0.02,
+        dependent_frac=0.10, pc_pool=256, pcs_per_doc=14, work_mean=18.0, mlp_cluster=5.0,
+    ),
+    "mapreduce_w": WorkloadConfig(
+        name="mapreduce_w",
+        description="Hadoop 0.20.2 / Mahout 0.4 (MapReduce-W)",
+        n_documents=4000, doc_length_mean=5.0, doc_length_min=3,
+        zipf_alpha=0.7, hot_pool_blocks=8192,
+        shared_frac=0.80, spatial_doc_frac=0.15,
+        family_size=3, family_prefix=1, interleave=2, switch_prob=0.25,
+        truncation_prob=0.15, mutation_rate=0.02, noise_rate=0.06,
+        dependent_frac=0.12, pc_pool=384, pcs_per_doc=4, work_mean=50.0, mlp_cluster=2.0,
+    ),
+    "media_streaming": WorkloadConfig(
+        name="media_streaming",
+        description="Darwin Streaming Server 6.0.3, 7500 clients",
+        n_documents=1500, doc_length_mean=18.0, doc_length_min=8,
+        zipf_alpha=0.6, hot_pool_blocks=8192,
+        shared_frac=0.60, spatial_doc_frac=0.35,
+        family_size=1, interleave=1,
+        truncation_prob=0.01, mutation_rate=0.008, noise_rate=0.02,
+        dependent_frac=0.02, pc_pool=192, pcs_per_doc=16, work_mean=15.0, mlp_cluster=6.0,
+    ),
+    "oltp": WorkloadConfig(
+        name="oltp",
+        description="Oracle 10g, TPC-C 100 warehouses (OLTP)",
+        n_documents=4000, doc_length_mean=13.0, doc_length_min=6,
+        zipf_alpha=0.5, hot_pool_blocks=8192,
+        shared_frac=0.90, spatial_doc_frac=0.04,
+        family_size=4, family_prefix=1, interleave=3, switch_prob=0.12,
+        truncation_prob=0.03, mutation_rate=0.015, noise_rate=0.04,
+        dependent_frac=0.60, pc_pool=640, pcs_per_doc=10, work_mean=50.0, mlp_cluster=1.0,),
+    "sat_solver": WorkloadConfig(
+        name="sat_solver",
+        description="Cloud9 parallel symbolic execution (SAT Solver)",
+        n_documents=5000, doc_length_mean=7.0, doc_length_min=3,
+        zipf_alpha=0.4, hot_pool_blocks=8192,
+        shared_frac=0.80, spatial_doc_frac=0.06,
+        family_size=3, family_prefix=1, interleave=3, switch_prob=0.25,
+        truncation_prob=0.10, mutation_rate=0.18, noise_rate=0.18,
+        dependent_frac=0.30, pc_pool=768, pcs_per_doc=6, work_mean=55.0, mlp_cluster=1.5,
+    ),
+    "web_apache": WorkloadConfig(
+        name="web_apache",
+        description="Apache HTTP Server v2.0, SPECweb99, 16 K connections",
+        n_documents=3500, doc_length_mean=12.0, doc_length_min=5,
+        zipf_alpha=1.0, hot_pool_blocks=8192,
+        shared_frac=0.85, spatial_doc_frac=0.10,
+        family_size=3, family_prefix=1, interleave=2, switch_prob=0.15,
+        truncation_prob=0.04, mutation_rate=0.02, noise_rate=0.06,
+        dependent_frac=0.30, pc_pool=512, pcs_per_doc=9, work_mean=30.0, mlp_cluster=1.0,),
+    "web_search": WorkloadConfig(
+        name="web_search",
+        description="Nutch 1.2 / Lucene 3.0.1 (CloudSuite Web Search)",
+        n_documents=3500, doc_length_mean=10.0, doc_length_min=4,
+        zipf_alpha=0.7, hot_pool_blocks=8192,
+        shared_frac=0.80, spatial_doc_frac=0.15,
+        family_size=2, family_prefix=1, interleave=2, switch_prob=0.2,
+        truncation_prob=0.06, mutation_rate=0.04, noise_rate=0.08,
+        dependent_frac=0.06, pc_pool=384, pcs_per_doc=8, work_mean=18.0, mlp_cluster=5.0,
+    ),
+    "web_zeus": WorkloadConfig(
+        name="web_zeus",
+        description="Zeus Web Server v4.3, SPECweb99, 16 K connections",
+        n_documents=3000, doc_length_mean=13.0, doc_length_min=5,
+        zipf_alpha=1.0, hot_pool_blocks=8192,
+        shared_frac=0.82, spatial_doc_frac=0.12,
+        family_size=3, family_prefix=1, interleave=2, switch_prob=0.15,
+        truncation_prob=0.035, mutation_rate=0.018, noise_rate=0.05,
+        dependent_frac=0.28, pc_pool=512, pcs_per_doc=9, work_mean=35.0, mlp_cluster=1.0,),
+}
+
+
+def workload_names() -> list[str]:
+    """Names of the nine server workloads, in the paper's order."""
+    return list(SERVER_WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadConfig:
+    """Look up a workload configuration by name."""
+    try:
+        return SERVER_WORKLOADS[name]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(SERVER_WORKLOADS)}"
+        ) from None

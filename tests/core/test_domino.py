@@ -1,0 +1,147 @@
+"""Domino prefetcher behaviour on hand-crafted miss sequences.
+
+Sampling is forced to 1.0 so every metadata update is applied and the
+scenarios are deterministic.
+"""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.core.domino import DominoPrefetcher
+
+
+@pytest.fixture
+def config():
+    return small_test_config(sampling_probability=1.0, prefetch_degree=4)
+
+
+def replay(prefetcher, blocks, pc=0):
+    """Feed a miss sequence; returns the candidates of the last event."""
+    out = []
+    for block in blocks:
+        out = prefetcher.on_miss(pc, block)
+    return out
+
+
+class TestSingleAddressLookup:
+    def test_cold_miss_prefetches_nothing(self, config):
+        domino = DominoPrefetcher(config)
+        assert domino.on_miss(0, 100) == []
+
+    def test_second_occurrence_prefetches_recorded_successor(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 3, 4, 5])
+        candidates = domino.on_miss(0, 1)
+        assert [block for block, _ in candidates] == [2]
+
+    def test_speculative_prefetch_uses_most_recent_successor(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 9, 9, 1, 7, 9, 9])  # 1->2 then 1->7
+        domino.on_miss(0, 777)  # cold miss: clears any pending stream
+        candidates = domino.on_miss(0, 1)
+        assert [block for block, _ in candidates] == [7]
+
+    def test_index_reads_charged_for_lookup_and_sampled_update(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 3])
+        reads_before = domino.metadata.index_reads
+        writes_before = domino.metadata.index_writes
+        domino.on_miss(0, 777)
+        # One EIT row fetch for the lookup plus (sampling=1.0) one
+        # read-modify-write for the update.
+        assert domino.metadata.index_reads == reads_before + 2
+        assert domino.metadata.index_writes == writes_before + 1
+
+
+class TestTwoAddressConfirmation:
+    def test_confirmation_replays_the_right_stream(self, config):
+        domino = DominoPrefetcher(config)
+        # Two streams share head 1: (1,2,3,4,5,6) and (1, 20, 30, 40, 50, 60).
+        replay(domino, [1, 2, 3, 4, 5, 6])
+        replay(domino, [1, 20, 30, 40, 50, 60])
+        # New stream begins at 1; the speculative guess is the MRU
+        # successor (20), but the miss on 2 selects the older entry.
+        spec = domino.on_miss(0, 1)
+        assert [b for b, _ in spec] == [20]
+        confirmed = domino.on_miss(0, 2)
+        assert [b for b, _ in confirmed][: 3] == [3, 4, 5]
+
+    def test_prefetch_hit_confirms_mru_stream(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 3, 4, 5, 6])
+        spec = domino.on_miss(0, 1)
+        (block, sid), = spec
+        assert block == 2
+        confirmed = domino.on_prefetch_hit(0, 2, sid)
+        assert [b for b, _ in confirmed][: 3] == [3, 4, 5]
+
+    def test_failed_confirmation_discards_stream_quietly(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 3, 4, 5])
+        spec = domino.on_miss(0, 1)
+        assert spec  # pending stream with a speculative prefetch
+        # An unrelated miss does not match any entry of the pending
+        # super-entry; the stream is discarded without killing the
+        # buffered speculative block.
+        domino.on_miss(0, 999)
+        assert domino.take_killed_streams() == []
+
+    def test_confirmation_happens_only_once(self, config):
+        domino = DominoPrefetcher(config)
+        replay(domino, [1, 2, 3, 4, 5, 6, 7, 8])
+        spec = domino.on_miss(0, 1)
+        (block, sid), = spec
+        first = domino.on_prefetch_hit(0, 2, sid)
+        assert first
+        # A second hit on the same stream advances by one, not a full
+        # re-confirmation.
+        second = domino.on_prefetch_hit(0, 3, sid)
+        assert len(second) == 1
+
+
+class TestStreamManagement:
+    def test_lru_stream_replacement_reports_killed(self, config):
+        config = config.scaled(active_streams=2)
+        domino = DominoPrefetcher(config)
+        # Train three streams with distinct heads and long bodies.
+        replay(domino, [1, 101, 201, 301, 401,
+                        2, 102, 202, 302, 402,
+                        3, 103, 203, 303, 403, 999])
+        # Confirm two streams so they stay active.
+        (b1, s1), = domino.on_miss(0, 1)
+        domino.on_prefetch_hit(0, b1, s1)
+        cands2 = domino.on_miss(0, 2)
+        s2 = cands2[-1][1]
+        domino.on_prefetch_hit(0, 102, s2)
+        domino.take_killed_streams()
+        # A third stream allocation overflows the 2-entry table and must
+        # replace the LRU confirmed stream (discarding its buffer blocks).
+        domino.on_miss(0, 3)
+        killed = domino.take_killed_streams()
+        assert s1 in killed
+
+    def test_history_records_misses_and_prefetch_hits(self, config):
+        domino = DominoPrefetcher(config)
+        domino.on_miss(0, 1)
+        domino.on_prefetch_hit(0, 2, stream_id=12345)  # unknown stream ok
+        assert domino.history.read_at(0) == 1
+        assert domino.history.read_at(1) == 2
+
+    def test_ht_write_traffic_per_row(self, config):
+        domino = DominoPrefetcher(config)
+        for i in range(config.ht_row_entries):
+            domino.on_miss(0, 1000 + i)
+        assert domino.metadata.history_writes == 1
+
+
+class TestDegree:
+    def test_confirmed_stream_issues_at_most_degree(self, config):
+        domino = DominoPrefetcher(config.scaled(prefetch_degree=2))
+        replay(domino, [1, 2, 3, 4, 5, 6, 7])
+        (block, sid), = domino.on_miss(0, 1)
+        confirmed = domino.on_prefetch_hit(0, 2, sid)
+        assert len(confirmed) == 2
+
+    def test_invalid_degree_rejected(self, config):
+        with pytest.raises(ValueError):
+            DominoPrefetcher(config, degree=0)

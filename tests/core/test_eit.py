@@ -1,0 +1,112 @@
+"""Enhanced Index Table: super-entries, double LRU, bounded rows."""
+
+import pytest
+
+from repro.core.eit import EnhancedIndexTable, SuperEntry
+
+
+class TestSuperEntry:
+    def test_update_and_most_recent(self):
+        entry = SuperEntry(tag=10, max_entries=3)
+        entry.update(20, 100)
+        entry.update(30, 200)
+        assert entry.most_recent() == (30, 200)
+
+    def test_update_existing_promotes_and_repoints(self):
+        entry = SuperEntry(tag=10, max_entries=3)
+        entry.update(20, 100)
+        entry.update(30, 200)
+        entry.update(20, 300)
+        assert entry.most_recent() == (20, 300)
+
+    def test_lru_eviction_at_capacity(self):
+        entry = SuperEntry(tag=10, max_entries=2)
+        entry.update(1, 10)
+        entry.update(2, 20)
+        victim = entry.update(3, 30)
+        assert victim == 1
+        assert entry.match(1) is None
+
+    def test_match_returns_pointer_and_promotes(self):
+        entry = SuperEntry(tag=10, max_entries=3)
+        entry.update(1, 10)
+        entry.update(2, 20)
+        assert entry.match(1) == 10
+        # 1 was promoted: inserting a third then fourth evicts 2 first.
+        entry.update(3, 30)
+        assert entry.update(4, 40) == 2
+
+    def test_snapshot_order_lru_to_mru(self):
+        entry = SuperEntry(tag=10, max_entries=3)
+        entry.update(1, 10)
+        entry.update(2, 20)
+        entry.match(1)
+        assert entry.snapshot() == [(2, 20), (1, 10)]
+
+    def test_empty_most_recent(self):
+        assert SuperEntry(tag=1, max_entries=3).most_recent() is None
+
+
+class TestEnhancedIndexTable:
+    def test_lookup_miss_returns_none(self):
+        eit = EnhancedIndexTable(rows=16)
+        assert eit.lookup(42) is None
+
+    def test_update_then_lookup(self):
+        eit = EnhancedIndexTable(rows=16)
+        eit.update(42, 43, 7)
+        found = eit.lookup(42)
+        assert found is not None
+        assert found.most_recent() == (43, 7)
+
+    def test_row_associativity_evicts_lru_super_entry(self):
+        eit = EnhancedIndexTable(rows=1, assoc=2)
+        eit.update(1, 10, 0)
+        eit.update(2, 20, 1)
+        eit.update(3, 30, 2)  # row full: evicts super-entry for tag 1
+        assert eit.lookup(1) is None
+        assert eit.lookup(2) is not None
+        assert eit.stats.super_entry_evictions == 1
+
+    def test_lookup_promotes_super_entry(self):
+        eit = EnhancedIndexTable(rows=1, assoc=2)
+        eit.update(1, 10, 0)
+        eit.update(2, 20, 1)
+        eit.lookup(1)
+        eit.update(3, 30, 2)  # should evict tag 2 (LRU after promotion)
+        assert eit.lookup(1) is not None
+        assert eit.lookup(2) is None
+
+    def test_entry_eviction_counted(self):
+        eit = EnhancedIndexTable(rows=4, entries_per_super=2)
+        eit.update(1, 10, 0)
+        eit.update(1, 20, 1)
+        eit.update(1, 30, 2)
+        assert eit.stats.entry_evictions == 1
+
+    def test_unbounded_mode_never_evicts(self):
+        eit = EnhancedIndexTable(rows=1, assoc=1, unbounded=True)
+        for tag in range(100):
+            eit.update(tag, tag + 1, tag)
+        assert eit.resident_tags() == 100
+        assert eit.stats.super_entry_evictions == 0
+
+    def test_distinct_tags_in_same_row_coexist_up_to_assoc(self):
+        eit = EnhancedIndexTable(rows=1, assoc=4)
+        for tag in range(4):
+            eit.update(tag, tag + 10, tag)
+        assert all(eit.lookup(tag) is not None for tag in range(4))
+
+    def test_stats_lookups_and_hits(self):
+        eit = EnhancedIndexTable(rows=8)
+        eit.update(5, 6, 0)
+        eit.lookup(5)
+        eit.lookup(6)
+        assert eit.stats.lookups == 2
+        assert eit.stats.super_entry_hits == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            EnhancedIndexTable(rows=0)
+        with pytest.raises(ValueError):
+            EnhancedIndexTable(rows=4, assoc=0)

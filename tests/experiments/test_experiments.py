@@ -1,0 +1,86 @@
+"""Experiment drivers: every registered experiment runs and produces a
+well-formed table at tiny sizes; a few shape assertions on the cheap ones."""
+
+import pytest
+
+from repro.errors import UnknownExperimentError
+from repro.experiments import (ExperimentOptions, ExperimentResult,
+                               experiment_ids, run_experiment)
+
+TINY = ExperimentOptions(n_accesses=12_000, workloads=("oltp",), seed=7)
+
+#: Experiments cheap enough to run on every test invocation.
+CHEAP = ["table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig06",
+         "fig12", "fig15", "fig16"]
+#: Heavier sweeps, still run but on a single tiny workload.
+HEAVY = ["fig05", "fig09", "fig10", "fig11", "fig13", "fig14",
+         "ext01", "ext02"]
+
+
+@pytest.mark.parametrize("experiment_id", CHEAP + HEAVY)
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_experiment(experiment_id, TINY)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{experiment_id} produced no rows"
+    text = result.render()
+    assert result.title in text
+    for header in result.headers:
+        assert header in text
+    widths = {len(row) for row in result.rows}
+    assert widths == {len(result.headers)}
+
+
+def test_registry_complete():
+    ids = experiment_ids()
+    assert "fig11" in ids and "table1" in ids
+    assert len(ids) == 18
+    assert "ext01" in ids and "ext02" in ids
+
+
+def test_unknown_experiment():
+    with pytest.raises(UnknownExperimentError):
+        run_experiment("fig99")
+
+
+def test_fig03_accuracy_improves_with_depth():
+    result = run_experiment("fig03", TINY)
+    row = result.rows[0]
+    assert row[2] >= row[1]  # depth2 >= depth1 accuracy
+
+
+def test_fig04_match_rate_decreases_with_depth():
+    result = run_experiment("fig04", TINY)
+    row = result.rows[0]
+    assert row[1] >= row[-1]
+
+
+def test_fig09_monotone_coverage_with_ht_size():
+    result = run_experiment("fig09", TINY)
+    row = result.rows[0][1:]
+    assert row[-1] >= row[0] - 0.02
+
+
+def test_table1_reflects_paper_parameters():
+    result = run_experiment("table1", None)
+    text = result.render()
+    assert "4 cores" in text
+    assert "45 ns" in text
+    assert "37.5 GB/s" in text
+
+
+def test_column_extraction():
+    result = run_experiment("fig01", TINY)
+    coverages = result.column("stms_coverage")
+    assert len(coverages) == len(result.rows)
+
+
+def test_options_quick_profile():
+    quick = ExperimentOptions.quick()
+    assert quick.n_accesses < ExperimentOptions().n_accesses
+    assert len(quick.workloads) == 3
+
+
+def test_options_scaled():
+    options = ExperimentOptions().scaled(degree=2)
+    assert options.degree == 2
+    assert options.warmup == options.n_accesses // 2

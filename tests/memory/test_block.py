@@ -1,0 +1,40 @@
+"""Address arithmetic helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import BLOCKS_PER_PAGE
+from repro.memory.block import (block_in_page, block_of, byte_of, page_of,
+                                page_offset_of)
+
+
+def test_block_of_byte_address():
+    assert block_of(0) == 0
+    assert block_of(63) == 0
+    assert block_of(64) == 1
+
+
+def test_byte_of_is_inverse_on_block_starts():
+    assert byte_of(block_of(128)) == 128
+
+
+def test_page_of_and_offset():
+    assert page_of(0) == 0
+    assert page_of(BLOCKS_PER_PAGE) == 1
+    assert page_offset_of(BLOCKS_PER_PAGE + 3) == 3
+
+
+def test_block_in_page_roundtrip():
+    block = block_in_page(5, 17)
+    assert page_of(block) == 5
+    assert page_offset_of(block) == 17
+
+
+@given(st.integers(0, 2**40))
+def test_page_decomposition_is_total(block):
+    assert block_in_page(page_of(block), page_offset_of(block)) == block
+
+
+@given(st.integers(0, 2**40))
+def test_offset_in_range(block):
+    assert 0 <= page_offset_of(block) < BLOCKS_PER_PAGE

@@ -1,0 +1,92 @@
+"""Banked DRAM model: mapping, row-buffer states, contention."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.memory.dram_banked import BankedDram, DramTimings
+
+
+@pytest.fixture
+def dram():
+    return BankedDram(n_channels=2, n_banks=4, row_size_blocks=8,
+                      timings=DramTimings(cas=10, rcd=10, precharge=10,
+                                          bus_cycles=4.0, controller=0))
+
+
+class TestAddressMapping:
+    def test_adjacent_blocks_alternate_channels(self, dram):
+        assert dram.map_address(0)[0] == 0
+        assert dram.map_address(1)[0] == 1
+        assert dram.map_address(2)[0] == 0
+
+    def test_row_stripes(self, dram):
+        # Blocks 0 and 2 are in the same channel-0 row stripe.
+        c0, b0, r0 = dram.map_address(0)
+        c1, b1, r1 = dram.map_address(2)
+        assert (c0, b0, r0) == (c1, b1, r1)
+
+    def test_next_stripe_changes_bank(self, dram):
+        _, bank_a, _ = dram.map_address(0)
+        _, bank_b, _ = dram.map_address(2 * 8)  # next row stripe, channel 0
+        assert bank_a != bank_b
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BankedDram(n_channels=0)
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self, dram):
+        done = dram.access(0.0, 0)
+        assert done == pytest.approx(10 + 10 + 4)  # rcd + cas + bus
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hit_is_faster(self, dram):
+        dram.access(0.0, 0)
+        t0 = dram.access(100.0, 2)  # same row stripe
+        assert t0 - 100.0 == pytest.approx(10 + 4)  # cas + bus only
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self, dram):
+        dram.access(0.0, 0)
+        # Same channel and bank, different row: blocks 0 and 64
+        conflict_block = 2 * 8 * 4  # stripe 32 -> bank 0, row 1, channel 0
+        t0 = dram.access(100.0, conflict_block)
+        assert t0 - 100.0 == pytest.approx(10 + 10 + 10 + 4)
+        assert dram.stats.row_conflicts == 1
+
+    def test_row_hit_rate(self, dram):
+        dram.access(0.0, 0)
+        dram.access(50.0, 2)
+        dram.access(100.0, 4)
+        assert dram.stats.row_hit_rate == pytest.approx(2 / 3)
+
+
+class TestContention:
+    def test_same_bank_requests_serialise(self, dram):
+        first = dram.access(0.0, 0)
+        second = dram.access(0.0, 2)  # same bank, same row
+        assert second > first
+
+    def test_different_channels_proceed_in_parallel(self, dram):
+        a = dram.access(0.0, 0)  # channel 0
+        b = dram.access(0.0, 1)  # channel 1
+        assert a == b  # no shared resource between them
+
+    def test_bus_serialises_bursts_within_channel(self, dram):
+        # Two row hits on different banks of one channel share the bus.
+        dram.access(0.0, 0)           # opens bank0 row
+        dram.access(0.0, 2 * 8 * 1)   # bank 1, channel 0
+        a = dram.access(1000.0, 2)          # bank0 hit
+        b = dram.access(1000.0, 2 * 8 + 2)  # bank1 hit
+        assert abs(b - a) >= 4.0  # one bus burst apart
+
+
+class TestFactory:
+    def test_for_config_matches_bandwidth(self):
+        config = SystemConfig()
+        dram = BankedDram.for_config(config)
+        assert dram.n_channels == 2
+        assert dram.timings.bus_cycles == pytest.approx(
+            config.cycles_per_block_transfer * 2)
+        assert dram.idle_latency() > 100  # in the vicinity of 45 ns

@@ -1,0 +1,67 @@
+"""Two-level hierarchy classification tests."""
+
+from repro.config import CacheConfig, SystemConfig, small_test_config
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import AccessOutcome, MemoryHierarchy
+
+
+class TestClassification:
+    def test_cold_access_goes_to_memory(self, config):
+        hier = MemoryHierarchy(config)
+        assert hier.access(123) is AccessOutcome.MEMORY
+
+    def test_l1_hit_after_fill(self, config):
+        hier = MemoryHierarchy(config)
+        hier.access(123)
+        assert hier.access(123) is AccessOutcome.L1_HIT
+
+    def test_llc_hit_after_l1_eviction(self, config):
+        hier = MemoryHierarchy(config)
+        hier.access(0)
+        # Evict block 0 from the tiny L1 by filling its set.
+        n_sets = config.l1d.n_sets
+        for i in range(1, config.l1d.ways + 1):
+            hier.access(i * n_sets)
+        assert hier.access(0) is AccessOutcome.LLC_HIT
+
+    def test_stats_counted(self, config):
+        hier = MemoryHierarchy(config)
+        hier.access(1)
+        hier.access(1)
+        assert hier.stats.memory_accesses == 1
+        assert hier.stats.l1_hits == 1
+        assert hier.stats.accesses == 2
+
+    def test_latency_of_each_outcome(self, config):
+        hier = MemoryHierarchy(config)
+        assert hier.latency_of(AccessOutcome.L1_HIT) == config.l1d.hit_latency
+        assert hier.latency_of(AccessOutcome.LLC_HIT) == config.llc_latency_cycles
+        assert hier.latency_of(AccessOutcome.MEMORY) == config.memory_latency_cycles
+
+
+class TestSharedLlc:
+    def test_two_cores_share_llc_contents(self, config):
+        shared = Cache(config.llc)
+        core0 = MemoryHierarchy(config, shared_llc=shared)
+        core1 = MemoryHierarchy(config, shared_llc=shared)
+        core0.access(42)
+        # Core 1 misses its private L1 but hits the shared LLC.
+        assert core1.access(42) is AccessOutcome.LLC_HIT
+
+
+class TestPrefetchProbe:
+    def test_prefetch_does_not_install_in_llc(self, config):
+        hier = MemoryHierarchy(config)
+        assert hier.probe_prefetch_target(7) is AccessOutcome.MEMORY
+        # The probe must not have installed the block.
+        assert hier.probe_prefetch_target(7) is AccessOutcome.MEMORY
+
+    def test_prefetch_classified_llc_hit_when_resident(self, config):
+        hier = MemoryHierarchy(config)
+        hier.access(7)  # installs in both levels
+        assert hier.probe_prefetch_target(7) is AccessOutcome.LLC_HIT
+
+    def test_fill_l1_promotes_buffer_hit(self, config):
+        hier = MemoryHierarchy(config)
+        hier.fill_l1(99)
+        assert hier.access(99) is AccessOutcome.L1_HIT

@@ -1,0 +1,25 @@
+"""Metadata traffic counter tests."""
+
+from repro.memory.metadata import MetadataTraffic
+
+
+def test_aggregates():
+    traffic = MetadataTraffic(index_reads=2, index_writes=1,
+                              history_reads=3, history_writes=4)
+    assert traffic.reads == 5
+    assert traffic.writes == 5
+    assert traffic.total == 10
+
+
+def test_merge():
+    a = MetadataTraffic(index_reads=1)
+    b = MetadataTraffic(index_reads=2, history_writes=3)
+    a.merge(b)
+    assert a.index_reads == 3
+    assert a.history_writes == 3
+
+
+def test_reset():
+    traffic = MetadataTraffic(index_reads=5, history_reads=2)
+    traffic.reset()
+    assert traffic.total == 0

@@ -1,0 +1,57 @@
+"""MSHR file tests: allocation, merging, retirement."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_allocate_and_contains(self):
+        mshrs = MshrFile(4)
+        assert mshrs.allocate(10, ready_time=100.0) is True
+        assert 10 in mshrs
+        assert len(mshrs) == 1
+
+    def test_merge_same_block(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10, ready_time=100.0)
+        assert mshrs.allocate(10, ready_time=200.0) is False
+        assert mshrs.stats.merges == 1
+        # Merge keeps the earlier completion.
+        assert mshrs.outstanding(10) == 100.0
+
+    def test_merge_never_delays(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(10, ready_time=200.0)
+        mshrs.allocate(10, ready_time=100.0)
+        assert mshrs.outstanding(10) == 100.0
+
+    def test_full_file_raises(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(1, 10.0)
+        assert mshrs.can_allocate() is False
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(2, 20.0)
+        assert mshrs.stats.stalls == 1
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestRetirement:
+    def test_retire_until_frees_completed(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(1, 10.0)
+        mshrs.allocate(2, 20.0)
+        mshrs.allocate(3, 30.0)
+        done = mshrs.retire_until(20.0)
+        assert sorted(done) == [1, 2]
+        assert len(mshrs) == 1
+
+    def test_earliest_completion(self):
+        mshrs = MshrFile(4)
+        assert mshrs.earliest_completion() is None
+        mshrs.allocate(1, 30.0)
+        mshrs.allocate(2, 10.0)
+        assert mshrs.earliest_completion() == 10.0

@@ -1,0 +1,108 @@
+"""Prefetch buffer: FIFO replacement, consumption, stream invalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.prefetch_buffer import PrefetchBuffer
+
+
+class TestInsertLookup:
+    def test_lookup_consumes_entry(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(10, stream_id=1)
+        entry = buf.lookup(10)
+        assert entry is not None and entry.stream_id == 1
+        assert buf.lookup(10) is None  # consumed
+
+    def test_probe_does_not_consume(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(10)
+        assert buf.probe(10) is True
+        assert buf.lookup(10) is not None
+
+    def test_duplicate_insert_dropped(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(10)
+        buf.insert(10)
+        assert buf.stats.duplicates_dropped == 1
+        assert len(buf) == 1
+
+    def test_fifo_eviction_order(self):
+        buf = PrefetchBuffer(2)
+        buf.insert(1)
+        buf.insert(2)
+        victim = buf.insert(3)
+        assert victim is not None and victim.block == 1
+
+    def test_unused_eviction_counts_overprediction(self):
+        buf = PrefetchBuffer(1)
+        buf.insert(1)
+        buf.insert(2)
+        assert buf.stats.evicted_unused == 1
+        assert buf.stats.evicted_used == 0
+
+    def test_hit_then_reinsert_then_evict_counts_used(self):
+        buf = PrefetchBuffer(1)
+        buf.insert(1)
+        assert buf.lookup(1).used is True
+        assert buf.stats.hits == 1
+
+    def test_ready_time_recorded(self):
+        buf = PrefetchBuffer(2)
+        buf.insert(5, stream_id=0, ready_time=123.0)
+        assert buf.lookup(5).ready_time == 123.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0)
+
+
+class TestStreamInvalidation:
+    def test_invalidate_stream_drops_only_that_stream(self):
+        buf = PrefetchBuffer(8)
+        buf.insert(1, stream_id=1)
+        buf.insert(2, stream_id=2)
+        buf.insert(3, stream_id=1)
+        dropped = buf.invalidate_stream(1)
+        assert dropped == 2
+        assert buf.probe(2) is True
+        assert buf.probe(1) is False
+
+    def test_invalidated_unused_counts_overprediction(self):
+        buf = PrefetchBuffer(8)
+        buf.insert(1, stream_id=1)
+        buf.invalidate_stream(1)
+        assert buf.stats.evicted_unused == 1
+
+
+class TestDrain:
+    def test_drain_counts_leftovers(self):
+        buf = PrefetchBuffer(8)
+        buf.insert(1)
+        buf.insert(2)
+        buf.lookup(1)
+        leftovers = buf.drain()
+        assert [e.block for e in leftovers] == [2]
+        assert buf.stats.evicted_unused == 1
+        assert len(buf) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["insert", "lookup"]),
+                              st.integers(0, 15)), max_size=200))
+def test_accounting_balances(ops):
+    """inserted == hits + evicted(unused+used) + resident, always."""
+    buf = PrefetchBuffer(4)
+    for op, block in ops:
+        if op == "insert":
+            buf.insert(block, stream_id=block % 3)
+        else:
+            buf.lookup(block)
+        stats = buf.stats
+        accounted = (stats.hits + stats.evicted_unused + stats.evicted_used
+                     + len(buf))
+        assert stats.inserted == accounted
+    buf.drain()
+    stats = buf.stats
+    assert stats.inserted == stats.hits + stats.evicted_unused + stats.evicted_used

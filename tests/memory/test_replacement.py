@@ -1,0 +1,150 @@
+"""Replacement policies: unit behaviour plus a model-based property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.replacement import (FifoPolicy, LruPolicy, RandomPolicy,
+                                      make_policy)
+
+
+class TestLruPolicy:
+    def test_insert_until_full_evicts_nothing(self):
+        lru = LruPolicy(3)
+        assert lru.insert("a") is None
+        assert lru.insert("b") is None
+        assert lru.insert("c") is None
+        assert len(lru) == 3
+
+    def test_eviction_order_is_least_recently_used(self):
+        lru = LruPolicy(2)
+        lru.insert("a")
+        lru.insert("b")
+        assert lru.insert("c") == "a"
+
+    def test_touch_protects_a_key(self):
+        lru = LruPolicy(2)
+        lru.insert("a")
+        lru.insert("b")
+        lru.touch("a")
+        assert lru.insert("c") == "b"
+
+    def test_reinsert_promotes_instead_of_evicting(self):
+        lru = LruPolicy(2)
+        lru.insert("a")
+        lru.insert("b")
+        assert lru.insert("a") is None
+        assert lru.insert("c") == "b"
+
+    def test_remove_frees_capacity(self):
+        lru = LruPolicy(2)
+        lru.insert("a")
+        lru.insert("b")
+        lru.remove("a")
+        assert lru.insert("c") is None
+        assert "a" not in lru
+
+    def test_victim_preview_matches_eviction(self):
+        lru = LruPolicy(2)
+        lru.insert("a")
+        assert lru.victim() is None  # not full yet
+        lru.insert("b")
+        assert lru.victim() == "a"
+        assert lru.insert("c") == "a"
+
+    def test_iteration_order_lru_first(self):
+        lru = LruPolicy(3)
+        for key in "abc":
+            lru.insert(key)
+        lru.touch("a")
+        assert list(lru) == ["b", "c", "a"]
+
+
+class TestFifoPolicy:
+    def test_touch_does_not_protect(self):
+        fifo = FifoPolicy(2)
+        fifo.insert("a")
+        fifo.insert("b")
+        fifo.touch("a")
+        assert fifo.insert("c") == "a"
+
+    def test_duplicate_insert_is_noop(self):
+        fifo = FifoPolicy(2)
+        fifo.insert("a")
+        fifo.insert("b")
+        assert fifo.insert("a") is None
+        assert fifo.insert("c") == "a"
+
+
+class TestRandomPolicy:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(4, seed=7)
+        b = RandomPolicy(4, seed=7)
+        victims_a = [a.insert(i) for i in range(20)]
+        victims_b = [b.insert(i) for i in range(20)]
+        assert victims_a == victims_b
+
+    def test_capacity_respected(self):
+        rand = RandomPolicy(4, seed=1)
+        for i in range(50):
+            rand.insert(i)
+        assert len(rand) == 4
+
+    def test_remove_keeps_membership_consistent(self):
+        rand = RandomPolicy(4, seed=1)
+        for i in range(4):
+            rand.insert(i)
+        rand.remove(2)
+        assert 2 not in rand
+        assert len(rand) == 3
+        remaining = set(rand)
+        assert remaining == {0, 1, 3}
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [("lru", LruPolicy),
+                                          ("fifo", FifoPolicy),
+                                          ("random", RandomPolicy)])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 2), LruPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 4)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["insert", "touch", "remove"]),
+                              st.integers(0, 9)), max_size=120))
+def test_lru_matches_reference_model(ops):
+    """LruPolicy behaves exactly like a list-based reference LRU."""
+    lru = LruPolicy(4)
+    model: list[int] = []  # LRU order: front = next victim
+    for op, key in ops:
+        if op == "insert":
+            victim = lru.insert(key)
+            if key in model:
+                model.remove(key)
+                model.append(key)
+                assert victim is None
+            else:
+                expected = model.pop(0) if len(model) >= 4 else None
+                model.append(key)
+                assert victim == expected
+        elif op == "touch":
+            lru.touch(key)
+            if key in model:
+                model.remove(key)
+                model.append(key)
+        else:
+            lru.remove(key)
+            if key in model:
+                model.remove(key)
+        assert list(lru) == model

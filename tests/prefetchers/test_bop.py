@@ -1,0 +1,51 @@
+"""Best-Offset prefetcher learning rounds."""
+
+import pytest
+
+from repro.prefetchers.best_offset import BestOffsetPrefetcher
+
+
+class TestOffsetLearning:
+    def test_learns_dominant_offset(self, config):
+        bop = BestOffsetPrefetcher(config, degree=1, offsets=(1, 2, 4),
+                                   score_max=4, round_max=50)
+        # A pure +4 stream: only offset 4 scores.
+        block = 0
+        for _ in range(200):
+            bop.on_miss(0, block)
+            block += 4
+        assert bop.active_offset == 4
+
+    def test_prefetches_with_active_offset(self, config):
+        bop = BestOffsetPrefetcher(config, degree=3, offsets=(2,),
+                                   score_max=2, round_max=10)
+        block = 0
+        for _ in range(50):
+            bop.on_miss(0, block)
+            block += 2
+        candidates = bop.on_miss(0, 1000)
+        assert [b for b, _ in candidates] == [1002, 1004, 1006]
+
+    def test_no_prefetch_before_learning(self, config):
+        bop = BestOffsetPrefetcher(config, degree=2)
+        assert bop.on_miss(0, 100) == []
+
+    def test_random_stream_keeps_prefetching_off(self, config):
+        import random
+        rng = random.Random(2)
+        bop = BestOffsetPrefetcher(config, degree=2, round_max=5,
+                                   offsets=(1, 2, 4))
+        for _ in range(500):
+            bop.on_miss(0, rng.randrange(10**9))
+        assert bop.active_offset is None
+
+    def test_round_resets_scores(self, config):
+        bop = BestOffsetPrefetcher(config, degree=1, offsets=(1,),
+                                   score_max=2, round_max=3)
+        for block in (0, 1, 2, 3):
+            bop.on_miss(0, block)
+        assert all(score <= 2 for score in bop._scores.values())
+
+    def test_needs_offsets(self, config):
+        with pytest.raises(ValueError):
+            BestOffsetPrefetcher(config, offsets=())

@@ -1,0 +1,70 @@
+"""Digram (pair-lookup) behaviour tests."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.prefetchers.digram import DigramPrefetcher
+
+
+@pytest.fixture
+def config():
+    return small_test_config(sampling_probability=1.0, prefetch_degree=4)
+
+
+def feed(prefetcher, blocks, pc=0):
+    out = []
+    for block in blocks:
+        out = prefetcher.on_miss(pc, block)
+    return out
+
+
+class TestPairLookup:
+    def test_first_miss_of_stream_cannot_prefetch(self, config):
+        digram = DigramPrefetcher(config)
+        feed(digram, [1, 2, 3, 4, 5, 6])
+        # Pair (prev=6, cur=1) was never seen.
+        assert digram.on_miss(0, 1) == []
+
+    def test_second_miss_identifies_stream(self, config):
+        digram = DigramPrefetcher(config)
+        feed(digram, [1, 2, 3, 4, 5, 6, 99])
+        digram.on_miss(0, 1)
+        candidates = digram.on_miss(0, 2)
+        assert [b for b, _ in candidates] == [3, 4, 5, 6]
+
+    def test_pair_disambiguates_shared_head(self, config):
+        digram = DigramPrefetcher(config)
+        feed(digram, [1, 2, 3, 4, 5, 99])
+        feed(digram, [1, 20, 30, 40, 50, 98])
+        digram.on_miss(0, 1)
+        # The pair (1, 2) selects the FIRST variant even though the
+        # second ran more recently.
+        candidates = digram.on_miss(0, 2)
+        assert [b for b, _ in candidates] == [3, 4, 5, 99]
+
+    def test_very_first_miss_has_no_pair(self, config):
+        digram = DigramPrefetcher(config)
+        assert digram.on_miss(0, 42) == []
+
+    def test_pair_index_is_order_sensitive(self, config):
+        digram = DigramPrefetcher(config)
+        feed(digram, [1, 2, 3, 4, 5, 99])
+        digram.on_miss(0, 2)
+        # Pair (2, 1) was never observed — only (1, 2).
+        assert digram.on_miss(0, 1) == []
+
+
+class TestBoundedIndex:
+    def test_stale_pair_dropped_after_wrap(self):
+        config = small_test_config(sampling_probability=1.0, ht_entries=8)
+        digram = DigramPrefetcher(config, unbounded=False)
+        feed(digram, [1, 2, 3])
+        feed(digram, list(range(100, 120)))
+        digram.on_miss(0, 1)
+        assert digram.on_miss(0, 2) == []
+
+    def test_bounded_capacity(self):
+        config = small_test_config(sampling_probability=1.0)
+        digram = DigramPrefetcher(config, unbounded=False, it_entries=3)
+        feed(digram, [1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(digram._index) <= 3

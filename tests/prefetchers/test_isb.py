@@ -1,0 +1,53 @@
+"""Idealised PC-localised ISB tests."""
+
+from repro.prefetchers.isb import IsbPrefetcher
+
+
+class TestPcLocalisation:
+    def test_predicts_within_pc_stream(self, config):
+        isb = IsbPrefetcher(config, degree=2)
+        for block in [10, 20, 30, 40]:
+            isb.on_miss(pc=7, block=block)
+        candidates = isb.on_miss(pc=7, block=10)
+        assert [b for b, _ in candidates] == [20, 30]
+
+    def test_different_pcs_have_independent_streams(self, config):
+        isb = IsbPrefetcher(config, degree=2)
+        for block in [10, 20, 30]:
+            isb.on_miss(pc=1, block=block)
+        # Same addresses under a different PC: no history there.
+        assert isb.on_miss(pc=2, block=10) == []
+
+    def test_pc_interleaving_breaks_global_order(self, config):
+        """The paper's core criticism: ISB predicts the next miss *of the
+        instruction*, not the next miss of the program."""
+        isb = IsbPrefetcher(config, degree=1)
+        # Global order: (1,A) (2,B) (1,C) (2,D) — PC 1 sees A,C.
+        isb.on_miss(pc=1, block=100)
+        isb.on_miss(pc=2, block=200)
+        isb.on_miss(pc=1, block=300)
+        isb.on_miss(pc=2, block=400)
+        candidates = isb.on_miss(pc=1, block=100)
+        # ISB predicts 300 (PC 1's next), not 200 (the program's next).
+        assert [b for b, _ in candidates] == [300]
+
+    def test_prefetch_hit_trains_and_advances(self, config):
+        isb = IsbPrefetcher(config, degree=1)
+        for block in [10, 20, 30, 10, 20]:
+            isb.on_miss(pc=5, block=block)
+        candidates = isb.on_prefetch_hit(pc=5, block=10, stream_id=5)
+        assert [b for b, _ in candidates] == [20]
+
+    def test_stream_id_is_the_pc(self, config):
+        isb = IsbPrefetcher(config, degree=1)
+        isb.on_miss(pc=9, block=1)
+        isb.on_miss(pc=9, block=2)
+        candidates = isb.on_miss(pc=9, block=1)
+        assert candidates[0][1] == 9
+
+    def test_no_metadata_traffic_for_idealised_design(self, config):
+        isb = IsbPrefetcher(config)
+        for block in range(50):
+            isb.on_miss(pc=1, block=block)
+        assert isb.metadata.total == 0
+        assert isb.first_prefetch_round_trips == 0

@@ -1,0 +1,38 @@
+"""Prefetcher registry."""
+
+import pytest
+
+from repro.errors import UnknownPrefetcherError
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.registry import (PAPER_PREFETCHERS, PREFETCHERS,
+                                        make_prefetcher, prefetcher_names)
+
+
+def test_all_registered_names_construct(config):
+    for name in prefetcher_names():
+        prefetcher = make_prefetcher(name, config)
+        assert isinstance(prefetcher, Prefetcher)
+        assert prefetcher.degree == config.prefetch_degree
+
+
+def test_paper_set_is_registered():
+    assert set(PAPER_PREFETCHERS) <= set(PREFETCHERS)
+
+
+def test_degree_override(config):
+    assert make_prefetcher("domino", config, degree=2).degree == 2
+
+
+def test_kwargs_forwarded(config):
+    pf = make_prefetcher("multi_lookup", config, depth=3)
+    assert pf.depth == 3
+
+
+def test_unknown_name(config):
+    with pytest.raises(UnknownPrefetcherError):
+        make_prefetcher("nope", config)
+
+
+def test_names_are_stable(config):
+    for name in prefetcher_names():
+        assert make_prefetcher(name, config).name == name

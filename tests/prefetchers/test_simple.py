@@ -1,0 +1,81 @@
+"""Next-line, stride, and Markov reference prefetchers."""
+
+import pytest
+
+from repro.prefetchers.markov import MarkovPrefetcher
+from repro.prefetchers.nextline import NextLinePrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+
+class TestNextLine:
+    def test_prefetches_sequential_blocks(self, config):
+        nl = NextLinePrefetcher(config, degree=3)
+        assert [b for b, _ in nl.on_miss(0, 10)] == [11, 12, 13]
+
+    def test_prefetch_hit_continues(self, config):
+        nl = NextLinePrefetcher(config, degree=1)
+        assert [b for b, _ in nl.on_prefetch_hit(0, 11, 0)] == [12]
+
+
+class TestStride:
+    def test_requires_confirmation(self, config):
+        stride = StridePrefetcher(config, degree=2)
+        assert stride.on_miss(pc=1, block=10) == []
+        assert stride.on_miss(pc=1, block=14) == []  # stride 4, unconfirmed
+        candidates = stride.on_miss(pc=1, block=18)  # confirmed
+        assert [b for b, _ in candidates] == [22, 26]
+
+    def test_stride_change_resets_confirmation(self, config):
+        stride = StridePrefetcher(config, degree=1)
+        stride.on_miss(1, 10)
+        stride.on_miss(1, 14)
+        stride.on_miss(1, 18)
+        assert stride.on_miss(1, 25) == []  # new stride 7, unconfirmed
+        assert [b for b, _ in stride.on_miss(1, 32)] == [39]
+
+    def test_streams_are_per_pc(self, config):
+        stride = StridePrefetcher(config, degree=1)
+        stride.on_miss(1, 10)
+        stride.on_miss(2, 100)
+        stride.on_miss(1, 14)
+        stride.on_miss(2, 108)
+        stride.on_miss(1, 18)
+        assert [b for b, _ in stride.on_miss(2, 116)] == [124]
+
+    def test_table_capacity_lru(self, config):
+        stride = StridePrefetcher(config, degree=1, table_entries=2)
+        stride.on_miss(1, 10)
+        stride.on_miss(2, 20)
+        stride.on_miss(3, 30)  # evicts PC 1
+        assert 1 not in stride._table
+
+    def test_zero_stride_never_prefetches(self, config):
+        stride = StridePrefetcher(config, degree=1)
+        for _ in range(4):
+            assert stride.on_miss(1, 50) == []
+
+
+class TestMarkov:
+    def test_learns_single_successor(self, config):
+        markov = MarkovPrefetcher(config, degree=2)
+        for block in [1, 2, 3, 1, 2, 3]:
+            markov.on_miss(0, block)
+        candidates = markov.on_miss(0, 1)
+        assert [b for b, _ in candidates][0] == 2
+
+    def test_multiple_successors_most_recent_first(self, config):
+        markov = MarkovPrefetcher(config, degree=4)
+        for block in [1, 2, 9, 1, 3, 9]:
+            markov.on_miss(0, block)
+        candidates = markov.on_miss(0, 1)
+        assert [b for b, _ in candidates][:2] == [3, 2]
+
+    def test_successor_ways_bounded(self, config):
+        markov = MarkovPrefetcher(config, degree=8, ways=2)
+        for succ in [2, 3, 4, 5]:
+            markov.on_miss(0, 1)
+            markov.on_miss(0, succ)
+        candidates = markov.on_miss(0, 1)
+        returned = [b for b, _ in candidates]
+        assert len(returned) <= 2
+        assert 2 not in returned  # oldest successors evicted

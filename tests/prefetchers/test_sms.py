@@ -1,0 +1,58 @@
+"""Spatial Memory Streaming prefetcher."""
+
+from repro.config import BLOCKS_PER_PAGE
+from repro.memory.block import block_in_page
+from repro.prefetchers.sms import SmsPrefetcher
+
+
+class TestFootprintLearning:
+    def test_replays_recorded_footprint(self, config):
+        sms = SmsPrefetcher(config, degree=4, agt_entries=1)
+        # Generation on page 1: trigger (pc=9, offset=0), touches 0,3,5.
+        for off in (0, 3, 5):
+            sms.on_miss(9, block_in_page(1, off))
+        # Opening page 2 evicts page 1's generation -> PHT learns it.
+        sms.on_miss(9, block_in_page(2, 0))
+        # Same trigger on a fresh page replays offsets 3 and 5.
+        candidates = sms.on_miss(9, block_in_page(7, 0))
+        assert {b for b, _ in candidates} == {block_in_page(7, 3),
+                                              block_in_page(7, 5)}
+
+    def test_pattern_keyed_by_pc_and_offset(self, config):
+        sms = SmsPrefetcher(config, degree=4, agt_entries=1)
+        for off in (0, 3):
+            sms.on_miss(9, block_in_page(1, off))
+        sms.on_miss(9, block_in_page(2, 0))  # close generation
+        # Different trigger PC: no prediction.
+        assert sms.on_miss(8, block_in_page(7, 0)) == []
+        # Different trigger offset: no prediction.
+        assert sms.on_miss(9, block_in_page(8, 1)) == []
+
+    def test_accesses_within_open_generation_do_not_prefetch(self, config):
+        sms = SmsPrefetcher(config, degree=4)
+        sms.on_miss(1, block_in_page(3, 0))
+        assert sms.on_miss(1, block_in_page(3, 1)) == []
+
+    def test_agt_eviction_closes_oldest_generation(self, config):
+        sms = SmsPrefetcher(config, degree=4, agt_entries=2)
+        sms.on_miss(1, block_in_page(1, 4))
+        sms.on_miss(1, block_in_page(2, 4))
+        sms.on_miss(1, block_in_page(3, 4))  # evicts page 1
+        assert (1, 4) in sms._pht
+
+    def test_footprint_within_page_bounds(self, config):
+        sms = SmsPrefetcher(config, degree=16, agt_entries=1)
+        for off in range(0, BLOCKS_PER_PAGE, 7):
+            sms.on_miss(2, block_in_page(1, off))
+        sms.on_miss(2, block_in_page(9, 0))  # close
+        candidates = sms.on_miss(2, block_in_page(5, 0))
+        for block, _ in candidates:
+            assert block_in_page(5, 0) <= block < block_in_page(6, 0)
+
+    def test_prefetch_hit_counts_as_region_touch(self, config):
+        sms = SmsPrefetcher(config, degree=4, agt_entries=1)
+        sms.on_miss(1, block_in_page(1, 0))
+        sms.on_prefetch_hit(1, block_in_page(1, 2), 1)
+        sms.on_miss(1, block_in_page(2, 0))  # close page 1
+        candidates = sms.on_miss(1, block_in_page(6, 0))
+        assert {b for b, _ in candidates} == {block_in_page(6, 2)}

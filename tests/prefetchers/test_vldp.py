@@ -1,0 +1,91 @@
+"""VLDP: delta-history tables, OPT, page boundaries, degree chaining."""
+
+import pytest
+
+from repro.config import BLOCKS_PER_PAGE
+from repro.memory.block import block_in_page
+from repro.prefetchers.vldp import VldpPrefetcher
+
+
+def page_seq(page, offsets):
+    return [block_in_page(page, off) for off in offsets]
+
+
+class TestDeltaPrediction:
+    def test_learns_constant_stride_in_page(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        for block in page_seq(5, [0, 1, 2, 3]):
+            candidates = vldp.on_miss(0, block)
+        assert [b for b, _ in candidates] == [block_in_page(5, 4)]
+
+    def test_cross_page_training_shares_dpt(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        for block in page_seq(1, [0, 2, 4, 6]):
+            vldp.on_miss(0, block)
+        # A different page with the same delta pattern predicts +2.
+        vldp.on_miss(0, block_in_page(9, 10))
+        candidates = vldp.on_miss(0, block_in_page(9, 12))
+        assert [b for b, _ in candidates] == [block_in_page(9, 14)]
+
+    def test_deeper_history_overrides_shallow(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        # Pattern: +1 +2 +1 +2 — after (1,2) the next delta is 1, after
+        # (2,1) it is 2; a one-delta table alone would be ambiguous.
+        offsets = [0, 1, 3, 4, 6, 7, 9, 10, 12]
+        for block in page_seq(3, offsets):
+            candidates = vldp.on_miss(0, block)
+        # last deltas ...(2,1)? offsets end ...10,12 -> delta 2; history (1,2)
+        assert [b for b, _ in candidates] == [block_in_page(3, 13)]
+
+    def test_never_crosses_page_boundary(self, config):
+        vldp = VldpPrefetcher(config, degree=4)
+        last = BLOCKS_PER_PAGE - 1
+        for block in page_seq(2, [last - 3, last - 2, last - 1, last]):
+            candidates = vldp.on_miss(0, block)
+        for block, _ in candidates:
+            assert block_in_page(2, 0) <= block <= block_in_page(2, last)
+
+    def test_degree_chains_predictions(self, config):
+        vldp = VldpPrefetcher(config, degree=3)
+        for block in page_seq(4, [0, 1, 2, 3]):
+            candidates = vldp.on_miss(0, block)
+        assert [b for b, _ in candidates] == page_seq(4, [4, 5, 6])
+
+
+class TestOpt:
+    def test_first_access_predicted_by_opt(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        # Train: pages starting at offset 5 continue at +3.
+        for page in range(3):
+            vldp.on_miss(0, block_in_page(page, 5))
+            vldp.on_miss(0, block_in_page(page, 8))
+        candidates = vldp.on_miss(0, block_in_page(99, 5))
+        assert [b for b, _ in candidates][0] == block_in_page(99, 8)
+
+    def test_unknown_first_offset_prefetches_nothing(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        assert vldp.on_miss(0, block_in_page(50, 17)) == []
+
+
+class TestDhbCapacity:
+    def test_dhb_evicts_lru_page(self, config):
+        vldp = VldpPrefetcher(config, degree=1, dhb_entries=2)
+        vldp.on_miss(0, block_in_page(1, 0))
+        vldp.on_miss(0, block_in_page(2, 0))
+        vldp.on_miss(0, block_in_page(3, 0))  # evicts page 1
+        assert 1 not in vldp._dhb
+        assert 2 in vldp._dhb and 3 in vldp._dhb
+
+    def test_same_offset_repeat_ignored(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        block = block_in_page(1, 7)
+        vldp.on_miss(0, block)
+        vldp.on_miss(0, block)  # zero delta: no DPT update
+        assert vldp._dhb[1].deltas == []
+
+    def test_prefetch_hit_treated_as_trigger(self, config):
+        vldp = VldpPrefetcher(config, degree=1)
+        for block in page_seq(6, [0, 1, 2]):
+            vldp.on_miss(0, block)
+        candidates = vldp.on_prefetch_hit(0, block_in_page(6, 3), 6)
+        assert [b for b, _ in candidates] == [block_in_page(6, 4)]

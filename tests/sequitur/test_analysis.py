@@ -1,0 +1,71 @@
+"""Opportunity analysis: stream decomposition over the grammar."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequitur.analysis import analyze_sequence
+
+
+class TestOpportunity:
+    def test_unique_sequence_has_no_opportunity(self):
+        analysis = analyze_sequence(list(range(20)))
+        assert analysis.opportunity == 0.0
+        assert analysis.covered_misses == 0
+        assert analysis.total_misses == 20
+
+    def test_exact_repetition_covers_second_half(self):
+        seq = [1, 2, 3, 4, 5, 6, 7, 8]
+        analysis = analyze_sequence(seq + seq)
+        # The second occurrence is fully covered; the first is not.
+        assert analysis.covered_misses == pytest.approx(len(seq), abs=2)
+        assert 0.35 <= analysis.opportunity <= 0.55
+
+    def test_many_repetitions_approach_full_coverage(self):
+        seq = [1, 2, 3, 4, 5, 6, 7, 8]
+        analysis = analyze_sequence(seq * 10)
+        assert analysis.opportunity > 0.8
+
+    def test_stream_lengths_reflect_repeated_chunks(self):
+        seq = [1, 2, 3, 4]
+        analysis = analyze_sequence(seq * 5)
+        assert analysis.mean_stream_length >= 2.0
+
+    def test_total_always_equals_input_length(self):
+        seq = [1, 2, 1, 2, 3, 1, 2, 1, 2, 3]
+        analysis = analyze_sequence(seq)
+        assert analysis.total_misses == len(seq)
+
+    def test_empty_sequence(self):
+        analysis = analyze_sequence([])
+        assert analysis.opportunity == 0.0
+        assert analysis.total_misses == 0
+
+    def test_compression_ratio_positive_for_repetitive_input(self):
+        analysis = analyze_sequence([5, 6, 7] * 20)
+        assert analysis.compression_ratio > 2.0
+
+    def test_n_rules_counted(self):
+        analysis = analyze_sequence([1, 2, 1, 2])
+        assert analysis.n_rules == 2  # root + one rule
+
+
+@settings(max_examples=80, deadline=None)
+@given(seq=st.lists(st.integers(0, 9), max_size=150))
+def test_decomposition_conserves_misses(seq):
+    """covered + uncovered must equal the input length for any input."""
+    analysis = analyze_sequence(seq)
+    assert analysis.total_misses == len(seq)
+    assert 0 <= analysis.covered_misses <= len(seq)
+    assert 0.0 <= analysis.opportunity <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=st.lists(st.integers(0, 4), min_size=2, max_size=60),
+       repeats=st.integers(2, 5))
+def test_more_repetition_never_less_opportunity(seq, repeats):
+    """Opportunity of k+1 repetitions >= opportunity of k repetitions
+    (within tolerance for boundary-digram effects)."""
+    lower = analyze_sequence(seq * repeats).opportunity
+    higher = analyze_sequence(seq * (repeats + 1)).opportunity
+    assert higher >= lower - 0.12

@@ -1,0 +1,119 @@
+"""Sequitur grammar: worked examples plus the algorithm's invariants.
+
+The three invariants checked property-style:
+
+* **reconstruction** — expanding the grammar reproduces the input;
+* **digram uniqueness** — no digram occurs twice across rule bodies;
+* **rule utility** — every non-root rule is referenced at least twice
+  and has a body of at least two symbols.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.sequitur.grammar import Grammar
+
+
+def build(sequence):
+    grammar = Grammar()
+    grammar.extend(sequence)
+    return grammar
+
+
+class TestWorkedExamples:
+    def test_no_repetition_no_rules(self):
+        grammar = build([1, 2, 3, 4])
+        assert len(grammar.rules()) == 1  # only the root
+
+    def test_repeated_pair_creates_one_rule(self):
+        grammar = build([1, 2, 1, 2])
+        rules = grammar.rules()
+        assert len(rules) == 2
+        assert grammar.expand() == [1, 2, 1, 2]
+
+    def test_classic_abcdbc(self):
+        # From the Sequitur paper: "abcdbc" -> S = a A d A ; A = b c
+        grammar = build([ord(c) for c in "abcdbc"])
+        assert grammar.expand() == [ord(c) for c in "abcdbc"]
+        assert len(grammar.rules()) == 2
+
+    def test_nested_rules(self):
+        # "abcabcabc" builds hierarchy
+        seq = [ord(c) for c in "abcabcabcabc"]
+        grammar = build(seq)
+        assert grammar.expand() == seq
+        grammar.check_invariants()
+
+    def test_triple_repetition_aaa(self):
+        # Overlapping digrams must not create bogus matches.
+        for n in range(2, 12):
+            grammar = build([7] * n)
+            assert grammar.expand() == [7] * n, f"failed at n={n}"
+            grammar.check_invariants()
+
+    def test_alternating_long(self):
+        seq = [1, 2] * 20
+        grammar = build(seq)
+        assert grammar.expand() == seq
+        grammar.check_invariants()
+
+    def test_length_tracked(self):
+        grammar = build([5, 6, 5, 6, 5])
+        assert len(grammar) == 5
+
+    def test_grammar_size_compresses_repetition(self):
+        repetitive = build([1, 2, 3, 4] * 16)
+        random_ish = build(list(range(64)))
+        assert repetitive.grammar_size() < random_ish.grammar_size()
+
+    def test_incremental_append_equivalent_to_extend(self):
+        seq = [3, 1, 4, 1, 5, 9, 2, 6, 3, 1, 4, 1, 5]
+        g1 = build(seq)
+        g2 = Grammar()
+        for s in seq:
+            g2.append(s)
+        assert g1.expand() == g2.expand()
+
+
+@settings(max_examples=150, deadline=None)
+@given(seq=st.lists(st.integers(0, 7), min_size=0, max_size=120))
+def test_reconstruction_property(seq):
+    grammar = build(seq)
+    assert grammar.expand() == seq
+
+
+@settings(max_examples=150, deadline=None)
+@given(seq=st.lists(st.integers(0, 5), min_size=0, max_size=120))
+def test_invariants_property(seq):
+    """Digram uniqueness and rule utility hold for arbitrary inputs."""
+    grammar = build(seq)
+    grammar.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(seq=st.lists(st.integers(0, 3), min_size=4, max_size=80),
+       repeats=st.integers(2, 4))
+def test_grammar_never_larger_than_input(seq, repeats):
+    """Rule substitution is symbol-neutral at worst, so the grammar can
+    never hold more symbols than the input it encodes."""
+    grammar = build(seq * repeats)
+    assert grammar.expand() == seq * repeats
+    assert grammar.grammar_size() <= len(seq) * repeats
+
+
+def test_heavy_repetition_strictly_compresses():
+    seq = [3, 1, 4, 1, 5, 9, 2, 6]
+    grammar = build(seq * 8)
+    assert grammar.expand() == seq * 8
+    assert grammar.grammar_size() < len(seq) * 8 / 2
+
+
+class TestInvariantChecker:
+    def test_detects_broken_refcount(self):
+        grammar = build([1, 2, 1, 2])
+        rule = [r for r in grammar.rules() if r is not grammar.root][0]
+        rule.refcount = 1
+        with pytest.raises(GrammarError):
+            grammar.check_invariants()

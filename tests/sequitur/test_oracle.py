@@ -1,0 +1,65 @@
+"""Longest-match oracle replay tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequitur.analysis import analyze_sequence
+from repro.sequitur.oracle import oracle_replay
+
+
+class TestOracleReplay:
+    def test_unique_sequence_covers_nothing(self):
+        result = oracle_replay(list(range(30)))
+        assert result.covered_misses == 0
+        assert result.coverage == 0.0
+
+    def test_perfect_repetition_covers_tail(self):
+        seq = [1, 2, 3, 4, 5]
+        result = oracle_replay(seq * 4)
+        # After the first occurrence, everything except re-anchor points
+        # is predictable.
+        assert result.coverage > 0.6
+
+    def test_streak_lengths_recorded(self):
+        seq = [1, 2, 3, 4, 5]
+        result = oracle_replay(seq * 3)
+        assert result.stream_lengths.count >= 1
+        assert result.mean_stream_length > 1.0
+
+    def test_interleaved_repetition_still_covered_with_context(self):
+        # Two interleaved streams: pair context disambiguates.
+        a = [10, 11, 12, 13]
+        b = [20, 21, 22, 23]
+        seq = a + b + a + b + a + b
+        result = oracle_replay(seq, max_context=2)
+        assert result.coverage > 0.4
+
+    def test_max_context_must_be_positive(self):
+        with pytest.raises(ValueError):
+            oracle_replay([1, 2, 3], max_context=0)
+
+    def test_empty_sequence(self):
+        result = oracle_replay([])
+        assert result.total_misses == 0
+        assert result.coverage == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq=st.lists(st.integers(0, 9), max_size=150))
+def test_coverage_bounded(seq):
+    result = oracle_replay(seq)
+    assert 0 <= result.covered_misses <= len(seq)
+    assert 0.0 <= result.coverage <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seq=st.lists(st.integers(0, 4), min_size=4, max_size=40),
+       repeats=st.integers(3, 6))
+def test_oracle_tracks_grammar_opportunity(seq, repeats):
+    """The two opportunity estimates must agree on strongly repetitive
+    inputs (they formalise the same notion)."""
+    inp = seq * repeats
+    oracle = oracle_replay(inp)
+    grammar = analyze_sequence(inp)
+    assert abs(oracle.coverage - grammar.opportunity) < 0.35

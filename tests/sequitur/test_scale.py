@@ -1,0 +1,45 @@
+"""Sequitur at scale: linear-ish growth and robustness on long inputs."""
+
+import random
+import time
+
+from repro.sequitur.grammar import Grammar
+from repro.sequitur.analysis import analyze_sequence
+
+
+def test_handles_tens_of_thousands_of_symbols():
+    rng = random.Random(5)
+    motif = [rng.randrange(500) for _ in range(60)]
+    seq = []
+    while len(seq) < 30_000:
+        if rng.random() < 0.8:
+            start = rng.randrange(40)
+            seq.extend(motif[start:start + 12])
+        else:
+            seq.append(rng.randrange(10_000))
+    grammar = Grammar()
+    start_time = time.time()
+    grammar.extend(seq)
+    elapsed = time.time() - start_time
+    assert grammar.expand() == seq
+    assert elapsed < 10.0  # linear-time algorithm; generous CI bound
+
+    analysis = analyze_sequence(seq[:10_000])
+    assert analysis.opportunity > 0.3
+
+
+def test_pathological_alternation():
+    seq = [1, 2, 1, 2, 2, 1, 1, 2, 2, 2, 1, 1, 1] * 50
+    grammar = Grammar()
+    grammar.extend(seq)
+    assert grammar.expand() == seq
+    grammar.check_invariants()
+
+
+def test_long_runs_of_one_symbol():
+    seq = [9] * 400
+    grammar = Grammar()
+    grammar.extend(seq)
+    assert grammar.expand() == seq
+    # Hierarchical doubling: the grammar is logarithmic, not linear.
+    assert grammar.grammar_size() < 60

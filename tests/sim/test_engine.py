@@ -1,0 +1,120 @@
+"""Trace-driven engine: coverage accounting, warm-up, stream feedback."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.prefetchers.base import Candidate, NullPrefetcher, Prefetcher
+from repro.prefetchers.nextline import NextLinePrefetcher
+from repro.prefetchers.stms import StmsPrefetcher
+from repro.sim.engine import TraceSimulator, collect_miss_stream, simulate_trace
+
+
+class ScriptedPrefetcher(Prefetcher):
+    """Issues a scripted candidate list on every miss (test double)."""
+
+    name = "scripted"
+
+    def __init__(self, config, script):
+        super().__init__(config)
+        self.script = dict(script)
+        self.hits_seen: list[int] = []
+
+    def on_miss(self, pc, block):
+        return [(b, 0) for b in self.script.get(block, [])]
+
+    def on_prefetch_hit(self, pc, block, stream_id):
+        self.hits_seen.append(block)
+        return []
+
+
+class TestBasicAccounting:
+    def test_baseline_counts_misses(self, config, trace_factory):
+        trace = trace_factory([1, 2, 3, 1, 2, 3])
+        result = simulate_trace(trace, config, NullPrefetcher(config))
+        assert result.metrics.misses == 3
+        assert result.metrics.l1_hits == 3
+        assert result.coverage == 0.0
+
+    def test_correct_prefetch_becomes_coverage(self, config, trace_factory):
+        # Miss on 100 prefetches 200, which is demanded next.
+        trace = trace_factory([100, 200])
+        pf = ScriptedPrefetcher(config, {100: [200]})
+        result = simulate_trace(trace, config, pf)
+        assert result.metrics.prefetch_hits == 1
+        assert result.metrics.misses == 1
+        assert result.coverage == 0.5
+        assert pf.hits_seen == [200]
+
+    def test_wrong_prefetch_becomes_overprediction(self, config, trace_factory):
+        trace = trace_factory([100, 300])
+        pf = ScriptedPrefetcher(config, {100: [200]})
+        result = simulate_trace(trace, config, pf)
+        assert result.metrics.overpredictions == 1
+        assert result.metrics.prefetch_hits == 0
+        assert result.accuracy == 0.0
+
+    def test_candidates_already_in_l1_are_not_issued(self, config, trace_factory):
+        trace = trace_factory([200, 100, 300])
+        pf = ScriptedPrefetcher(config, {100: [200]})
+        result = simulate_trace(trace, config, pf)
+        assert result.metrics.prefetches_issued == 0
+
+    def test_duplicate_candidates_not_reissued(self, config, trace_factory):
+        trace = trace_factory([100, 101, 999])
+        pf = ScriptedPrefetcher(config, {100: [555], 101: [555]})
+        result = simulate_trace(trace, config, pf)
+        assert result.metrics.prefetches_issued == 1
+
+    def test_accuracy_and_ratios_consistent(self, config, tiny_trace):
+        result = simulate_trace(tiny_trace, config,
+                                NextLinePrefetcher(config, degree=2))
+        m = result.metrics
+        assert m.prefetch_hits + m.overpredictions == m.prefetches_issued
+        assert 0.0 <= result.coverage <= 1.0
+        assert m.accesses == len(tiny_trace)
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_counters(self, config, tiny_trace):
+        full = simulate_trace(tiny_trace, config, NullPrefetcher(config))
+        warm = simulate_trace(tiny_trace, config, NullPrefetcher(config),
+                              warmup=len(tiny_trace) // 2)
+        assert warm.metrics.accesses == len(tiny_trace) - len(tiny_trace) // 2
+        assert warm.metrics.misses < full.metrics.misses
+
+    def test_warmup_improves_temporal_coverage(self, paper_config, tiny_trace):
+        cold = simulate_trace(tiny_trace, paper_config,
+                              StmsPrefetcher(paper_config))
+        warm = simulate_trace(tiny_trace, paper_config,
+                              StmsPrefetcher(paper_config),
+                              warmup=len(tiny_trace) // 2)
+        assert warm.coverage >= cold.coverage
+
+
+class TestStreamFeedback:
+    def test_killed_streams_drop_buffered_blocks(self, config, trace_factory):
+        class KillingPrefetcher(ScriptedPrefetcher):
+            def on_miss(self, pc, block):
+                if block == 999:
+                    self._kill_stream(0)
+                    return []
+                return super().on_miss(pc, block)
+
+        trace = trace_factory([100, 999, 200])
+        pf = KillingPrefetcher(config, {100: [200]})
+        result = simulate_trace(trace, config, pf)
+        # 200 was dropped by the kill, so its demand misses.
+        assert result.metrics.prefetch_hits == 0
+        assert result.metrics.overpredictions == 1
+
+
+class TestMissStreamCollection:
+    def test_collect_miss_stream_matches_baseline(self, config, trace_factory):
+        trace = trace_factory([1, 2, 1, 2, 3], pcs=[9, 8, 9, 8, 7])
+        stream = collect_miss_stream(trace, config)
+        assert stream == [(9, 1), (8, 2), (7, 3)]
+
+    def test_simulation_result_summary(self, config, tiny_trace):
+        result = simulate_trace(tiny_trace, config, NullPrefetcher(config))
+        text = result.summary()
+        assert "baseline" in text and "coverage" in text

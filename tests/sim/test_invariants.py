@@ -1,0 +1,101 @@
+"""Cross-cutting simulator invariants, property-style.
+
+These run every prefetcher against randomly structured traces and
+assert the accounting identities that must hold regardless of
+prediction quality — the engine equivalent of conservation laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_test_config
+from repro.prefetchers.registry import make_prefetcher, prefetcher_names
+from repro.sim.engine import simulate_trace
+from repro.sim.timing import TimingSimulator
+from repro.sim.trace import MemoryTrace
+
+
+def random_trace(seed: int, n: int = 1500) -> MemoryTrace:
+    rng = np.random.default_rng(seed)
+    # A blend of loops and noise so every prefetcher has something to chew.
+    loop = rng.integers(0, 300, size=40)
+    blocks = []
+    while len(blocks) < n:
+        if rng.random() < 0.7:
+            start = int(rng.integers(0, len(loop) - 8))
+            blocks.extend(loop[start:start + 8].tolist())
+        else:
+            blocks.append(int(rng.integers(0, 10_000)))
+    return MemoryTrace(
+        pcs=rng.integers(0, 16, size=n),
+        blocks=np.asarray(blocks[:n], dtype=np.int64),
+        deps=(rng.random(n) < 0.3).astype(np.int8),
+        works=rng.integers(0, 10, size=n).astype(np.int32),
+        name=f"random{seed}",
+    )
+
+
+ALL_PREFETCHERS = [p for p in prefetcher_names() if p != "baseline"]
+
+
+@pytest.mark.parametrize("name", ALL_PREFETCHERS)
+def test_engine_accounting_identities(name):
+    """accesses = hits + misses + covered; issued = useful + useless."""
+    config = small_test_config()
+    trace = random_trace(seed=hash(name) % 1000)
+    result = simulate_trace(trace, config, make_prefetcher(name, config))
+    m = result.metrics
+    assert m.accesses == m.l1_hits + m.misses + m.prefetch_hits
+    assert m.prefetches_issued == m.prefetch_hits + m.overpredictions
+    assert 0.0 <= result.coverage <= 1.0
+    assert 0.0 <= result.accuracy <= 1.0
+    assert m.overpredictions >= 0
+
+
+@pytest.mark.parametrize("name", ["stms", "digram", "domino"])
+def test_metadata_traffic_nonnegative_and_plausible(name):
+    config = small_test_config()
+    trace = random_trace(seed=7)
+    result = simulate_trace(trace, config, make_prefetcher(name, config))
+    md = result.metadata
+    assert md.index_reads >= result.metrics.misses * 0 and md.index_reads >= 0
+    # Every miss triggers at least one index-row fetch.
+    assert md.index_reads >= result.metrics.misses
+    # HT writes happen once per row of recorded events.
+    events = result.metrics.triggering_events
+    assert md.history_writes <= events // config.ht_row_entries + 1
+
+
+@pytest.mark.parametrize("name", ["domino", "stms", "vldp", "isb"])
+def test_timing_identities(name):
+    config = small_test_config()
+    trace = random_trace(seed=13)
+    sim = TimingSimulator(config, make_prefetcher(name, config))
+    result = sim.run(trace)
+    assert result.cycles > 0
+    assert result.instructions == trace.instructions
+    assert result.ipc <= config.issue_width + 1e-9
+    assert result.late_prefetch_hits <= result.prefetch_hits
+    assert result.memory_accesses + result.llc_hits <= (
+        result.misses + result.prefetch_hits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_domino_never_crashes_and_conserves(seed):
+    config = small_test_config()
+    trace = random_trace(seed=seed, n=800)
+    result = simulate_trace(trace, config, make_prefetcher("domino", config))
+    m = result.metrics
+    assert m.accesses == m.l1_hits + m.misses + m.prefetch_hits
+    assert m.prefetches_issued == m.prefetch_hits + m.overpredictions
+
+
+def test_deterministic_across_runs():
+    config = small_test_config()
+    trace = random_trace(seed=21)
+    a = simulate_trace(trace, config, make_prefetcher("domino", config))
+    b = simulate_trace(trace, config, make_prefetcher("domino", config))
+    assert a.metrics == b.metrics

@@ -1,0 +1,68 @@
+"""Quad-core timing simulation tests."""
+
+import pytest
+
+from repro.sim.multicore import (MulticoreResult, simulate_multicore,
+                                 speedup_over_baseline)
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+class TestSimulateMulticore:
+    def test_split_single_trace(self, config, tiny_trace):
+        result = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.0)
+        assert len(result.per_core) == config.n_cores
+        assert result.instructions == sum(r.instructions for r in result.per_core)
+        assert result.ipc > 0
+
+    def test_per_core_trace_list(self, config, tiny_workload):
+        workload = SyntheticWorkload(tiny_workload, seed=3)
+        traces = [workload.generate(1500, seed=10 + i) for i in range(config.n_cores)]
+        result = simulate_multicore(traces, config, "baseline", warmup_frac=0.0)
+        assert len(result.per_core) == config.n_cores
+
+    def test_wrong_trace_count_rejected(self, config, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate_multicore([tiny_trace], config, "baseline")
+
+    def test_factory_overrides_name(self, config, tiny_trace):
+        from repro.prefetchers.nextline import NextLinePrefetcher
+
+        result = simulate_multicore(
+            tiny_trace, config,
+            prefetcher_factory=lambda cfg: NextLinePrefetcher(cfg, degree=1),
+            warmup_frac=0.0)
+        assert result.prefetcher == "nextline"
+
+    def test_bandwidth_utilization_bounded(self, config, tiny_trace):
+        result = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.0)
+        assert 0.0 <= result.bandwidth_utilization <= 1.0
+
+    def test_warmup_reduces_measured_instructions(self, config, tiny_trace):
+        full = simulate_multicore(tiny_trace, config, "baseline",
+                                  warmup_frac=0.0)
+        warmed = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.5)
+        assert warmed.instructions < full.instructions
+
+    def test_coverage_property(self, config, tiny_trace):
+        result = simulate_multicore(tiny_trace, config, "domino",
+                                    warmup_frac=0.0)
+        assert 0.0 <= result.coverage <= 1.0
+
+
+class TestSpeedup:
+    def test_speedup_returns_triple(self, config, tiny_trace):
+        speedup, run, baseline = speedup_over_baseline(tiny_trace, config,
+                                                       "domino")
+        assert speedup == pytest.approx(run.ipc / baseline.ipc)
+        assert isinstance(run, MulticoreResult)
+
+    def test_prefetcher_helps_repetitive_workload(self, paper_config,
+                                                  tiny_workload):
+        workload = SyntheticWorkload(tiny_workload.scaled(work_mean=30.0),
+                                     seed=3)
+        traces = [workload.generate(4000, seed=50 + i) for i in range(4)]
+        speedup, _, _ = speedup_over_baseline(traces, paper_config, "domino")
+        assert speedup > 0.95  # never a serious slowdown

@@ -1,0 +1,56 @@
+"""Windowed measurement and confidence intervals."""
+
+import pytest
+
+from repro.sim.sampling import (WindowedStat, confidence_interval,
+                                windowed_measurement)
+
+
+class TestConfidenceInterval:
+    def test_constant_samples_zero_width(self):
+        ci = confidence_interval([5.0, 5.0, 5.0, 5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert 5.0 in ci
+
+    def test_known_small_sample(self):
+        # mean 2, sample std 1, n=4 -> half width = 3.182 * 0.5
+        ci = confidence_interval([1.0, 2.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.half_width == pytest.approx(3.182 * (2 / 3) ** 0.5 / 2, rel=1e-3)
+
+    def test_interval_contains_mean(self):
+        ci = confidence_interval([1.0, 4.0, 2.0, 8.0, 3.0])
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_relative_error(self):
+        ci = confidence_interval([10.0, 10.0, 10.0])
+        assert ci.relative_error == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_large_sample_uses_normal_quantile(self):
+        samples = [float(i % 3) for i in range(100)]
+        ci = confidence_interval(samples)
+        assert ci.n_samples == 100
+        assert ci.half_width < 0.3
+
+
+class TestWindowedStat:
+    def test_collects_and_summarises(self):
+        stat = WindowedStat("ipc")
+        for v in [1.0, 2.0, 3.0]:
+            stat.add(v)
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.interval().n_samples == 3
+
+    def test_windowed_measurement_splits_evenly(self):
+        items = list(range(100))
+        stat = windowed_measurement(items, 4, measure=lambda w: float(len(w)))
+        assert stat.samples == [25.0, 25.0, 25.0, 25.0]
+
+    def test_windowed_measurement_rejects_zero_windows(self):
+        with pytest.raises(ValueError):
+            windowed_measurement([1], 0, measure=lambda w: 0.0)

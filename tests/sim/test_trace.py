@@ -1,0 +1,90 @@
+"""Trace container, builder, and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.trace import MemoryTrace, TraceBuilder, load_trace, save_trace
+
+
+class TestBuilder:
+    def test_build_roundtrip(self):
+        builder = TraceBuilder("t")
+        builder.append(pc=1, block=10, dep=1, work=5)
+        builder.append(pc=2, block=20)
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace.pcs.tolist() == [1, 2]
+        assert trace.blocks.tolist() == [10, 20]
+        assert trace.deps.tolist() == [1, 0]
+        assert trace.works.tolist() == [5, 0]
+
+    def test_len_during_building(self):
+        builder = TraceBuilder()
+        assert len(builder) == 0
+        builder.append(0, 1)
+        assert len(builder) == 1
+
+
+class TestMemoryTrace:
+    def test_instruction_count(self, trace_factory):
+        trace = trace_factory([1, 2, 3], works=[10, 0, 5])
+        assert trace.instructions == 15 + 3
+
+    def test_footprint(self, trace_factory):
+        trace = trace_factory([1, 2, 2, 3, 1])
+        assert trace.footprint_blocks == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            MemoryTrace(pcs=np.zeros(2, dtype=np.int64),
+                        blocks=np.zeros(3, dtype=np.int64),
+                        deps=np.zeros(3, dtype=np.int8),
+                        works=np.zeros(3, dtype=np.int32))
+
+    def test_negative_blocks_rejected(self, trace_factory):
+        with pytest.raises(TraceError):
+            trace_factory([1, -2, 3])
+
+    def test_slice(self, trace_factory):
+        trace = trace_factory([1, 2, 3, 4, 5])
+        part = trace.slice(1, 3)
+        assert part.blocks.tolist() == [2, 3]
+
+    def test_split_covers_everything(self, trace_factory):
+        trace = trace_factory(list(range(10)))
+        parts = trace.split(3)
+        assert sum(len(p) for p in parts) == 10
+        rejoined = [b for p in parts for b in p.blocks.tolist()]
+        assert rejoined == list(range(10))
+
+    def test_split_invalid(self, trace_factory):
+        with pytest.raises(TraceError):
+            trace_factory([1]).split(0)
+
+    def test_as_lists_returns_python_ints(self, trace_factory):
+        pcs, blocks, deps, works = trace_factory([1, 2]).as_lists()
+        assert all(type(v) is int for v in blocks)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, trace_factory):
+        trace = trace_factory([5, 6, 7], pcs=[1, 2, 3], deps=[0, 1, 0],
+                              works=[9, 9, 9], name="roundtrip")
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.blocks.tolist() == [5, 6, 7]
+        assert loaded.pcs.tolist() == [1, 2, 3]
+        assert loaded.deps.tolist() == [0, 1, 0]
+        assert loaded.name == "roundtrip"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.npz")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

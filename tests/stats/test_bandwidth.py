@@ -1,0 +1,23 @@
+"""Fig. 15 bandwidth decomposition."""
+
+import pytest
+
+from repro.memory.metadata import MetadataTraffic
+from repro.stats.bandwidth import BandwidthBreakdown
+
+
+def test_from_run_decomposition():
+    metadata = MetadataTraffic(index_reads=30, index_writes=10,
+                               history_reads=20, history_writes=5)
+    breakdown = BandwidthBreakdown.from_run(baseline_misses=100,
+                                            overpredictions=40,
+                                            metadata=metadata)
+    assert breakdown.incorrect_prefetch_overhead == pytest.approx(0.4)
+    assert breakdown.metadata_read_overhead == pytest.approx(0.5)
+    assert breakdown.metadata_write_overhead == pytest.approx(0.15)
+    assert breakdown.total_overhead == pytest.approx(1.05)
+
+
+def test_zero_baseline_is_safe():
+    breakdown = BandwidthBreakdown(0, 5, 5, 5)
+    assert breakdown.total_overhead == 0.0

@@ -1,0 +1,66 @@
+"""Markdown/CSV exporters and ASCII bar charts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.stats.reporting import bar_chart, to_csv, to_markdown
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = to_markdown(["a", "b"], [["x", 1.23456]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert "1.235" in lines[4]
+
+    def test_pipe_escaping(self):
+        text = to_markdown(["a"], [["x|y"]])
+        assert "x\\|y" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            to_markdown(["a", "b"], [["only"]])
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        text = to_csv(["name", "value"], [["a", 1], ["b, with comma", 2]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["name", "value"]
+        assert rows[2] == ["b, with comma", "2"]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [["only"]])
+
+
+class TestBarChart:
+    def test_peak_bar_is_full_width(self):
+        text = bar_chart(["x", "y"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert "█" * 10 in lines[0]
+        assert "█" * 5 in lines[1]
+        assert "█" * 6 not in lines[1]
+
+    def test_title_first(self):
+        text = bar_chart(["x"], [1.0], title="Coverage")
+        assert text.splitlines()[0] == "Coverage"
+
+    def test_empty_input(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_zero_values_ok(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0.000" in text

@@ -1,0 +1,58 @@
+"""Stream length statistics and Fig. 12 binning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.streamstats import StreamLengthStats, histogram_bins, length_cdf
+
+
+class TestStreamLengthStats:
+    def test_mean_over_productive_streams(self):
+        stats = StreamLengthStats([0, 0, 4, 6])
+        assert stats.mean_length == pytest.approx(5.0)
+        assert stats.mean_length_all == pytest.approx(2.5)
+
+    def test_empty(self):
+        stats = StreamLengthStats()
+        assert stats.mean_length == 0.0
+        assert stats.count == 0
+
+    def test_negative_rejected(self):
+        stats = StreamLengthStats()
+        with pytest.raises(ValueError):
+            stats.add(-1)
+
+    def test_histogram_binning(self):
+        stats = StreamLengthStats([0, 1, 2, 3, 5, 9, 200])
+        hist = stats.histogram()
+        assert hist["<=0"] == 1
+        assert hist["<=2"] == 2   # lengths 1, 2
+        assert hist["<=4"] == 1   # length 3
+        assert hist["<=8"] == 1   # length 5
+        assert hist["<=16"] == 1  # length 9
+        assert hist["128+"] == 1  # length 200
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        cdf = length_cdf([1, 2, 3, 100, 300])
+        assert cdf["128+"] == 1.0
+        assert cdf["<=4"] == pytest.approx(3 / 5)
+
+    def test_empty_cdf(self):
+        cdf = length_cdf([])
+        assert all(v == 0.0 for v in cdf.values())
+
+
+@given(lengths=st.lists(st.integers(0, 500), max_size=100))
+def test_histogram_conserves_counts(lengths):
+    hist = histogram_bins(lengths)
+    assert sum(hist.values()) == len(lengths)
+
+
+@given(lengths=st.lists(st.integers(0, 500), min_size=1, max_size=100))
+def test_cdf_monotone(lengths):
+    cdf = length_cdf(lengths)
+    values = list(cdf.values())
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

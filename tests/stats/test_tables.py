@@ -1,0 +1,28 @@
+"""ASCII table formatting."""
+
+import pytest
+
+from repro.stats.tables import format_percent, format_table
+
+
+def test_format_percent():
+    assert format_percent(0.163) == "16.3%"
+    assert format_percent(0.5, digits=0) == "50%"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["longer", 2]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_format_table_title_and_floats():
+    text = format_table(["x"], [[0.123456]], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "0.123" in text
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only one"]])

@@ -1,0 +1,21 @@
+"""Every registered experiment id has a benchmark regenerating it."""
+
+from pathlib import Path
+
+from repro.experiments import experiment_ids
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+def test_one_bench_per_experiment():
+    for experiment_id in experiment_ids():
+        bench = BENCH_DIR / f"test_{experiment_id}.py"
+        assert bench.exists(), f"missing benchmark for {experiment_id}"
+        assert f'run_quick("{experiment_id}")' in bench.read_text()
+
+
+def test_ablation_benches_exist():
+    text = (BENCH_DIR / "test_ablations.py").read_text()
+    for knob in ("eit_entries_per_super", "sampling_probability",
+                 "active_streams", "stream_end_detection", "prefetch_degree"):
+        assert knob in text, f"missing ablation for {knob}"

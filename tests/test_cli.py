@@ -1,0 +1,75 @@
+"""CLI smoke tests (in-process main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "oltp" in out and "domino" in out and "fig11" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "Evaluation parameters" in capsys.readouterr().out
+
+
+def test_run_experiment_with_overrides(capsys):
+    assert main(["run", "fig02", "--quick", "--n", "8000",
+                 "--workloads", "oltp"]) == 0
+    out = capsys.readouterr().out
+    assert "stms" in out and "sequitur" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "--workload", "oltp", "--quick",
+                 "--n", "8000", "--degree", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "domino" in out and "coverage" in out
+
+
+def test_trace_roundtrip(tmp_path, capsys):
+    out_file = tmp_path / "t.npz"
+    assert main(["trace", "--workload", "oltp", "--n", "2000",
+                 "--out", str(out_file)]) == 0
+    assert out_file.exists()
+
+    from repro.sim.trace import load_trace
+    assert len(load_trace(out_file)) == 2000
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "--workload", "doom"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit):
+        main(["--version"])
+
+
+def test_run_markdown_format(capsys):
+    assert main(["run", "table2", "--format", "md"]) == 0
+    out = capsys.readouterr().out
+    assert out.lstrip().startswith("###")
+    assert "|---|" in out
+
+
+def test_run_csv_format(capsys):
+    assert main(["run", "table2", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].startswith("workload,")
+
+
+def test_run_with_chart(capsys):
+    assert main(["run", "fig02", "--quick", "--n", "6000",
+                 "--workloads", "oltp", "--chart", "stms"]) == 0
+    out = capsys.readouterr().out
+    assert "stms:" in out and "█" in out
+
+
+def test_run_with_nonnumeric_chart_column(capsys):
+    assert main(["run", "table2", "--chart", "models"]) == 0
+    assert "not numeric" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Workload profiling: measured characteristics match the configs."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.workloads.analysis import profile_trace
+from repro.workloads.suite import WorkloadSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return WorkloadSuite(seed=11)
+
+
+def test_profile_fields_consistent(tiny_trace, config):
+    profile = profile_trace(tiny_trace, config)
+    assert profile.accesses == len(tiny_trace)
+    assert 0 < profile.misses <= profile.accesses
+    assert profile.miss_footprint_blocks <= profile.footprint_blocks
+    assert 0.0 <= profile.miss_repetitiveness <= 1.0
+    assert profile.mpki > 0
+    assert "tiny" in profile.summary()
+
+
+def test_oltp_profile_is_dependent_and_repetitive(suite):
+    config = SystemConfig()
+    profile = profile_trace(suite.trace("oltp", 40_000), config)
+    assert profile.dependent_frac > 0.4
+    assert profile.miss_repetitiveness > 0.2
+
+
+def test_media_is_more_page_local_than_oltp(suite):
+    config = SystemConfig()
+    media = profile_trace(suite.trace("media_streaming", 40_000), config)
+    oltp = profile_trace(suite.trace("oltp", 40_000), config)
+    assert media.page_locality > oltp.page_locality
+
+
+def test_sat_solver_least_repetitive(suite):
+    config = SystemConfig()
+    sat = profile_trace(suite.trace("sat_solver", 40_000), config)
+    oltp = profile_trace(suite.trace("oltp", 40_000), config)
+    assert sat.miss_repetitiveness < oltp.miss_repetitiveness
+
+
+def test_sequitur_cap_respected(tiny_trace, config):
+    profile = profile_trace(tiny_trace, config, max_sequitur_misses=100)
+    assert 0.0 <= profile.miss_repetitiveness <= 1.0

@@ -1,0 +1,57 @@
+"""WorkloadConfig validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.base import WorkloadConfig
+
+
+def test_defaults_validate():
+    WorkloadConfig(name="ok")
+
+
+@pytest.mark.parametrize("field,value", [
+    ("dataset_blocks", 0),
+    ("n_documents", 0),
+    ("shared_frac", 1.5),
+    ("noise_rate", -0.1),
+    ("mutation_rate", 2.0),
+    ("truncation_prob", -1.0),
+    ("dependent_frac", 1.1),
+    ("pc_pool", 0),
+    ("work_mean", -1.0),
+    ("family_size", 0),
+    ("interleave", 0),
+    ("switch_prob", 0.0),
+    ("mlp_cluster", 0.5),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ConfigError):
+        WorkloadConfig(name="bad", **{field: value})
+
+
+def test_hot_pool_cannot_exceed_dataset():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(name="bad", dataset_blocks=100, hot_pool_blocks=200)
+
+
+def test_doc_length_mean_at_least_min():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(name="bad", doc_length_mean=2.0, doc_length_min=5)
+
+
+def test_family_prefix_shorter_than_min_length():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(name="bad", doc_length_min=3, family_prefix=3)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(name="")
+
+
+def test_scaled_returns_modified_copy():
+    base = WorkloadConfig(name="a")
+    derived = base.scaled(noise_rate=0.5)
+    assert derived.noise_rate == 0.5
+    assert base.noise_rate != 0.5

@@ -1,0 +1,51 @@
+"""The nine named server workloads."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.server import (SERVER_WORKLOADS, get_workload,
+                                    workload_names)
+
+PAPER_WORKLOADS = {"data_serving", "mapreduce_c", "mapreduce_w",
+                   "media_streaming", "oltp", "sat_solver", "web_apache",
+                   "web_search", "web_zeus"}
+
+
+def test_all_nine_paper_workloads_present():
+    assert set(workload_names()) == PAPER_WORKLOADS
+
+
+def test_lookup_by_name():
+    assert get_workload("oltp").name == "oltp"
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(UnknownWorkloadError):
+        get_workload("quake3")
+
+
+def test_configs_validate_and_name_matches_key():
+    for key, config in SERVER_WORKLOADS.items():
+        assert config.name == key
+
+
+def test_qualitative_orderings_encoded():
+    """The paper's workload characterisations, as config relations."""
+    cfg = SERVER_WORKLOADS
+    # SAT Solver builds its dataset on the fly: least repetitive.
+    assert cfg["sat_solver"].mutation_rate == max(
+        c.mutation_rate for c in cfg.values())
+    # MapReduce-W has drastically short streams.
+    assert cfg["mapreduce_w"].doc_length_mean == min(
+        c.doc_length_mean for c in cfg.values())
+    # OLTP is the pointer-chasing workload.
+    assert cfg["oltp"].dependent_frac == max(
+        c.dependent_frac for c in cfg.values())
+    # Media Streaming is the most spatial and least dependent.
+    assert cfg["media_streaming"].spatial_doc_frac == max(
+        c.spatial_doc_frac for c in cfg.values())
+    assert cfg["media_streaming"].dependent_frac == min(
+        c.dependent_frac for c in cfg.values())
+    # High-MLP workloads carry access clustering.
+    assert cfg["web_search"].mlp_cluster > 1.0
+    assert cfg["media_streaming"].mlp_cluster > 1.0

@@ -1,0 +1,108 @@
+"""Synthetic trace generator: determinism, structure, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sequitur.analysis import analyze_sequence
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.synthetic import SyntheticWorkload, generate_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, tiny_workload):
+        a = SyntheticWorkload(tiny_workload, seed=9).generate(2000)
+        b = SyntheticWorkload(tiny_workload, seed=9).generate(2000)
+        assert np.array_equal(a.blocks, b.blocks)
+        assert np.array_equal(a.pcs, b.pcs)
+
+    def test_different_seed_different_trace(self, tiny_workload):
+        a = SyntheticWorkload(tiny_workload, seed=9).generate(2000)
+        b = SyntheticWorkload(tiny_workload, seed=10).generate(2000)
+        assert not np.array_equal(a.blocks, b.blocks)
+
+    def test_generation_seed_varies_replay_not_library(self, tiny_workload):
+        workload = SyntheticWorkload(tiny_workload, seed=9)
+        a = workload.generate(2000, seed=1)
+        b = workload.generate(2000, seed=2)
+        assert not np.array_equal(a.blocks, b.blocks)
+        # Same document library: heavy address overlap.
+        overlap = len(set(a.blocks.tolist()) & set(b.blocks.tolist()))
+        assert overlap > 100
+
+
+class TestStructure:
+    def test_exact_length(self, tiny_workload):
+        trace = generate_trace(tiny_workload, 1234, seed=1)
+        assert len(trace) == 1234
+
+    def test_trace_name_is_workload_name(self, tiny_workload):
+        assert generate_trace(tiny_workload, 100).name == "tiny"
+
+    def test_document_count_and_lengths(self, tiny_workload):
+        workload = SyntheticWorkload(tiny_workload, seed=1)
+        assert len(workload.documents) == tiny_workload.n_documents
+        for doc in workload.documents:
+            assert len(doc) >= tiny_workload.doc_length_min
+
+    def test_family_heads_are_shared(self):
+        config = WorkloadConfig(name="fam", n_documents=30, family_size=3,
+                                family_prefix=2, doc_length_min=4,
+                                doc_length_mean=6.0, spatial_doc_frac=0.0,
+                                hot_pool_blocks=256)
+        workload = SyntheticWorkload(config, seed=1)
+        heads = [tuple(doc[:2]) for doc in workload.documents]
+        # With families of 3, distinct heads are about a third of docs.
+        assert len(set(heads)) <= 14
+
+    def test_first_element_never_dependent(self, tiny_workload):
+        workload = SyntheticWorkload(tiny_workload, seed=1)
+        for deps in workload.doc_deps:
+            assert deps[0] == 0
+
+    def test_temporal_repetition_present(self, tiny_workload):
+        trace = SyntheticWorkload(tiny_workload, seed=1).generate(8000)
+        analysis = analyze_sequence(trace.blocks.tolist()[:4000])
+        assert analysis.opportunity > 0.3
+
+    def test_interleaving_preserves_length(self, tiny_workload):
+        config = tiny_workload.scaled(interleave=3, switch_prob=0.3)
+        trace = SyntheticWorkload(config, seed=1).generate(3000)
+        assert len(trace) == 3000
+
+    def test_bursty_works_distribution(self, tiny_workload):
+        config = tiny_workload.scaled(mlp_cluster=5.0, work_mean=40.0)
+        trace = SyntheticWorkload(config, seed=1).generate(5000)
+        works = trace.works
+        # Bimodal: many tiny gaps, some large ones; mean preserved-ish.
+        assert (works <= 2).mean() > 0.5
+        assert works.mean() == pytest.approx(40.0, rel=0.35)
+
+    def test_invalid_n_accesses(self, tiny_workload):
+        with pytest.raises(ConfigError):
+            generate_trace(tiny_workload, 0)
+
+
+class TestPerturbations:
+    def test_zero_noise_zero_mutation_replays_exactly(self):
+        config = WorkloadConfig(name="clean", n_documents=5,
+                                doc_length_mean=6.0, doc_length_min=4,
+                                truncation_prob=0.0, mutation_rate=0.0,
+                                noise_rate=0.0, spatial_doc_frac=0.0,
+                                hot_pool_blocks=64, family_size=1)
+        workload = SyntheticWorkload(config, seed=1)
+        trace = workload.generate(500)
+        doc_blocks = {int(b) for doc in workload.documents for b in doc}
+        assert set(trace.blocks.tolist()) <= doc_blocks
+
+    def test_noise_injects_cold_addresses(self):
+        config = WorkloadConfig(name="noisy", n_documents=5,
+                                doc_length_mean=6.0, doc_length_min=4,
+                                truncation_prob=0.0, mutation_rate=0.0,
+                                noise_rate=0.5, spatial_doc_frac=0.0,
+                                hot_pool_blocks=64, family_size=1)
+        workload = SyntheticWorkload(config, seed=1)
+        trace = workload.generate(500)
+        doc_blocks = {int(b) for doc in workload.documents for b in doc}
+        cold = [b for b in trace.blocks.tolist() if b not in doc_blocks]
+        assert len(cold) > 50
