@@ -4,9 +4,16 @@ Subcommands::
 
     domino-repro list                     # workloads, prefetchers, experiments
     domino-repro run fig11 [--quick] [--workloads oltp,web_apache] [--n 200000]
-    domino-repro run all [--quick]
+    domino-repro run all [--quick] [--jobs 4] [--no-cache]
     domino-repro compare --workload oltp [--degree 4] [--n 200000]
     domino-repro trace --workload oltp --n 100000 --out oltp.npz
+    domino-repro cache stats|clear|gc     # artifact-store maintenance
+
+``run`` goes through the cell runner (see docs/RUNNER.md): ``--jobs N``
+fans independent simulation cells across a worker pool and the
+content-addressed cache under ``.domino-cache/`` makes repeated and
+overlapping runs incremental.  ``--no-cache`` forces re-execution;
+``--cache-dir`` (or ``DOMINO_CACHE_DIR``) relocates the store.
 """
 
 from __future__ import annotations
@@ -23,6 +30,20 @@ from .sim.engine import simulate_trace
 from .sim.trace import save_trace
 from .workloads import default_suite, get_workload, workload_names
 from .workloads.synthetic import generate_trace
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _options_from_args(args: argparse.Namespace) -> ExperimentOptions:
@@ -45,8 +66,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .stats.reporting import bar_chart, to_csv, to_markdown
+    from .runner import ExecutionPolicy, set_policy
+    from .stats.reporting import bar_chart, render_manifest, to_csv, to_markdown
 
+    set_policy(ExecutionPolicy(jobs=args.jobs,
+                               use_cache=not args.no_cache,
+                               cache_dir=args.cache_dir))
     options = _options_from_args(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
@@ -66,6 +91,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             else:
                 labels = [str(row[0]) for row in result.rows]
                 print(bar_chart(labels, values, title=f"{args.chart}:"))
+        if result.manifest is not None:
+            print(render_manifest(result.manifest))
         print(f"({time.time() - start:.1f}s)\n")
     return 0
 
@@ -87,9 +114,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     config = get_workload(args.workload)
-    trace = generate_trace(config, args.n, seed=args.seed or 1234)
+    seed = args.seed if args.seed is not None else 1234
+    trace = generate_trace(config, args.n, seed=seed)
     save_trace(trace, args.out)
     print(f"wrote {len(trace)} accesses to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .runner import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "stats":
+        print(store.stats().render())
+    elif args.action == "clear":
+        print(f"removed {store.clear()} artifacts")
+    else:  # gc
+        removed = store.gc(keep=args.keep)
+        print(f"removed {removed} artifacts, kept newest {args.keep}")
     return 0
 
 
@@ -114,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table", help="output format")
     run_p.add_argument("--chart", default=None, metavar="COLUMN",
                        help="append an ASCII bar chart of COLUMN")
+    run_p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="worker processes for cell execution (default 1)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the artifact cache (always re-execute)")
+    run_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache root (default .domino-cache)")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on one workload")
     cmp_p.add_argument("--workload", required=True, choices=workload_names())
@@ -129,13 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--out", required=True)
     trace_p.add_argument("--seed", type=int, default=None)
 
+    cache_p = sub.add_parser("cache", help="inspect/maintain the artifact cache")
+    cache_p.add_argument("action", choices=["stats", "clear", "gc"])
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="artifact cache root (default .domino-cache)")
+    cache_p.add_argument("--keep", type=_nonnegative_int, default=1024, metavar="N",
+                         help="gc: newest artifacts to keep (default 1024)")
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
-                "compare": _cmd_compare, "trace": _cmd_trace}
+                "compare": _cmd_compare, "trace": _cmd_trace,
+                "cache": _cmd_cache}
     return handlers[args.command](args)
 
 

@@ -38,3 +38,7 @@ class UnknownPrefetcherError(ReproError, KeyError):
 
 class UnknownExperimentError(ReproError, KeyError):
     """An experiment id was requested that is not in the registry."""
+
+
+class RunnerError(ReproError):
+    """The execution engine was given an invalid cell or policy."""

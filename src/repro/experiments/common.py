@@ -15,6 +15,7 @@ All experiments follow the same measurement protocol:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
@@ -62,6 +63,9 @@ class ExperimentResult:
     notes: str = ""
     #: Free-form machine-readable extras (per-workload series etc).
     series: dict = field(default_factory=dict)
+    #: :class:`repro.runner.manifest.RunManifest` when the experiment
+    #: went through the cell runner (cache/parallelism accounting).
+    manifest: Any = None
 
     def render(self) -> str:
         out = format_table(self.headers, self.rows,
@@ -85,6 +89,9 @@ class ExperimentContext:
         self.timing = timing_config()
         self.suite = WorkloadSuite(seed=options.seed)
         self._miss_streams: dict[str, list[tuple[int, int]]] = {}
+        #: Manifest of the most recent :meth:`run_cells` sweep (merged
+        #: across calls within one experiment).
+        self.last_manifest = None
 
     def trace(self, workload: str):
         return self.suite.trace(workload, self.options.n_accesses)
@@ -118,6 +125,23 @@ class ExperimentContext:
         return simulate_trace(self.trace(workload), cfg, prefetcher,
                               warmup=options.warmup)
 
+    def run_cells(self, cells: Sequence[Any]) -> list[dict]:
+        """Execute a sweep of :class:`repro.runner.Cell` objects through
+        the scheduler (worker pool + artifact cache) and return their
+        payload dicts in input order.
+
+        Experiments adopt this incrementally: build the full cell list
+        up front, call ``run_cells`` once, then assemble rows from the
+        payloads.  The run's manifest accumulates on ``last_manifest``
+        so drivers can attach it to their :class:`ExperimentResult`.
+        """
+        from ..runner.scheduler import run_cells as _run_cells
+
+        payloads, manifest = _run_cells(cells, self.options)
+        self.last_manifest = (manifest if self.last_manifest is None
+                              else self.last_manifest.merged_with(manifest))
+        return payloads
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean, 0.0 on empty input."""
@@ -127,8 +151,6 @@ def mean(values: Sequence[float]) -> float:
 
 def gmean_speedup(speedups: Sequence[float]) -> float:
     """Geometric mean of speedup ratios (the paper's summary metric)."""
-    import math
-
     speedups = list(speedups)
     if not speedups:
         return 1.0

@@ -4,18 +4,34 @@ The headline trace-based comparison: Domino covers the most misses
 (56 % in the paper, 8 % over STMS) and approaches the Sequitur
 opportunity; Digram has the fewest overpredictions but loses coverage
 to its two-address-only lookup; VLDP and ISB trail.
+
+Runs through the cell runner: one trace cell per (workload,
+prefetcher) plus one degree-independent opportunity cell per workload,
+so fig11 and fig13 share their Sequitur cells in the artifact cache.
 """
 
 from __future__ import annotations
 
 from ..prefetchers.registry import PAPER_PREFETCHERS
-from ..sequitur.analysis import analyze_sequence
+from ..runner import Cell
 from .common import ExperimentContext, ExperimentOptions, ExperimentResult, mean
+
+
+def build_cells(options: ExperimentOptions, degree: int) -> list[Cell]:
+    """The sweep: workloads × prefetchers, plus opportunity per workload."""
+    cells: list[Cell] = []
+    for workload in options.workloads:
+        for name in PAPER_PREFETCHERS:
+            cells.append(Cell(kind="trace", workload=workload,
+                              prefetcher=name, degree=degree))
+        cells.append(Cell(kind="opportunity", workload=workload))
+    return cells
 
 
 def run(options: ExperimentOptions | None = None, degree: int = 1) -> ExperimentResult:
     options = options or ExperimentOptions()
     ctx = ExperimentContext(options)
+    payloads = iter(ctx.run_cells(build_cells(options, degree)))
     rows: list[list] = []
     cov_acc: dict[str, list[float]] = {p: [] for p in PAPER_PREFETCHERS}
     over_acc: dict[str, list[float]] = {p: [] for p in PAPER_PREFETCHERS}
@@ -23,11 +39,13 @@ def run(options: ExperimentOptions | None = None, degree: int = 1) -> Experiment
     for workload in options.workloads:
         cells: list = [workload]
         for name in PAPER_PREFETCHERS:
-            result = ctx.run_prefetcher(workload, name, degree=degree)
-            cov_acc[name].append(result.coverage)
-            over_acc[name].append(result.overprediction_ratio)
-            cells.append(f"{result.coverage:.3f}/{result.overprediction_ratio:.3f}")
-        opportunity = analyze_sequence(ctx.miss_blocks(workload)).opportunity
+            payload = next(payloads)
+            coverage = payload["coverage"]
+            overpredictions = payload["overprediction_ratio"]
+            cov_acc[name].append(coverage)
+            over_acc[name].append(overpredictions)
+            cells.append(f"{coverage:.3f}/{overpredictions:.3f}")
+        opportunity = next(payloads)["opportunity"]
         opp_acc.append(opportunity)
         cells.append(round(opportunity, 3))
         rows.append(cells)
@@ -36,7 +54,7 @@ def run(options: ExperimentOptions | None = None, degree: int = 1) -> Experiment
                    for p in PAPER_PREFETCHERS]
                 + [round(mean(opp_acc), 3)])
     return ExperimentResult(
-        experiment_id=f"fig11" if degree == 1 else f"fig13",
+        experiment_id="fig11" if degree == 1 else "fig13",
         title=f"Coverage/overpredictions, prefetch degree {degree}",
         headers=["workload"] + list(PAPER_PREFETCHERS) + ["sequitur"],
         rows=rows,
@@ -46,4 +64,5 @@ def run(options: ExperimentOptions | None = None, degree: int = 1) -> Experiment
         series={"coverage": {p: cov_acc[p] for p in PAPER_PREFETCHERS},
                 "overpredictions": {p: over_acc[p] for p in PAPER_PREFETCHERS},
                 "opportunity": opp_acc},
+        manifest=ctx.last_manifest,
     )

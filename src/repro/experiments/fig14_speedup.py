@@ -7,31 +7,42 @@ higher coverage and better timeliness (one metadata round trip instead
 of two).  Web Search and Media Streaming gain little despite coverage
 (high MLP), MapReduce-W's streams are too short to amortise metadata
 latency, and SAT Solver defeats everyone.
+
+Runs through the cell runner: one multicore cell per (workload,
+prefetcher) including the baseline, under the scaled-LLC timing config.
 """
 
 from __future__ import annotations
 
-from ..sim.multicore import simulate_multicore
+from ..runner import Cell
 from .common import (ExperimentContext, ExperimentOptions, ExperimentResult,
                      gmean_speedup)
 
 PREFETCHERS = ("vldp", "isb", "stms", "digram", "domino")
 
 
+def build_cells(options: ExperimentOptions) -> list[Cell]:
+    """The sweep: workloads × (baseline + prefetchers), timing config."""
+    cells: list[Cell] = []
+    for workload in options.workloads:
+        for name in ("baseline",) + PREFETCHERS:
+            cells.append(Cell(kind="multicore", workload=workload,
+                              prefetcher=name, config_name="timing"))
+    return cells
+
+
 def run(options: ExperimentOptions | None = None) -> ExperimentResult:
     options = options or ExperimentOptions()
     ctx = ExperimentContext(options)
+    payloads = iter(ctx.run_cells(build_cells(options)))
     rows: list[list] = []
     speedups: dict[str, list[float]] = {p: [] for p in PREFETCHERS}
     for workload in options.workloads:
-        traces = ctx.core_traces(workload)
-        baseline = simulate_multicore(traces, ctx.timing, "baseline",
-                                      warmup_frac=options.warmup_frac)
-        cells: list = [workload, round(baseline.ipc, 3)]
+        baseline_ipc = next(payloads)["ipc"]
+        cells: list = [workload, round(baseline_ipc, 3)]
         for name in PREFETCHERS:
-            result = simulate_multicore(traces, ctx.timing, name,
-                                        warmup_frac=options.warmup_frac)
-            speedup = result.ipc / baseline.ipc if baseline.ipc else 0.0
+            ipc = next(payloads)["ipc"]
+            speedup = ipc / baseline_ipc if baseline_ipc else 0.0
             speedups[name].append(speedup)
             cells.append(round(speedup, 3))
         rows.append(cells)
@@ -48,4 +59,5 @@ def run(options: ExperimentOptions | None = None) -> ExperimentResult:
                "workloads; little gain on high-MLP and short-stream "
                "workloads."),
         series={"speedups": speedups},
+        manifest=ctx.last_manifest,
     )

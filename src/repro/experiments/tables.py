@@ -7,38 +7,24 @@ visible.
 
 from __future__ import annotations
 
-from ..config import SystemConfig
+from ..runner import Cell
 from ..workloads.server import SERVER_WORKLOADS
-from .common import ExperimentOptions, ExperimentResult
+from .common import ExperimentContext, ExperimentOptions, ExperimentResult
 
 
 def run_table1(options: ExperimentOptions | None = None) -> ExperimentResult:
-    config = SystemConfig()
-    rows = [
-        ["Chip", f"{config.n_cores} cores, {config.clock_ghz:g} GHz"],
-        ["Core", f"OoO, {config.issue_width}-wide, {config.rob_entries}-entry "
-                 f"ROB, {config.lsq_entries}-entry LSQ"],
-        ["L1-D", f"{config.l1d.size_bytes // 1024} KB, {config.l1d.ways}-way, "
-                 f"{config.l1d.hit_latency}-cycle, {config.l1_mshrs} MSHRs"],
-        ["LLC", f"{config.llc.size_bytes // (1024 * 1024)} MB, "
-                f"{config.llc.ways}-way, {config.llc.hit_latency}-cycle, "
-                f"{config.llc_mshrs} MSHRs"],
-        ["Memory", f"{config.memory_latency_ns:g} ns "
-                   f"({config.memory_latency_cycles} cycles), "
-                   f"{config.peak_bandwidth_gbps:g} GB/s peak"],
-        ["Prefetch buffer", f"{config.prefetch_buffer_blocks} blocks"],
-        ["Prefetch degree", str(config.prefetch_degree)],
-        ["Active streams", str(config.active_streams)],
-        ["Metadata sampling", f"{config.sampling_probability:.1%}"],
-        ["HT", f"{config.ht_entries} entries, {config.ht_row_entries}/row"],
-        ["EIT", f"{config.eit_rows} rows x {config.eit_assoc} super-entries "
-                f"x {config.eit_entries_per_super} entries"],
-    ]
+    """Rendered by the runner's ``table1`` cell executor so the live
+    defaults travel through the same cache/manifest machinery as the
+    measured experiments (the rows depend only on the config, so the
+    cell's cache key excludes the trace-shaping options)."""
+    ctx = ExperimentContext(options or ExperimentOptions())
+    (payload,) = ctx.run_cells([Cell(kind="table1")])
     return ExperimentResult(
         experiment_id="table1",
         title="Evaluation parameters (Table I)",
         headers=["parameter", "value"],
-        rows=rows,
+        rows=payload["rows"],
+        manifest=ctx.last_manifest,
     )
 
 

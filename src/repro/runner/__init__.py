@@ -1,0 +1,37 @@
+"""Parallel experiment execution engine with a content-addressed cache.
+
+An experiment sweep decomposes into independent **cells** — one
+(workload, prefetcher, config) simulation each — that the scheduler
+fans out across a ``multiprocessing`` worker pool and memoises in an
+on-disk artifact store keyed by a stable content hash.  Repeated and
+overlapping runs are incremental: a second ``domino-repro run all`` is
+near-instant, and experiments that sweep the same cells (fig11/fig13
+share their Sequitur-opportunity cells) pay for them once.
+
+Layering: ``runner`` sits *below* :mod:`repro.experiments` — it knows
+how to execute a cell from first principles (workload suite, simulator,
+registry) and never imports the experiment drivers, so drivers can
+import it freely.
+
+See ``docs/RUNNER.md`` for the cell model and cache-invalidation rules.
+"""
+
+from .cells import CODE_VERSION, Cell, cell_config, cell_key
+from .manifest import CellRecord, RunManifest
+from .scheduler import ExecutionPolicy, get_policy, run_cells, set_policy
+from .store import ResultStore, StoreStats
+
+__all__ = [
+    "CODE_VERSION",
+    "Cell",
+    "CellRecord",
+    "ExecutionPolicy",
+    "ResultStore",
+    "RunManifest",
+    "StoreStats",
+    "cell_config",
+    "cell_key",
+    "get_policy",
+    "run_cells",
+    "set_policy",
+]

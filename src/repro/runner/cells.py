@@ -1,0 +1,161 @@
+"""Cells: the unit of schedulable, cacheable experiment work.
+
+A :class:`Cell` names one independent simulation — e.g. *run the domino
+prefetcher at degree 1 over the oltp trace* — plus the system
+configuration it runs under.  Cells are frozen dataclasses so they can
+be hashed, pickled to worker processes, and serialised into cache keys.
+
+The cache key of a cell is a SHA-256 over a canonical JSON rendering of
+everything that determines its result:
+
+* :data:`CODE_VERSION` — a salt bumped whenever simulator or prefetcher
+  semantics change in a way that invalidates previously cached results;
+* the cell itself (kind, workload, prefetcher, effective degree,
+  config overrides, extra params);
+* the full resolved :class:`~repro.config.SystemConfig` (so any config
+  change — even a default changing in code — produces a new key);
+* the trace-shaping fields of
+  :class:`~repro.experiments.common.ExperimentOptions`
+  (``n_accesses``, ``warmup_frac``, ``seed``).
+
+Execution-policy knobs (worker count, cache directory) never enter the
+key: they affect *how* a cell runs, not *what* it computes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..config import SystemConfig, timing_config
+from ..errors import RunnerError
+
+#: Bump to invalidate every previously cached artifact (simulation
+#: semantics changed).  Mirrored in the artifact payloads written by
+#: :class:`repro.runner.store.ResultStore`.
+CODE_VERSION = 1
+
+#: Cell kinds understood by :mod:`repro.runner.execute`.
+CELL_KINDS = ("trace", "opportunity", "multicore", "table1")
+
+#: Named base configurations a cell can request.
+CONFIG_NAMES = ("default", "timing")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent, cacheable unit of an experiment sweep.
+
+    ``kind`` selects the executor:
+
+    ``trace``
+        Trace-driven prefetcher run (:func:`repro.sim.engine.simulate_trace`)
+        with the standard warm-up protocol.  Uses ``workload``,
+        ``prefetcher``, ``degree`` (``None`` → the sweep's default).
+    ``opportunity``
+        Sequitur opportunity of the baseline miss stream
+        (degree-independent — shared by fig11 and fig13).
+    ``multicore``
+        Quad-core cycle-accounting run
+        (:func:`repro.sim.multicore.simulate_multicore`); ``prefetcher``
+        may be ``"baseline"``.
+    ``table1``
+        Static rendering of the evaluated system parameters.
+
+    ``config_name`` picks the base :class:`SystemConfig` (``"default"``
+    = Table I, ``"timing"`` = the scaled-LLC cycle-model config) and
+    ``overrides`` is a sorted tuple of ``(field, value)`` pairs applied
+    on top via :meth:`SystemConfig.scaled`.  ``params`` carries
+    kind-specific extras (hashed, forwarded to the prefetcher factory).
+    """
+
+    kind: str
+    workload: str = ""
+    prefetcher: str = ""
+    degree: int | None = None
+    config_name: str = "default"
+    overrides: tuple[tuple[str, Any], ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise RunnerError(
+                f"unknown cell kind {self.kind!r}; known: {', '.join(CELL_KINDS)}")
+        if self.config_name not in CONFIG_NAMES:
+            raise RunnerError(
+                f"unknown config name {self.config_name!r}; "
+                f"known: {', '.join(CONFIG_NAMES)}")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for manifests and logs."""
+        parts = [self.kind]
+        if self.workload:
+            parts.append(self.workload)
+        if self.prefetcher:
+            parts.append(self.prefetcher)
+        if self.degree is not None:
+            parts.append(f"d{self.degree}")
+        return ":".join(parts)
+
+
+def cell_config(cell: Cell) -> SystemConfig:
+    """Resolve the cell's :class:`SystemConfig` (base + overrides)."""
+    base = SystemConfig() if cell.config_name == "default" else timing_config()
+    overrides = dict(cell.overrides)
+    return base.scaled(**overrides) if overrides else base
+
+
+def _canonical(value: Any) -> Any:
+    """Make a value canonically JSON-serialisable (tuples → lists)."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise RunnerError(f"value {value!r} cannot enter a cell cache key")
+
+
+def cell_key(cell: Cell, options: "ExperimentOptionsLike") -> str:
+    """Stable content hash identifying the cell's result.
+
+    ``options`` is anything with ``n_accesses``, ``warmup_frac``,
+    ``seed``, and ``degree`` attributes (duck-typed to avoid importing
+    the experiments layer).
+    """
+    degree = cell.degree
+    if degree is None and cell.kind == "trace":
+        degree = options.degree
+    material = {
+        "v": CODE_VERSION,
+        "cell": {
+            "kind": cell.kind,
+            "workload": cell.workload,
+            "prefetcher": cell.prefetcher,
+            "degree": degree,
+            "overrides": _canonical(sorted(cell.overrides)),
+            "params": _canonical(sorted(cell.params)),
+        },
+        "config": _canonical(dataclasses.asdict(cell_config(cell))),
+    }
+    if cell.kind != "table1":  # static cells depend on config alone
+        material["options"] = {
+            "n_accesses": options.n_accesses,
+            "warmup_frac": options.warmup_frac,
+            "seed": options.seed,
+        }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ExperimentOptionsLike:  # pragma: no cover - typing aid only
+    """Structural stand-in for ExperimentOptions (avoids a layering cycle)."""
+
+    n_accesses: int
+    warmup_frac: float
+    seed: int
+    degree: int

@@ -1,0 +1,139 @@
+"""Cell executors: compute one cell's payload from first principles.
+
+This module is imported inside worker processes, so everything here
+must be importable without side effects and all inputs/outputs must be
+picklable.  Payloads are plain JSON-serialisable dicts — exactly what
+the artifact store persists — so a cache hit and a fresh execution are
+indistinguishable to the caller.
+
+Each worker process keeps its own :class:`WorkloadSuite` per seed so
+that consecutive cells on the same workload reuse the generated trace
+(the in-process analogue of what ``ExperimentContext`` did serially).
+Trace generation is deterministic in (workload, length, seed), which is
+what makes parallel and serial execution bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..errors import RunnerError
+from ..prefetchers.registry import make_prefetcher
+from ..sequitur.analysis import analyze_sequence
+from ..sim.engine import collect_miss_stream, simulate_trace
+from ..sim.multicore import simulate_multicore
+from ..workloads.suite import WorkloadSuite
+from .cells import Cell, cell_config
+
+#: Per-process workload suites, keyed by generation seed.
+_SUITES: dict[int, WorkloadSuite] = {}
+
+
+def _suite(seed: int) -> WorkloadSuite:
+    if seed not in _SUITES:
+        _SUITES[seed] = WorkloadSuite(seed=seed)
+    return _SUITES[seed]
+
+
+def _warmup(options: Any) -> int:
+    return int(options.n_accesses * options.warmup_frac)
+
+
+def _execute_trace(cell: Cell, options: Any) -> dict:
+    config = cell_config(cell)
+    degree = cell.degree if cell.degree is not None else options.degree
+    prefetcher = make_prefetcher(cell.prefetcher, config, degree=degree,
+                                 **dict(cell.params))
+    trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+    result = simulate_trace(trace, config, prefetcher, warmup=_warmup(options))
+    return {
+        "coverage": result.coverage,
+        "overprediction_ratio": result.overprediction_ratio,
+        "accuracy": result.accuracy,
+        "misses": result.metrics.misses,
+        "prefetch_hits": result.metrics.prefetch_hits,
+        "prefetches_issued": result.metrics.prefetches_issued,
+        "accesses": result.metrics.accesses,
+    }
+
+
+def _execute_opportunity(cell: Cell, options: Any) -> dict:
+    config = cell_config(cell)
+    trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+    window = trace.slice(_warmup(options), len(trace))
+    miss_stream = collect_miss_stream(window, config)
+    blocks = [block for _, block in miss_stream]
+    analysis = analyze_sequence(blocks)
+    return {
+        "opportunity": analysis.opportunity,
+        "n_misses": len(blocks),
+    }
+
+
+def _execute_multicore(cell: Cell, options: Any) -> dict:
+    config = cell_config(cell)
+    per_core = max(options.n_accesses // 2, 20_000)
+    traces = _suite(options.seed).core_traces(cell.workload, per_core,
+                                              n_cores=config.n_cores)
+    result = simulate_multicore(traces, config, cell.prefetcher,
+                                warmup_frac=options.warmup_frac,
+                                **dict(cell.params))
+    return {
+        "ipc": result.ipc,
+        "coverage": result.coverage,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "bandwidth_utilization": result.bandwidth_utilization,
+    }
+
+
+def _execute_table1(cell: Cell, options: Any) -> dict:
+    config = cell_config(cell)
+    rows = [
+        ["Chip", f"{config.n_cores} cores, {config.clock_ghz:g} GHz"],
+        ["Core", f"OoO, {config.issue_width}-wide, {config.rob_entries}-entry "
+                 f"ROB, {config.lsq_entries}-entry LSQ"],
+        ["L1-D", f"{config.l1d.size_bytes // 1024} KB, {config.l1d.ways}-way, "
+                 f"{config.l1d.hit_latency}-cycle, {config.l1_mshrs} MSHRs"],
+        ["LLC", f"{config.llc.size_bytes // (1024 * 1024)} MB, "
+                f"{config.llc.ways}-way, {config.llc.hit_latency}-cycle, "
+                f"{config.llc_mshrs} MSHRs"],
+        ["Memory", f"{config.memory_latency_ns:g} ns "
+                   f"({config.memory_latency_cycles} cycles), "
+                   f"{config.peak_bandwidth_gbps:g} GB/s peak"],
+        ["Prefetch buffer", f"{config.prefetch_buffer_blocks} blocks"],
+        ["Prefetch degree", str(config.prefetch_degree)],
+        ["Active streams", str(config.active_streams)],
+        ["Metadata sampling", f"{config.sampling_probability:.1%}"],
+        ["HT", f"{config.ht_entries} entries, {config.ht_row_entries}/row"],
+        ["EIT", f"{config.eit_rows} rows x {config.eit_assoc} super-entries "
+                f"x {config.eit_entries_per_super} entries"],
+    ]
+    return {"rows": rows}
+
+
+_EXECUTORS = {
+    "trace": _execute_trace,
+    "opportunity": _execute_opportunity,
+    "multicore": _execute_multicore,
+    "table1": _execute_table1,
+}
+
+
+def execute_cell(cell: Cell, options: Any) -> dict:
+    """Run one cell and return its JSON-serialisable payload."""
+    try:
+        executor = _EXECUTORS[cell.kind]
+    except KeyError:
+        raise RunnerError(f"no executor for cell kind {cell.kind!r}") from None
+    return executor(cell, options)
+
+
+def execute_timed(item: tuple[int, str, Cell, Any]) -> tuple[int, str, dict, float]:
+    """Pool entry point: ``(index, key, cell, options)`` in,
+    ``(index, key, payload, wall_seconds)`` out."""
+    index, key, cell, options = item
+    start = time.perf_counter()
+    payload = execute_cell(cell, options)
+    return index, key, payload, time.perf_counter() - start

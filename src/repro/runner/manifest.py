@@ -1,0 +1,80 @@
+"""Per-run manifests: what ran, what was cached, and how long it took.
+
+A :class:`RunManifest` is produced by every
+:func:`repro.runner.scheduler.run_cells` call.  Experiments attach it
+to their :class:`~repro.experiments.common.ExperimentResult` so the CLI
+can print the one-line cache/parallelism summary after each table, and
+tests use it to assert hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CellRecord:
+    """Outcome of one cell within a run."""
+
+    key: str
+    label: str
+    cached: bool
+    wall_s: float = 0.0
+
+
+@dataclass
+class RunManifest:
+    """Accounting for one ``run_cells`` invocation."""
+
+    jobs: int = 1
+    cache_enabled: bool = True
+    #: "serial", "pool", or "serial-fallback" (pool unavailable).
+    mode: str = "serial"
+    cells: list[CellRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    # -- recording ------------------------------------------------------
+    def record_hit(self, key: str, label: str) -> None:
+        self.cells.append(CellRecord(key=key, label=label, cached=True))
+
+    def record_executed(self, key: str, label: str, wall_s: float) -> None:
+        self.cells.append(CellRecord(key=key, label=label, cached=False,
+                                     wall_s=wall_s))
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def misses(self) -> int:
+        return self.n_cells - self.hits
+
+    @property
+    def executed_s(self) -> float:
+        """Summed per-cell execution time (CPU-side work, all workers)."""
+        return sum(c.wall_s for c in self.cells if not c.cached)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for logs and tooling)."""
+        return {
+            "jobs": self.jobs,
+            "cache_enabled": self.cache_enabled,
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "cells": [{"key": c.key, "label": c.label, "cached": c.cached,
+                       "wall_s": c.wall_s} for c in self.cells],
+        }
+
+    def merged_with(self, other: "RunManifest") -> "RunManifest":
+        """Combine accounting of two runs (e.g. sub-sweeps of one figure)."""
+        merged = RunManifest(jobs=max(self.jobs, other.jobs),
+                             cache_enabled=self.cache_enabled and other.cache_enabled,
+                             mode=self.mode if self.mode == other.mode else "mixed",
+                             wall_s=self.wall_s + other.wall_s)
+        merged.cells = [*self.cells, *other.cells]
+        return merged

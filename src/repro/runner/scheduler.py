@@ -1,0 +1,134 @@
+"""Cell scheduler: cache probe, pool fan-out, ordered collection.
+
+``run_cells`` is the single entry point.  For every cell it first
+probes the artifact store; only misses are executed, either in-process
+(``jobs == 1`` or pool unavailable) or across a ``multiprocessing``
+pool.  Results always come back in input order regardless of worker
+completion order, so experiments can zip cells to payloads positionally
+and parallel output is bit-identical to serial output.
+
+The execution policy (worker count, cache on/off, cache root) is a
+process-wide setting written by the CLI before experiments run; library
+callers can pass an explicit policy instead.  Policy knobs never enter
+cache keys — see :mod:`repro.runner.cells`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+from .cells import Cell, cell_key
+from .execute import execute_timed
+from .manifest import RunManifest
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How cells run: parallelism and caching. Never affects results.
+
+    ``use_cache`` defaults to ``False`` so plain library calls
+    (``run_experiment`` from tests or notebooks) never write to the
+    working directory as a side effect; the CLI opts in explicitly
+    (``domino-repro run`` caches unless ``--no-cache`` is given).
+    """
+
+    jobs: int = 1
+    use_cache: bool = False
+    cache_dir: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+
+_POLICY = ExecutionPolicy()
+
+
+def set_policy(policy: ExecutionPolicy | None = None, **overrides: Any) -> ExecutionPolicy:
+    """Install the process-wide execution policy (CLI entry point)."""
+    global _POLICY
+    base = policy if policy is not None else ExecutionPolicy()
+    _POLICY = replace(base, **overrides) if overrides else base
+    return _POLICY
+
+
+def get_policy() -> ExecutionPolicy:
+    return _POLICY
+
+
+def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
+                results: list, store: ResultStore | None,
+                manifest: RunManifest) -> None:
+    for index, key, cell in pending:
+        _, _, payload, wall = execute_timed((index, key, cell, options))
+        results[index] = payload
+        if store is not None:
+            store.put(key, payload)
+        manifest.record_executed(key, cell.label, wall)
+
+
+def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
+              results: list, store: ResultStore | None,
+              manifest: RunManifest, jobs: int) -> bool:
+    """Fan pending cells across a worker pool. False if no pool could
+    be created (caller falls back to serial execution)."""
+    labels = {index: cell.label for index, key, cell in pending}
+    work = [(index, key, cell, options) for index, key, cell in pending]
+    try:
+        pool = multiprocessing.Pool(processes=min(jobs, len(work)))
+    except (OSError, ValueError, ImportError):
+        return False
+    try:
+        for index, key, payload, wall in pool.imap(execute_timed, work):
+            results[index] = payload
+            if store is not None:
+                store.put(key, payload)
+            manifest.record_executed(key, labels[index], wall)
+    finally:
+        pool.close()
+        pool.join()
+    return True
+
+
+def run_cells(cells: Sequence[Cell], options: Any,
+              policy: ExecutionPolicy | None = None) -> tuple[list[dict], RunManifest]:
+    """Execute ``cells`` under ``policy`` (default: the global policy).
+
+    Returns ``(payloads, manifest)`` with payloads in input order.
+    ``options`` supplies the trace-shaping parameters
+    (``n_accesses``/``warmup_frac``/``seed``/``degree``); see
+    :func:`repro.runner.cells.cell_key` for what enters the cache key.
+    """
+    policy = policy if policy is not None else _POLICY
+    store = ResultStore(policy.cache_dir) if policy.use_cache else None
+    manifest = RunManifest(jobs=policy.jobs, cache_enabled=policy.use_cache)
+    start = time.perf_counter()
+
+    results: list = [None] * len(cells)
+    pending: list[tuple[int, str, Cell]] = []
+    for index, cell in enumerate(cells):
+        key = cell_key(cell, options)
+        payload = store.get(key) if store is not None else None
+        if payload is not None:
+            results[index] = payload
+            manifest.record_hit(key, cell.label)
+        else:
+            pending.append((index, key, cell))
+
+    if pending:
+        if policy.jobs > 1 and len(pending) > 1:
+            if _run_pool(pending, options, results, store, manifest, policy.jobs):
+                manifest.mode = "pool"
+            else:
+                _run_serial(pending, options, results, store, manifest)
+                manifest.mode = "serial-fallback"
+        else:
+            _run_serial(pending, options, results, store, manifest)
+
+    manifest.wall_s = time.perf_counter() - start
+    return results, manifest

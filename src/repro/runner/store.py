@@ -1,0 +1,156 @@
+"""Content-addressed on-disk artifact store for cell results.
+
+Layout (under ``.domino-cache/`` by default, overridable via the
+``DOMINO_CACHE_DIR`` environment variable or an explicit root)::
+
+    .domino-cache/
+      v1/                      # schema version directory
+        ab/                    # first two hex digits of the key
+          ab3f...e0.json       # one artifact per cell
+
+Every artifact is a small JSON document ``{"schema", "code_version",
+"key", "payload"}``.  Writes are atomic — the document is written to a
+unique temporary file in the destination directory and ``os.replace``d
+into place — so a crashed or concurrent writer can never leave a
+half-written artifact behind a valid name.  Reads are defensive: any
+unreadable, unparsable, or mismatched artifact is treated as a cache
+*miss* (and deleted) rather than an error, because the cache must never
+be able to break an experiment that could run without it.
+
+The store intentionally reuses plain JSON rather than pickle: artifacts
+survive interpreter upgrades, are greppable, and cannot execute code on
+load.  Larger binary artifacts (traces) keep using the ``.npz`` path in
+:mod:`repro.sim.trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from .cells import CODE_VERSION
+
+#: On-disk schema version; bump when the artifact document shape changes.
+SCHEMA_VERSION = 1
+
+#: Default cache root (relative to the working directory).
+DEFAULT_ROOT = ".domino-cache"
+
+_ENV_ROOT = "DOMINO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate numbers for ``domino-repro cache stats``."""
+
+    root: str
+    n_entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        mib = self.total_bytes / (1024 * 1024)
+        return (f"cache {self.root}: {self.n_entries} artifacts, "
+                f"{mib:.2f} MiB (schema v{SCHEMA_VERSION}, "
+                f"code v{CODE_VERSION})")
+
+
+class ResultStore:
+    """Atomic-write JSON artifact store addressed by cell key."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        base = Path(root or os.environ.get(_ENV_ROOT) or DEFAULT_ROOT)
+        self.base = base
+        self.root = base / f"v{SCHEMA_VERSION}"
+
+    # -- addressing -----------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _artifacts(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    # -- read / write ---------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key``, or ``None`` on any kind of miss.
+
+        Corrupted artifacts (truncated writes from a killed process,
+        stale schema, key mismatch from a renamed file) are deleted and
+        reported as misses so the cell simply re-executes.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                document = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (not isinstance(document, dict)
+                or document.get("schema") != SCHEMA_VERSION
+                or document.get("code_version") != CODE_VERSION
+                or document.get("key") != key
+                or not isinstance(document.get("payload"), dict)):
+            self._discard(path)
+            return None
+        return document["payload"]
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"schema": SCHEMA_VERSION, "code_version": CODE_VERSION,
+                    "key": key, "payload": payload}
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # json.dump failed mid-way
+                tmp.unlink(missing_ok=True)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    # -- maintenance ----------------------------------------------------
+    def stats(self) -> StoreStats:
+        artifacts = self._artifacts()
+        return StoreStats(root=str(self.base), n_entries=len(artifacts),
+                          total_bytes=sum(p.stat().st_size for p in artifacts))
+
+    def clear(self) -> int:
+        """Remove every artifact (all schema versions). Returns count."""
+        removed = len(self._artifacts())
+        if self.base.is_dir():
+            shutil.rmtree(self.base, ignore_errors=True)
+        return removed
+
+    def gc(self, keep: int) -> int:
+        """Drop the oldest artifacts beyond ``keep`` entries (by mtime).
+
+        Also removes any artifact directories from older schema
+        versions, which the current code can no longer read.
+        """
+        removed = 0
+        if self.base.is_dir():
+            for child in self.base.iterdir():
+                if child.is_dir() and child != self.root:
+                    removed += sum(1 for _ in child.glob("*/*.json"))
+                    shutil.rmtree(child, ignore_errors=True)
+        artifacts = self._artifacts()
+        if keep >= 0 and len(artifacts) > keep:
+            by_age = sorted(artifacts, key=lambda p: p.stat().st_mtime)
+            for path in by_age[:len(artifacts) - keep]:
+                self._discard(path)
+                removed += 1
+        return removed

@@ -19,6 +19,7 @@ lists once so the per-access simulator loops never touch numpy scalars.
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -70,7 +71,17 @@ class MemoryTrace:
                 self.deps.tolist(), self.works.tolist())
 
     def slice(self, start: int, stop: int) -> "MemoryTrace":
-        """Sub-trace covering accesses [start, stop)."""
+        """Sub-trace covering accesses [start, stop).
+
+        Bounds are validated — negative indices and out-of-range
+        windows raise :class:`TraceError` rather than silently
+        producing empty or wrapped sub-traces (numpy slice semantics
+        would otherwise swallow both mistakes).
+        """
+        if not (0 <= start <= stop <= len(self)):
+            raise TraceError(
+                f"slice [{start}:{stop}) out of bounds for trace "
+                f"{self.name!r} of length {len(self)}")
         return MemoryTrace(
             pcs=self.pcs[start:stop],
             blocks=self.blocks[start:stop],
@@ -136,7 +147,13 @@ def load_trace(path: str | Path) -> MemoryTrace:
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace file not found: {path}")
-    with np.load(path, allow_pickle=False) as data:
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        # Truncated writes and arbitrary garbage surface as BadZipFile
+        # or ValueError from numpy's header parser.
+        raise TraceError(f"malformed trace file {path}: {exc}") from exc
+    with data:
         try:
             return MemoryTrace(
                 pcs=data["pcs"],

@@ -6,7 +6,9 @@ portable artefacts without plotting dependencies:
 * :func:`to_markdown` — a GitHub-flavoured markdown table;
 * :func:`to_csv` — CSV text (``csv`` module quoting rules);
 * :func:`bar_chart` — a horizontal ASCII bar chart of one numeric
-  column, handy for eyeballing a figure's shape in a terminal.
+  column, handy for eyeballing a figure's shape in a terminal;
+* :func:`render_manifest` — the one-line cache/parallelism summary of
+  a :class:`~repro.runner.manifest.RunManifest`.
 """
 
 from __future__ import annotations
@@ -50,6 +52,22 @@ def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
             raise ValueError("row width does not match header width")
         writer.writerow(row)
     return buffer.getvalue()
+
+
+def render_manifest(manifest) -> str:
+    """One-line summary of a cell-runner manifest.
+
+    Example::
+
+        [runner] 37 cells: 30 cache hits, 7 executed | jobs=4 (pool) | wall 2.1s, compute 7.8s
+    """
+    if manifest.cache_enabled:
+        cache_part = f"{manifest.hits} cache hits, {manifest.misses} executed"
+    else:
+        cache_part = f"{manifest.misses} executed, cache off"
+    return (f"[runner] {manifest.n_cells} cells: {cache_part}"
+            f" | jobs={manifest.jobs} ({manifest.mode})"
+            f" | wall {manifest.wall_s:.1f}s, compute {manifest.executed_s:.1f}s")
 
 
 def bar_chart(labels: Sequence[str], values: Sequence[float],

@@ -3,10 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.config import CacheConfig, SystemConfig, small_test_config
+from repro.config import SystemConfig, small_test_config
 from repro.sim.trace import MemoryTrace
 from repro.workloads.base import WorkloadConfig
 from repro.workloads.synthetic import SyntheticWorkload
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Keep the runner's artifact store out of the repo during tests.
+
+    CLI invocations cache by default; pointing DOMINO_CACHE_DIR at a
+    per-test tmp dir makes every test hermetic (no cross-test hits, no
+    ``.domino-cache/`` appearing in the working directory).
+    """
+    monkeypatch.setenv("DOMINO_CACHE_DIR", str(tmp_path / "domino-cache"))
 
 
 @pytest.fixture

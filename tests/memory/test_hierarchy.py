@@ -1,6 +1,5 @@
 """Two-level hierarchy classification tests."""
 
-from repro.config import CacheConfig, SystemConfig, small_test_config
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import AccessOutcome, MemoryHierarchy
 

@@ -1,7 +1,5 @@
 """Next-line, stride, and Markov reference prefetchers."""
 
-import pytest
-
 from repro.prefetchers.markov import MarkovPrefetcher
 from repro.prefetchers.nextline import NextLinePrefetcher
 from repro.prefetchers.stride import StridePrefetcher

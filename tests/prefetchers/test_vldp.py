@@ -1,7 +1,5 @@
 """VLDP: delta-history tables, OPT, page boundaries, degree chaining."""
 
-import pytest
-
 from repro.config import BLOCKS_PER_PAGE
 from repro.memory.block import block_in_page
 from repro.prefetchers.vldp import VldpPrefetcher

@@ -1,0 +1,125 @@
+"""Artifact store: round-trips, corruption recovery, maintenance."""
+
+import json
+
+from repro.runner import ResultStore
+from repro.runner.store import SCHEMA_VERSION
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def make_store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_miss_on_empty_store(self, tmp_path):
+        assert make_store(tmp_path).get(KEY) is None
+
+    def test_put_then_get(self, tmp_path):
+        store = make_store(tmp_path)
+        payload = {"coverage": 0.5, "misses": 123, "rows": [["a", "b"]]}
+        store.put(KEY, payload)
+        assert store.get(KEY) == payload
+
+    def test_float_payloads_roundtrip_exactly(self, tmp_path):
+        store = make_store(tmp_path)
+        value = 0.1 + 0.2  # not representable; repr round-trips exactly
+        store.put(KEY, {"v": value})
+        assert store.get(KEY)["v"] == value
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.put(KEY, {"v": 2})
+        assert store.get(KEY) == {"v": 2}
+        assert store.stats().n_entries == 1
+
+
+class TestCorruptionRecovery:
+    def test_truncated_artifact_is_a_miss_and_removed(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        path = store.path_for(KEY)
+        path.write_text('{"schema": 1, "code_ver')
+        assert store.get(KEY) is None
+        assert not path.exists()
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.path_for(KEY).write_bytes(b"\x00\xff\xfe garbage")
+        assert store.get(KEY) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        """A renamed/copied artifact must not serve the wrong payload."""
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        document = json.loads(store.path_for(KEY).read_text())
+        other_path = store.path_for(OTHER)
+        other_path.parent.mkdir(parents=True, exist_ok=True)
+        other_path.write_text(json.dumps(document))
+        assert store.get(OTHER) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        document = json.loads(store.path_for(KEY).read_text())
+        document["schema"] = SCHEMA_VERSION + 1
+        store.path_for(KEY).write_text(json.dumps(document))
+        assert store.get(KEY) is None
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        document = json.loads(store.path_for(KEY).read_text())
+        document["payload"] = [1, 2, 3]
+        store.path_for(KEY).write_text(json.dumps(document))
+        assert store.get(KEY) is None
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.stats().n_entries == 0
+        store.put(KEY, {"v": 1})
+        store.put(OTHER, {"v": 2})
+        stats = store.stats()
+        assert stats.n_entries == 2
+        assert stats.total_bytes > 0
+        assert "2 artifacts" in stats.render()
+
+    def test_clear(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.put(OTHER, {"v": 2})
+        assert store.clear() == 2
+        assert store.get(KEY) is None
+        assert store.stats().n_entries == 0
+
+    def test_gc_keeps_newest(self, tmp_path):
+        import os
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.put(OTHER, {"v": 2})
+        os.utime(store.path_for(KEY), (1, 1))  # make KEY the oldest
+        assert store.gc(keep=1) == 1
+        assert store.get(KEY) is None
+        assert store.get(OTHER) == {"v": 2}
+
+    def test_gc_drops_stale_schema_dirs(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        old = store.base / "v0" / KEY[:2]
+        old.mkdir(parents=True)
+        (old / f"{KEY}.json").write_text("{}")
+        assert store.gc(keep=10) == 1
+        assert not (store.base / "v0").exists()
+        assert store.get(KEY) == {"v": 1}
+
+    def test_env_var_roots_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("DOMINO_CACHE_DIR", str(tmp_path / "env-cache"))
+        store = ResultStore()
+        store.put(KEY, {"v": 1})
+        assert (tmp_path / "env-cache").is_dir()

@@ -1,12 +1,9 @@
 """Trace-driven engine: coverage accounting, warm-up, stream feedback."""
 
-import pytest
-
-from repro.config import small_test_config
-from repro.prefetchers.base import Candidate, NullPrefetcher, Prefetcher
+from repro.prefetchers.base import NullPrefetcher, Prefetcher
 from repro.prefetchers.nextline import NextLinePrefetcher
 from repro.prefetchers.stms import StmsPrefetcher
-from repro.sim.engine import TraceSimulator, collect_miss_stream, simulate_trace
+from repro.sim.engine import collect_miss_stream, simulate_trace
 
 
 class ScriptedPrefetcher(Prefetcher):

@@ -1,7 +1,5 @@
 """Cycle-accounting timing model tests."""
 
-import pytest
-
 from repro.config import small_test_config
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
 from repro.prefetchers.nextline import NextLinePrefetcher

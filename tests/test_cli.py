@@ -40,6 +40,18 @@ def test_trace_roundtrip(tmp_path, capsys):
     assert len(load_trace(out_file)) == 2000
 
 
+def test_trace_seed_zero_respected(tmp_path, capsys):
+    """--seed 0 is a valid seed, not a request for the default."""
+    from repro.sim.trace import load_trace
+    zero, default = tmp_path / "s0.npz", tmp_path / "s1234.npz"
+    assert main(["trace", "--workload", "oltp", "--n", "2000",
+                 "--seed", "0", "--out", str(zero)]) == 0
+    assert main(["trace", "--workload", "oltp", "--n", "2000",
+                 "--out", str(default)]) == 0
+    assert (load_trace(zero).blocks.tolist()
+            != load_trace(default).blocks.tolist())
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["compare", "--workload", "doom"])
@@ -73,3 +85,56 @@ def test_run_with_chart(capsys):
 def test_run_with_nonnumeric_chart_column(capsys):
     assert main(["run", "table2", "--chart", "models"]) == 0
     assert "not numeric" in capsys.readouterr().out
+
+
+RUN_TINY = ["run", "fig11", "--quick", "--n", "8000", "--workloads", "oltp"]
+
+
+def test_run_jobs_parallel_matches_serial(tmp_path, capsys):
+    """`--jobs 4` must render byte-identical tables to `--jobs 1`."""
+    def table_of(argv):
+        assert main(argv) == 0
+        return [line for line in capsys.readouterr().out.splitlines()
+                if not line.startswith(("[runner]", "("))]
+
+    cache = str(tmp_path / "c")
+    serial = table_of(RUN_TINY + ["--jobs", "1", "--no-cache",
+                                  "--cache-dir", cache])
+    parallel = table_of(RUN_TINY + ["--jobs", "4", "--no-cache",
+                                    "--cache-dir", cache])
+    assert parallel == serial
+
+
+def test_run_reports_cache_hits_on_rerun(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    assert main(RUN_TINY + ["--cache-dir", cache]) == 0
+    cold = capsys.readouterr().out
+    assert "0 cache hits" in cold
+    assert main(RUN_TINY + ["--cache-dir", cache]) == 0
+    warm = capsys.readouterr().out
+    assert "6 cache hits, 0 executed" in warm  # 5 prefetchers + opportunity
+    strip = lambda out: [l for l in out.splitlines()
+                         if not l.startswith(("[runner]", "("))]
+    assert strip(warm) == strip(cold)
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "0 artifacts" in capsys.readouterr().out
+    assert main(RUN_TINY + ["--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "6 artifacts" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    assert "removed 6" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "0 artifacts" in capsys.readouterr().out
+
+
+def test_cache_gc(tmp_path, capsys):
+    cache = str(tmp_path / "c")
+    assert main(RUN_TINY + ["--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "gc", "--keep", "2", "--cache-dir", cache]) == 0
+    assert "removed 4" in capsys.readouterr().out
