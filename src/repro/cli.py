@@ -5,15 +5,24 @@ Subcommands::
     domino-repro list                     # workloads, prefetchers, experiments
     domino-repro run fig11 [--quick] [--workloads oltp,web_apache] [--n 200000]
     domino-repro run all [--quick] [--jobs 4] [--no-cache]
+    domino-repro run fig11 --trace-events t.jsonl [--profile] [--log-level debug]
     domino-repro compare --workload oltp [--degree 4] [--n 200000]
     domino-repro trace --workload oltp --n 100000 --out oltp.npz
     domino-repro cache stats|clear|gc     # artifact-store maintenance
+    domino-repro obs summary t.jsonl      # render a run's telemetry
 
 ``run`` goes through the cell runner (see docs/RUNNER.md): ``--jobs N``
 fans independent simulation cells across a worker pool and the
 content-addressed cache under ``.domino-cache/`` makes repeated and
 overlapping runs incremental.  ``--no-cache`` forces re-execution;
 ``--cache-dir`` (or ``DOMINO_CACHE_DIR``) relocates the store.
+
+``--trace-events PATH`` turns on the telemetry layer (see
+docs/OBSERVABILITY.md): engine, EIT, and scheduler events are collected
+— in worker processes too — and written to ``PATH`` as JSONL, together
+with a final metrics snapshot.  ``--profile`` adds a per-cell cProfile
+pass; ``obs summary`` renders either artifact.  Telemetry never changes
+simulation results — only observes them.
 """
 
 from __future__ import annotations
@@ -65,35 +74,88 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_obs(args: argparse.Namespace) -> bool:
+    """Turn telemetry on when a run asks for it; True if enabled."""
+    from . import obs
+
+    if not (args.trace_events or args.profile):
+        return False
+    obs.configure(level=obs.parse_level(args.log_level),
+                  sample_every=args.trace_sample,
+                  ring=args.trace_ring,
+                  profile=args.profile)
+    return True
+
+
+def _write_trace(path: str) -> None:
+    """Serialise the collected telemetry (events + snapshot) to JSONL."""
+    from . import obs
+
+    st = obs.state()
+    if st is None:  # pragma: no cover - guarded by caller
+        return
+    records = st.trace.events()
+    records.append({"level": "info", "component": "obs", "event": "trace_info",
+                    "events": len(records), "dropped": st.trace.dropped,
+                    "sampled_out": st.trace.sampled_out})
+    records.append({"level": "info", "component": "obs",
+                    "event": "metrics_snapshot",
+                    "metrics": st.registry.snapshot()})
+    n = obs.write_jsonl(path, records)
+    print(f"[obs] wrote {n} events to {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from . import obs
     from .runner import ExecutionPolicy, set_policy
     from .stats.reporting import bar_chart, render_manifest, to_csv, to_markdown
 
     set_policy(ExecutionPolicy(jobs=args.jobs,
                                use_cache=not args.no_cache,
                                cache_dir=args.cache_dir))
+    tracing = _configure_obs(args)
+    run_scope = obs.scope("cli.run")
     options = _options_from_args(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id, options)
-        if args.format == "md":
-            print(to_markdown(result.headers, result.rows, title=result.title))
-        elif args.format == "csv":
-            print(to_csv(result.headers, result.rows), end="")
-        else:
-            print(result.render())
-        if args.chart:
-            try:
-                values = [float(v) for v in result.column(args.chart)]
-            except (ValueError, TypeError):
-                print(f"(column {args.chart!r} is not numeric; no chart)")
+    try:
+        for experiment_id in ids:
+            start = time.time()
+            run_scope.info("experiment_start", experiment=experiment_id)
+            with obs.timed(f"experiment.{experiment_id}", emit=False):
+                result = run_experiment(experiment_id, options)
+            if args.format == "md":
+                print(to_markdown(result.headers, result.rows, title=result.title))
+            elif args.format == "csv":
+                print(to_csv(result.headers, result.rows), end="")
             else:
-                labels = [str(row[0]) for row in result.rows]
-                print(bar_chart(labels, values, title=f"{args.chart}:"))
-        if result.manifest is not None:
-            print(render_manifest(result.manifest))
-        print(f"({time.time() - start:.1f}s)\n")
+                print(result.render())
+            if args.chart:
+                try:
+                    values = [float(v) for v in result.column(args.chart)]
+                except (ValueError, TypeError):
+                    print(f"(column {args.chart!r} is not numeric; no chart)")
+                else:
+                    labels = [str(row[0]) for row in result.rows]
+                    print(bar_chart(labels, values, title=f"{args.chart}:"))
+            if result.manifest is not None:
+                print(render_manifest(result.manifest))
+                run_scope.info("manifest", experiment=experiment_id,
+                               manifest=result.manifest.to_dict())
+            run_scope.info("experiment_end", experiment=experiment_id,
+                           wall_s=round(time.time() - start, 3))
+            print(f"({time.time() - start:.1f}s)\n")
+        if tracing:
+            if args.profile:
+                from .obs.summary import profile_rows
+
+                st = obs.state()
+                ranked = profile_rows(st.trace.events() if st else [], top=5)
+                for func, cum_s, ncalls in ranked:
+                    print(f"[profile] {cum_s:8.3f}s {ncalls:>10} {func}")
+            if args.trace_events:
+                _write_trace(args.trace_events)
+    finally:
+        obs.disable()
     return 0
 
 
@@ -118,6 +180,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace = generate_trace(config, args.n, seed=seed)
     save_trace(trace, args.out)
     print(f"wrote {len(trace)} accesses to {args.out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, render_summary
+
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"error: {args.trace} is empty (no events)", file=sys.stderr)
+        return 1
+    print(render_summary(events, top=args.top))
     return 0
 
 
@@ -162,6 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the artifact cache (always re-execute)")
     run_p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="artifact cache root (default .domino-cache)")
+    run_p.add_argument("--trace-events", default=None, metavar="PATH",
+                       help="enable telemetry and write the JSONL event "
+                            "trace to PATH (see docs/OBSERVABILITY.md)")
+    run_p.add_argument("--log-level", default="debug",
+                       choices=["debug", "info", "warning", "error"],
+                       help="minimum severity collected into the event "
+                            "trace (default debug)")
+    run_p.add_argument("--trace-sample", type=_positive_int, default=1,
+                       metavar="N", help="keep every Nth event per "
+                                         "(component, event) pair (default 1)")
+    run_p.add_argument("--trace-ring", type=_positive_int, default=100_000,
+                       metavar="N", help="max buffered events per process "
+                                         "and per cell (default 100000)")
+    run_p.add_argument("--profile", action="store_true",
+                       help="cProfile each executed cell; top functions go "
+                            "to stdout and into the event trace")
 
     cmp_p = sub.add_parser("compare", help="compare prefetchers on one workload")
     cmp_p.add_argument("--workload", required=True, choices=workload_names())
@@ -184,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("--keep", type=_nonnegative_int, default=1024, metavar="N",
                          help="gc: newest artifacts to keep (default 1024)")
 
+    obs_p = sub.add_parser("obs", help="inspect run telemetry")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    summary_p = obs_sub.add_parser(
+        "summary", help="render event counts, percentiles, and per-cell "
+                        "timings from a --trace-events JSONL file")
+    summary_p.add_argument("trace", help="JSONL trace written by run --trace-events")
+    summary_p.add_argument("--top", type=_positive_int, default=10, metavar="N",
+                           help="rows per ranking table (default 10)")
+
     return parser
 
 
@@ -191,7 +296,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "trace": _cmd_trace,
-                "cache": _cmd_cache}
+                "cache": _cmd_cache, "obs": _cmd_obs}
     return handlers[args.command](args)
 
 

@@ -23,9 +23,13 @@ same stream-end detection heuristic as STMS — all per Section IV-D.
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..obs import scope as obs_scope
 from ..prefetchers.base import Candidate
 from ..prefetchers.temporal_base import GlobalHistoryPrefetcher, _UNBOUNDED_CAPACITY
 from .eit import EnhancedIndexTable
+
+#: Telemetry scope for EIT lookup outcomes (off until obs.configure()).
+_OBS = obs_scope("core.domino")
 
 
 class DominoPrefetcher(GlobalHistoryPrefetcher):
@@ -57,6 +61,14 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
         self.metadata.index_reads += 1
         super_entry = self.eit.lookup(block)
         self._record(block)
+        if _OBS.enabled:
+            if super_entry is None:
+                _OBS.counter("eit_one_addr_miss").inc()
+                _OBS.debug("eit_lookup", mode="one_addr", block=block, hit=False)
+            else:
+                _OBS.counter("eit_one_addr_hit").inc()
+                _OBS.debug("eit_lookup", mode="one_addr", block=block, hit=True,
+                           entries=len(super_entry))
         if super_entry is None:
             return candidates
         stream, victim = self.streams.allocate()
@@ -104,6 +116,15 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
             if address == event_block:
                 pointer = ptr
                 break
+        if _OBS.enabled:
+            if pointer is None:
+                _OBS.counter("eit_two_addr_discard").inc()
+                _OBS.debug("eit_lookup", mode="two_addr", block=event_block,
+                           matched=False, stream=sid)
+            else:
+                _OBS.counter("eit_two_addr_match").inc()
+                _OBS.debug("eit_lookup", mode="two_addr", block=event_block,
+                           matched=True, stream=sid, pointer=pointer)
         if pointer is None:
             # The two-address lookup failed: discard the stream state but
             # leave its speculative first prefetch in the buffer — under

@@ -28,6 +28,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs import scope as obs_scope
+
+#: Replacement telemetry (off until obs.configure()); lookup *outcomes*
+#: are emitted by the callers that know the lookup mode (core.domino).
+_OBS = obs_scope("core.eit")
+
 
 @dataclass
 class SuperEntry:
@@ -133,14 +139,21 @@ class EnhancedIndexTable:
         super_entry = row.get(tag)
         if super_entry is None:
             if not self.unbounded and len(row) >= self.assoc:
-                row.popitem(last=False)
+                victim_tag, _ = row.popitem(last=False)
                 self.stats.super_entry_evictions += 1
+                if _OBS.enabled:
+                    _OBS.counter("super_entry_evictions").inc()
+                    _OBS.debug("replacement", kind="super_entry", tag=tag,
+                               victim=victim_tag, row=row_idx)
             super_entry = SuperEntry(tag=tag, max_entries=self.entries_per_super)
             row[tag] = super_entry
         else:
             row.move_to_end(tag)
         if super_entry.update(address, pointer) is not None:
             self.stats.entry_evictions += 1
+            if _OBS.enabled:
+                _OBS.counter("entry_evictions").inc()
+                _OBS.debug("replacement", kind="entry", tag=tag, address=address)
 
     def resident_tags(self) -> int:
         """Total super-entries resident (test/diagnostic helper)."""

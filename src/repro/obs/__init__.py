@@ -1,0 +1,64 @@
+"""repro.obs — structured telemetry for the simulator and runner.
+
+The observability backbone of the repo, in three pieces:
+
+* a **metrics registry** (:mod:`repro.obs.registry`) of counters,
+  gauges, and fixed-bucket histograms with mergeable percentiles;
+* a **structured event trace** (:mod:`repro.obs.events` /
+  :mod:`repro.obs.runtime`) — severity levels, per-component
+  :class:`Scope` loggers, deterministic sampling, a bounded ring
+  buffer, and JSONL serialisation;
+* **phase timers and profiling** (:mod:`repro.obs.timers`) — section
+  timing histograms and an opt-in per-cell cProfile hook.
+
+Everything defaults *off*: until :func:`configure` runs, scopes are
+disabled and instrumented code pays one global read per guarded event.
+Telemetry observes — it never feeds back into simulation state, so
+instrumented and uninstrumented runs produce identical results (the
+tier-1 suite asserts this).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and metric names.
+"""
+
+from .events import (DEBUG, ERROR, INFO, WARNING, EventTrace, level_name,
+                     parse_level, read_jsonl, write_jsonl)
+from .registry import (TIME_BUCKETS_S, Counter, Gauge, Histogram,
+                       NullRegistry, Registry)
+from .runtime import (ObsConfig, ObsState, Scope, absorb, capture, configure,
+                      current_config, disable, get_registry, is_enabled,
+                      scope, state)
+from .summary import render_summary
+from .timers import profile_call, timed
+
+__all__ = [
+    "DEBUG",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "TIME_BUCKETS_S",
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    "ObsConfig",
+    "ObsState",
+    "Registry",
+    "Scope",
+    "absorb",
+    "capture",
+    "configure",
+    "current_config",
+    "disable",
+    "get_registry",
+    "is_enabled",
+    "level_name",
+    "parse_level",
+    "profile_call",
+    "read_jsonl",
+    "render_summary",
+    "scope",
+    "state",
+    "timed",
+    "write_jsonl",
+]

@@ -1,0 +1,134 @@
+"""Structured event records: severity levels, ring buffer, JSONL I/O.
+
+An :class:`EventTrace` is an in-memory sink of dict-shaped events.
+Collection stays in memory (a bounded ring) so emitting from the
+simulator's hot paths costs a dict build and a deque append — no I/O —
+and worker processes can ship their events back to the parent, which
+serialises everything to one JSONL file at the end of the run
+(:func:`write_jsonl`).
+
+Volume control, both deterministic:
+
+* **sampling** — keep every ``sample_every``-th event per
+  ``(component, event)`` pair, starting with the first, so a 100x
+  thinned trace of the same run always contains the same records;
+* **ring buffer** — a ``deque(maxlen=ring)`` keeps the most recent
+  events and counts what it dropped, so full-fidelity traces of
+  million-access runs stay bounded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_NAME_LEVELS = {name: level for level, name in _LEVEL_NAMES.items()}
+
+
+def level_name(level: int) -> str:
+    return _LEVEL_NAMES.get(level, str(level))
+
+
+def parse_level(name: str | int) -> int:
+    """Accepts 'debug'/'info'/'warning'/'error' or a numeric level."""
+    if isinstance(name, int):
+        return name
+    try:
+        return _NAME_LEVELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; "
+            f"known: {', '.join(_NAME_LEVELS)}") from None
+
+
+class EventTrace:
+    """Bounded in-memory sink of structured events."""
+
+    def __init__(self, level: int = DEBUG, sample_every: int = 1,
+                 ring: int = 100_000) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if ring < 1:
+            raise ValueError("ring must be >= 1")
+        self.level = level
+        self.sample_every = sample_every
+        self.ring = ring
+        self._events: deque[dict] = deque(maxlen=ring)
+        self._seen: dict[tuple[str, str], int] = {}
+        self._seq = 0
+        #: Events evicted by the ring (oldest-first) — distinct from
+        #: events thinned by sampling, which were never materialised.
+        self.dropped = 0
+        self.sampled_out = 0
+
+    def emit(self, component: str, event: str, level: int = INFO,
+             **fields: object) -> None:
+        if level < self.level:
+            return
+        key = (component, event)
+        seen = self._seen.get(key, 0)
+        self._seen[key] = seen + 1
+        if seen % self.sample_every:
+            self.sampled_out += 1
+            return
+        if len(self._events) == self.ring:
+            self.dropped += 1
+        record = {"seq": self._seq, "level": level_name(level),
+                  "component": component, "event": event}
+        record.update(fields)
+        self._seq += 1
+        self._events.append(record)
+
+    def extend(self, records: list[dict]) -> None:
+        """Absorb already-formed records (e.g. shipped from a worker)."""
+        for record in records:
+            if len(self._events) == self.ring:
+                self.dropped += 1
+            self._events.append(record)
+
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def drain(self) -> list[dict]:
+        out = list(self._events)
+        self._events.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def write_jsonl(path: str | Path, events: list[dict]) -> int:
+    """Write events one-JSON-object-per-line; returns the line count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in events:
+            fh.write(json.dumps(record, separators=(",", ":"),
+                                sort_keys=False, default=str))
+            fh.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace; malformed lines raise with their number."""
+    events: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSONL line: {exc}") from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object per line, "
+                    f"got {type(record).__name__}")
+            events.append(record)
+    return events

@@ -1,0 +1,221 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Components never allocate metric objects directly — they ask a
+:class:`Registry` (usually the process-global one installed by
+:func:`repro.obs.configure`) for a named metric, and repeated requests
+for the same name return the same object.  Everything is plain Python
+ints/floats so a snapshot is JSON-serialisable and snapshots from
+worker processes can be merged back into the parent's registry
+(:meth:`Registry.merge_snapshot`), which is how per-cell telemetry
+survives the ``multiprocessing`` pool boundary.
+
+Histograms use *fixed* bucket upper bounds (Prometheus-style): observe
+cost is a bisect plus two adds, memory is constant, and percentiles are
+answered from the cumulative bucket counts (reported as the upper bound
+of the bucket containing the requested rank — exact enough for "p99
+simulate time" questions, and mergeable across processes).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Default bucket upper bounds for second-valued timings: 100 us .. 100 s,
+#: roughly geometric.  The implicit final bucket is +inf.
+TIME_BUCKETS_S = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                  0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                  25.0, 50.0, 100.0)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last-written point-in-time value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with mergeable percentile estimates."""
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty tuple")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        #: One count per bucket plus a final +inf overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-quantile sample.
+
+        ``p`` is in [0, 1].  Returns 0.0 on an empty histogram; samples
+        in the overflow bucket report the observed maximum.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("percentile rank must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, int(p * self.count + 0.9999999))
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.max
+        return self.max  # pragma: no cover - unreachable
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class Registry:
+    """Named metric store; one per process (or injected for tests)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- creation-or-lookup ---------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = TIME_BUCKETS_S) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # -- snapshot / merge -----------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker's snapshot into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last writer wins).  Histograms merge only when bucket
+        layouts agree — a mismatch raises, since silently summing
+        misaligned buckets would corrupt percentiles.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, dump in snapshot.get("histograms", {}).items():
+            incoming_buckets = tuple(dump["buckets"])
+            hist = self.histogram(name, incoming_buckets)
+            if hist.buckets != incoming_buckets:
+                raise ValueError(
+                    f"histogram {name!r}: bucket layout mismatch on merge")
+            for i, n in enumerate(dump["counts"]):
+                hist.counts[i] += int(n)
+            hist.count += int(dump["count"])
+            hist.total += float(dump["total"])
+            if dump["count"]:
+                hist.min = min(hist.min, float(dump["min"]))
+                hist.max = max(hist.max, float(dump["max"]))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+@dataclass
+class _NullMetric:
+    """Shared do-nothing stand-in handed out while telemetry is off."""
+
+    name: str = "null"
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+@dataclass
+class NullRegistry:
+    """Registry stand-in: every lookup returns the shared null metric."""
+
+    _null: _NullMetric = field(default_factory=lambda: NULL_METRIC)
+
+    def counter(self, name: str) -> _NullMetric:
+        return self._null
+
+    def gauge(self, name: str) -> _NullMetric:
+        return self._null
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> _NullMetric:
+        return self._null
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

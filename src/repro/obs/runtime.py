@@ -1,0 +1,202 @@
+"""Process-global telemetry state and the component-facing API.
+
+Telemetry is **off by default**: the module-level state is ``None``,
+:func:`scope` hands out scopes whose ``enabled`` is ``False``, and every
+emit/observe call returns after one global read — instrumented hot paths
+cost a truthiness check when nothing is listening.  The CLI (or a test)
+turns it on with :func:`configure` and off with :func:`disable`.
+
+Instrumented components never hold the state directly; they hold a
+:class:`Scope` (cheap, stateless, safe to create at import time) that
+re-reads the global on every call.  That makes configuration order
+irrelevant and keeps worker processes correct: the pool entry point
+installs the run's :class:`ObsConfig` around each cell via
+:class:`capture`, which collects that cell's events and metric snapshot
+for shipping back to the parent (:func:`absorb`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .events import DEBUG, INFO, WARNING, EventTrace
+from .registry import NullRegistry, Registry
+
+#: Shared null metric: what disabled scopes hand to metric users.
+_NULL_REGISTRY = NullRegistry()
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Picklable telemetry settings (travels to worker processes)."""
+
+    level: int = DEBUG          # trace severity threshold
+    sample_every: int = 1       # keep every Nth event per (component, event)
+    ring: int = 100_000         # max in-memory events per process/cell
+    profile: bool = False       # cProfile each runner cell
+    profile_top: int = 10       # rows kept per profiled cell
+
+
+@dataclass
+class ObsState:
+    """Live telemetry for one process: config + registry + event ring."""
+
+    config: ObsConfig
+    registry: Registry
+    trace: EventTrace
+
+
+_STATE: ObsState | None = None
+
+
+def configure(config: ObsConfig | None = None, **overrides: Any) -> ObsState:
+    """Install (or replace) the process-global telemetry state."""
+    global _STATE
+    cfg = config if config is not None else ObsConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    _STATE = ObsState(config=cfg, registry=Registry(),
+                      trace=EventTrace(level=cfg.level,
+                                       sample_every=cfg.sample_every,
+                                       ring=cfg.ring))
+    return _STATE
+
+
+def disable() -> None:
+    global _STATE
+    _STATE = None
+
+
+def is_enabled() -> bool:
+    return _STATE is not None
+
+
+def state() -> ObsState | None:
+    return _STATE
+
+
+def current_config() -> ObsConfig | None:
+    return _STATE.config if _STATE is not None else None
+
+
+def get_registry() -> Registry | NullRegistry:
+    """The active registry, or a no-op stand-in when telemetry is off."""
+    return _STATE.registry if _STATE is not None else _NULL_REGISTRY
+
+
+class Scope:
+    """Named event emitter bound to a component, not to a state.
+
+    Every call re-reads the module global, so scopes may be created at
+    import time, before :func:`configure`, and stay correct across
+    enable/disable cycles and fork boundaries.
+    """
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    @property
+    def enabled(self) -> bool:
+        return _STATE is not None
+
+    def enabled_for(self, level: int) -> bool:
+        return _STATE is not None and level >= _STATE.trace.level
+
+    def child(self, name: str) -> "Scope":
+        return Scope(f"{self.component}.{name}")
+
+    def emit(self, event: str, level: int = INFO, **fields: object) -> None:
+        st = _STATE
+        if st is None:
+            return
+        st.trace.emit(self.component, event, level, **fields)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.emit(event, DEBUG, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.emit(event, INFO, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.emit(event, WARNING, **fields)
+
+    def counter(self, name: str):
+        """Registry counter namespaced under this component."""
+        st = _STATE
+        if st is None:
+            return _NULL_REGISTRY.counter(name)
+        return st.registry.counter(f"{self.component}.{name}")
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None):
+        st = _STATE
+        if st is None:
+            return _NULL_REGISTRY.histogram(name)
+        full = f"{self.component}.{name}"
+        if buckets is None:
+            return st.registry.histogram(full)
+        return st.registry.histogram(full, buckets)
+
+
+def scope(component: str) -> Scope:
+    return Scope(component)
+
+
+class capture:
+    """Collect one unit of work's telemetry under a fresh state.
+
+    ``with capture(cfg) as cap: ...`` installs a clean
+    :class:`ObsState` built from ``cfg`` (shielding whatever state the
+    process — or a forked parent — already had), runs the body, then
+    exposes ``cap.events`` / ``cap.metrics`` / ``cap.dropped`` and
+    restores the previous state.  With ``cfg=None`` it is a no-op
+    passthrough (telemetry stays exactly as it was).
+    """
+
+    def __init__(self, config: ObsConfig | None) -> None:
+        self.config = config
+        self.events: list[dict] = []
+        self.metrics: dict = {}
+        self.dropped = 0
+        self.sampled_out = 0
+        self._prev: ObsState | None = None
+
+    def __enter__(self) -> "capture":
+        global _STATE
+        if self.config is not None:
+            self._prev = _STATE
+            _STATE = ObsState(config=self.config, registry=Registry(),
+                              trace=EventTrace(level=self.config.level,
+                                               sample_every=self.config.sample_every,
+                                               ring=self.config.ring))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _STATE
+        if self.config is not None:
+            st = _STATE
+            if st is not None:
+                self.events = st.trace.drain()
+                self.metrics = st.registry.snapshot()
+                self.dropped = st.trace.dropped
+                self.sampled_out = st.trace.sampled_out
+            _STATE = self._prev
+
+
+def absorb(events: list[dict], metrics: dict | None = None,
+           tag: dict | None = None) -> None:
+    """Fold captured telemetry (e.g. from a worker) into this process.
+
+    ``tag`` fields are stamped onto every absorbed event — the scheduler
+    uses it to label engine events with the cell they came from.
+    """
+    st = _STATE
+    if st is None:
+        return
+    if tag:
+        events = [{**record, **tag} for record in events]
+    st.trace.extend(events)
+    if metrics:
+        st.registry.merge_snapshot(metrics)

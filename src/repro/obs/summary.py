@@ -1,0 +1,133 @@
+"""Render a run's telemetry from its JSONL event trace.
+
+``domino-repro obs summary trace.jsonl`` reads the trace written by a
+``run --trace-events`` invocation and answers the first three questions
+of any slow-or-wrong investigation: *what happened* (event counts per
+component), *where did the time go* (per-cell wall/CPU timings, top
+slow cells, worker utilization, timing-histogram percentiles), and
+*what did the prefetcher see* (EIT lookup outcome counters, engine
+trigger/overprediction counts from the metrics snapshot).
+
+All rendering is pure string building over the parsed events, so tests
+can assert on it without a filesystem.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+
+from ..stats.tables import format_table
+from .registry import Registry
+
+#: Percentile columns of the histogram table.
+PERCENTILES = (0.50, 0.90, 0.99)
+
+
+def event_counts(events: list[dict]) -> list[tuple[str, str, int]]:
+    """(component, event, count) triples, most frequent first."""
+    tally: TallyCounter = TallyCounter(
+        (e.get("component", "?"), e.get("event", "?")) for e in events)
+    return [(comp, name, n)
+            for (comp, name), n in sorted(tally.items(),
+                                          key=lambda kv: (-kv[1], kv[0]))]
+
+
+def metrics_snapshot(events: list[dict]) -> dict | None:
+    """The last embedded registry snapshot, if the trace carries one."""
+    for record in reversed(events):
+        if record.get("event") == "metrics_snapshot":
+            snapshot = record.get("metrics")
+            if isinstance(snapshot, dict):
+                return snapshot
+    return None
+
+
+def cell_timings(events: list[dict]) -> list[dict]:
+    """Executed-cell records (label + wall/CPU seconds), slowest first."""
+    cells = [e for e in events if e.get("event") == "cell_executed"]
+    return sorted(cells, key=lambda e: -float(e.get("wall_s", 0.0)))
+
+
+def profile_rows(events: list[dict], top: int = 10) -> list[tuple[str, float, int]]:
+    """Aggregate per-cell cProfile rows across the run by function."""
+    cumtime: defaultdict[str, float] = defaultdict(float)
+    calls: defaultdict[str, int] = defaultdict(int)
+    for record in events:
+        if record.get("event") != "cell_profile":
+            continue
+        for row in record.get("rows", []):
+            cumtime[row["func"]] += float(row.get("cumtime_s", 0.0))
+            calls[row["func"]] += int(row.get("ncalls", 0))
+    ranked = sorted(cumtime.items(), key=lambda kv: -kv[1])[:top]
+    return [(func, t, calls[func]) for func, t in ranked]
+
+
+def _histogram_table(snapshot: dict) -> str | None:
+    dumps = snapshot.get("histograms", {})
+    if not dumps:
+        return None
+    # Rehydrate through the registry so percentile math lives in one place.
+    registry = Registry()
+    registry.merge_snapshot({"histograms": dumps})
+    rows = []
+    for name in sorted(dumps):
+        hist = registry.histogram(name, tuple(dumps[name]["buckets"]))
+        rows.append([name, hist.count, f"{hist.mean:.4f}"]
+                    + [f"{hist.percentile(p):.4f}" for p in PERCENTILES]
+                    + [f"{hist.max if hist.count else 0.0:.4f}"])
+    headers = ["histogram", "n", "mean"] + [f"p{int(p * 100)}" for p in PERCENTILES] + ["max"]
+    return format_table(headers, rows, title="timing histograms (seconds)")
+
+
+def render_summary(events: list[dict], top: int = 10) -> str:
+    """The full ``obs summary`` report for one parsed trace."""
+    if not events:
+        return "empty trace: no events"
+    parts: list[str] = [f"{len(events)} events"]
+
+    counts = event_counts(events)
+    parts.append(format_table(
+        ["component", "event", "count"],
+        [[c, e, n] for c, e, n in counts[:max(top, 20)]],
+        title="event counts"))
+
+    cells = cell_timings(events)
+    cached = sum(1 for e in events if e.get("event") == "cell_cached")
+    if cells or cached:
+        rows = [[e.get("cell", "?"), f"{float(e.get('wall_s', 0.0)):.3f}",
+                 f"{float(e.get('cpu_s', 0.0)):.3f}"] for e in cells[:top]]
+        parts.append(format_table(
+            ["cell", "wall_s", "cpu_s"], rows,
+            title=f"top {min(top, len(cells))} slow cells "
+                  f"({len(cells)} executed, {cached} cached)"))
+
+    for record in events:
+        if record.get("event") == "run_summary":
+            parts.append(
+                f"[scheduler] jobs={record.get('jobs')} mode={record.get('mode')} "
+                f"wall={float(record.get('wall_s', 0.0)):.2f}s "
+                f"compute={float(record.get('compute_s', 0.0)):.2f}s "
+                f"utilization={float(record.get('utilization', 0.0)):.0%}")
+
+    snapshot = metrics_snapshot(events)
+    if snapshot:
+        counters = snapshot.get("counters", {})
+        if counters:
+            parts.append(format_table(
+                ["counter", "value"],
+                [[name, value] for name, value in sorted(
+                    counters.items(), key=lambda kv: (-kv[1], kv[0]))[:max(top, 20)]],
+                title="counters"))
+        hist_table = _histogram_table(snapshot)
+        if hist_table:
+            parts.append(hist_table)
+
+    profiled = profile_rows(events, top=top)
+    if profiled:
+        parts.append(format_table(
+            ["function", "cum_s", "ncalls"],
+            [[func, f"{t:.3f}", n] for func, t, n in profiled],
+            title="profile: top functions by cumulative time"))
+
+    return "\n\n".join(parts)

@@ -1,0 +1,71 @@
+"""Phase timers and the opt-in cProfile hook.
+
+``with timed("simulate"):`` records one wall-clock (and CPU) sample
+into the active registry's ``time.<section>_s`` histograms and, at
+debug level, emits a ``section_end`` event.  When telemetry is off the
+context manager body runs with nothing but two ``perf_counter`` calls
+of overhead — cheap enough to leave in place permanently.
+
+:func:`profile_call` wraps one callable in ``cProfile`` and condenses
+the result to its top rows by cumulative time — small, picklable, and
+ready to ride back from a worker process inside cell telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from .events import DEBUG
+from . import runtime
+
+
+@contextmanager
+def timed(section: str, emit: bool = True) -> Iterator[None]:
+    """Time a section into ``time.<section>_s`` histograms."""
+    st = runtime.state()
+    if st is None:
+        yield
+        return
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+        st.registry.histogram(f"time.{section}_s").observe(wall)
+        st.registry.histogram(f"time.{section}_cpu_s").observe(cpu)
+        if emit:
+            st.trace.emit("obs.timer", "section_end", DEBUG,
+                          section=section, wall_s=round(wall, 6),
+                          cpu_s=round(cpu, 6))
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 10,
+                 **kwargs: Any) -> tuple[Any, list[dict]]:
+    """Run ``fn`` under cProfile; returns ``(result, top_rows)``.
+
+    Rows are ``{"func", "ncalls", "tottime_s", "cumtime_s"}`` sorted by
+    cumulative time, profiler scaffolding excluded.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(profiler)
+    rows: list[dict] = []
+    entries = sorted(stats.stats.items(),  # type: ignore[attr-defined]
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, funcname), (cc, nc, tottime, cumtime, _callers) in entries:
+        if funcname in ("<built-in method builtins.exec>", "runcall"):
+            continue
+        where = f"{filename.rsplit('/', 1)[-1]}:{lineno}" if lineno else filename
+        rows.append({"func": f"{where}:{funcname}", "ncalls": nc,
+                     "tottime_s": round(tottime, 6),
+                     "cumtime_s": round(cumtime, 6)})
+        if len(rows) >= top:
+            break
+    return result, rows

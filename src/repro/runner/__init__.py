@@ -17,14 +17,18 @@ See ``docs/RUNNER.md`` for the cell model and cache-invalidation rules.
 """
 
 from .cells import CODE_VERSION, Cell, cell_config, cell_key
+from .execute import CellTelemetry
+from .manifest import SCHEMA_VERSION as MANIFEST_SCHEMA_VERSION
 from .manifest import CellRecord, RunManifest
 from .scheduler import ExecutionPolicy, get_policy, run_cells, set_policy
 from .store import ResultStore, StoreStats
 
 __all__ = [
     "CODE_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
     "Cell",
     "CellRecord",
+    "CellTelemetry",
     "ExecutionPolicy",
     "ResultStore",
     "RunManifest",

@@ -16,8 +16,10 @@ what makes parallel and serial execution bit-identical.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Any
 
+from .. import obs
 from ..errors import RunnerError
 from ..prefetchers.registry import make_prefetcher
 from ..sequitur.analysis import analyze_sequence
@@ -130,10 +132,52 @@ def execute_cell(cell: Cell, options: Any) -> dict:
     return executor(cell, options)
 
 
-def execute_timed(item: tuple[int, str, Cell, Any]) -> tuple[int, str, dict, float]:
-    """Pool entry point: ``(index, key, cell, options)`` in,
-    ``(index, key, payload, wall_seconds)`` out."""
-    index, key, cell, options = item
-    start = time.perf_counter()
-    payload = execute_cell(cell, options)
-    return index, key, payload, time.perf_counter() - start
+@dataclass
+class CellTelemetry:
+    """What one cell execution cost and what it observed.
+
+    Picklable side channel next to the payload: the payload stays
+    byte-identical with telemetry on or off (it is what gets cached),
+    while this rides back to the scheduler for manifests and traces.
+    """
+
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    #: Structured events captured inside the (worker) process.
+    events: list[dict] = field(default_factory=list)
+    #: Registry snapshot captured inside the (worker) process.
+    metrics: dict = field(default_factory=dict)
+    #: Ring-buffer evictions during capture (0 = full-fidelity trace).
+    dropped: int = 0
+    #: Top cProfile rows, when per-cell profiling was requested.
+    profile: list[dict] = field(default_factory=list)
+
+
+def execute_timed(
+    item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"],
+) -> tuple[int, str, dict, CellTelemetry]:
+    """Pool entry point: ``(index, key, cell, options[, obs_config])``
+    in, ``(index, key, payload, telemetry)`` out.
+
+    When an :class:`repro.obs.ObsConfig` rides along, the cell runs
+    under a fresh captured telemetry state (shielding whatever the
+    worker inherited via fork) and its events/metrics/profile come back
+    in the :class:`CellTelemetry`.  Without one, the only cost over the
+    bare call is two clock reads.
+    """
+    index, key, cell, options = item[:4]
+    obs_config = item[4] if len(item) > 4 else None
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    with obs.capture(obs_config) as cap:
+        if obs_config is not None and obs_config.profile:
+            payload, profile_rows = obs.profile_call(
+                execute_cell, cell, options, top=obs_config.profile_top)
+        else:
+            payload = execute_cell(cell, options)
+            profile_rows = []
+    telemetry = CellTelemetry(wall_s=time.perf_counter() - wall0,
+                              cpu_s=time.process_time() - cpu0,
+                              events=cap.events, metrics=cap.metrics,
+                              dropped=cap.dropped, profile=profile_rows)
+    return index, key, payload, telemetry

@@ -5,11 +5,23 @@ A :class:`RunManifest` is produced by every
 to their :class:`~repro.experiments.common.ExperimentResult` so the CLI
 can print the one-line cache/parallelism summary after each table, and
 tests use it to assert hit/miss accounting.
+
+Serialised manifests carry a ``version`` field (``SCHEMA_VERSION``);
+:meth:`RunManifest.from_dict` refuses unknown versions with a clear
+error so tooling reading old or future manifests fails loudly instead
+of with a ``KeyError`` three stack frames later.  Schema v2 added
+per-cell CPU time (``cpu_s``) next to wall time, which is what makes
+the worker-utilization accounting in ``obs summary`` possible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..errors import RunnerError
+
+#: Bump on any backwards-incompatible change to :meth:`RunManifest.to_dict`.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -20,6 +32,7 @@ class CellRecord:
     label: str
     cached: bool
     wall_s: float = 0.0
+    cpu_s: float = 0.0
 
 
 @dataclass
@@ -37,9 +50,10 @@ class RunManifest:
     def record_hit(self, key: str, label: str) -> None:
         self.cells.append(CellRecord(key=key, label=label, cached=True))
 
-    def record_executed(self, key: str, label: str, wall_s: float) -> None:
+    def record_executed(self, key: str, label: str, wall_s: float,
+                        cpu_s: float = 0.0) -> None:
         self.cells.append(CellRecord(key=key, label=label, cached=False,
-                                     wall_s=wall_s))
+                                     wall_s=wall_s, cpu_s=cpu_s))
 
     # -- accounting -----------------------------------------------------
     @property
@@ -59,16 +73,70 @@ class RunManifest:
         """Summed per-cell execution time (CPU-side work, all workers)."""
         return sum(c.wall_s for c in self.cells if not c.cached)
 
+    @property
+    def executed_cpu_s(self) -> float:
+        """Summed per-cell CPU time across all workers."""
+        return sum(c.cpu_s for c in self.cells if not c.cached)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock capacity spent
+        computing cells: ``executed_s / (wall_s * jobs)``, 0.0 when the
+        run did no timed work."""
+        capacity = self.wall_s * self.jobs
+        return min(1.0, self.executed_s / capacity) if capacity > 0 else 0.0
+
+    @property
+    def slowest_cells(self) -> list[CellRecord]:
+        """Executed cells ordered slowest-first (telemetry summaries)."""
+        return sorted((c for c in self.cells if not c.cached),
+                      key=lambda c: -c.wall_s)
+
     def to_dict(self) -> dict:
         """JSON-serialisable form (for logs and tooling)."""
         return {
+            "version": SCHEMA_VERSION,
             "jobs": self.jobs,
             "cache_enabled": self.cache_enabled,
             "mode": self.mode,
             "wall_s": self.wall_s,
+            "executed_s": self.executed_s,
+            "executed_cpu_s": self.executed_cpu_s,
+            "utilization": self.utilization,
             "cells": [{"key": c.key, "label": c.label, "cached": c.cached,
-                       "wall_s": c.wall_s} for c in self.cells],
+                       "wall_s": c.wall_s, "cpu_s": c.cpu_s}
+                      for c in self.cells],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Rehydrate a serialised manifest, validating its schema.
+
+        Raises :class:`RunnerError` on a missing or unknown ``version``
+        and on structurally broken cell records.
+        """
+        version = data.get("version")
+        if version is None:
+            raise RunnerError(
+                "manifest has no 'version' field; refusing to guess its schema")
+        if version != SCHEMA_VERSION:
+            raise RunnerError(
+                f"unsupported manifest schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})")
+        manifest = cls(jobs=int(data.get("jobs", 1)),
+                       cache_enabled=bool(data.get("cache_enabled", True)),
+                       mode=str(data.get("mode", "serial")),
+                       wall_s=float(data.get("wall_s", 0.0)))
+        try:
+            for cell in data.get("cells", []):
+                manifest.cells.append(CellRecord(
+                    key=str(cell["key"]), label=str(cell["label"]),
+                    cached=bool(cell["cached"]),
+                    wall_s=float(cell.get("wall_s", 0.0)),
+                    cpu_s=float(cell.get("cpu_s", 0.0))))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunnerError(f"malformed manifest cell record: {exc}") from None
+        return manifest
 
     def merged_with(self, other: "RunManifest") -> "RunManifest":
         """Combine accounting of two runs (e.g. sub-sweeps of one figure)."""

@@ -21,10 +21,14 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Sequence
 
+from .. import obs
 from .cells import Cell, cell_key
-from .execute import execute_timed
+from .execute import CellTelemetry, execute_timed
 from .manifest import RunManifest
 from .store import ResultStore
+
+#: Scheduler telemetry scope (off until obs.configure()).
+_OBS = obs.scope("runner.scheduler")
 
 
 @dataclass(frozen=True)
@@ -61,15 +65,38 @@ def get_policy() -> ExecutionPolicy:
     return _POLICY
 
 
+def _collect(index: int, key: str, label: str, payload: dict,
+             telemetry: CellTelemetry, results: list,
+             store: ResultStore | None, manifest: RunManifest) -> None:
+    """Fold one executed cell's payload + telemetry into the run.
+
+    Worker events are absorbed into the parent's trace tagged with the
+    cell label; collection happens in ``imap`` (input) order, so the
+    assembled trace is identical for serial and pool execution.
+    """
+    results[index] = payload
+    if store is not None:
+        store.put(key, payload)
+    manifest.record_executed(key, label, telemetry.wall_s, telemetry.cpu_s)
+    if _OBS.enabled:
+        obs.absorb(telemetry.events, telemetry.metrics, tag={"cell": label})
+        _OBS.info("cell_executed", cell=label, key=key[:12],
+                  wall_s=round(telemetry.wall_s, 6),
+                  cpu_s=round(telemetry.cpu_s, 6),
+                  events=len(telemetry.events), dropped=telemetry.dropped)
+        if telemetry.profile:
+            _OBS.info("cell_profile", cell=label, rows=telemetry.profile)
+
+
 def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
                 results: list, store: ResultStore | None,
                 manifest: RunManifest) -> None:
+    obs_config = obs.current_config()
     for index, key, cell in pending:
-        _, _, payload, wall = execute_timed((index, key, cell, options))
-        results[index] = payload
-        if store is not None:
-            store.put(key, payload)
-        manifest.record_executed(key, cell.label, wall)
+        _, _, payload, telemetry = execute_timed(
+            (index, key, cell, options, obs_config))
+        _collect(index, key, cell.label, payload, telemetry,
+                 results, store, manifest)
 
 
 def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
@@ -78,17 +105,18 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
     """Fan pending cells across a worker pool. False if no pool could
     be created (caller falls back to serial execution)."""
     labels = {index: cell.label for index, key, cell in pending}
-    work = [(index, key, cell, options) for index, key, cell in pending]
+    obs_config = obs.current_config()
+    work = [(index, key, cell, options, obs_config)
+            for index, key, cell in pending]
     try:
         pool = multiprocessing.Pool(processes=min(jobs, len(work)))
     except (OSError, ValueError, ImportError):
         return False
+    _OBS.debug("pool_start", jobs=min(jobs, len(work)), pending=len(work))
     try:
-        for index, key, payload, wall in pool.imap(execute_timed, work):
-            results[index] = payload
-            if store is not None:
-                store.put(key, payload)
-            manifest.record_executed(key, labels[index], wall)
+        for index, key, payload, telemetry in pool.imap(execute_timed, work):
+            _collect(index, key, labels[index], payload, telemetry,
+                     results, store, manifest)
     finally:
         pool.close()
         pool.join()
@@ -117,6 +145,7 @@ def run_cells(cells: Sequence[Cell], options: Any,
         if payload is not None:
             results[index] = payload
             manifest.record_hit(key, cell.label)
+            _OBS.debug("cell_cached", cell=cell.label, key=key[:12])
         else:
             pending.append((index, key, cell))
 
@@ -131,4 +160,11 @@ def run_cells(cells: Sequence[Cell], options: Any,
             _run_serial(pending, options, results, store, manifest)
 
     manifest.wall_s = time.perf_counter() - start
+    if _OBS.enabled:
+        _OBS.info("run_summary", cells=manifest.n_cells, hits=manifest.hits,
+                  executed=manifest.misses, jobs=manifest.jobs,
+                  mode=manifest.mode, wall_s=round(manifest.wall_s, 6),
+                  compute_s=round(manifest.executed_s, 6),
+                  cpu_s=round(manifest.executed_cpu_s, 6),
+                  utilization=round(manifest.utilization, 4))
     return results, manifest

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..stats.metrics import safe_div
 from ..stats.streamstats import StreamLengthStats
 from .grammar import Grammar, Rule
 
@@ -39,9 +40,7 @@ class SequiturAnalysis:
     @property
     def opportunity(self) -> float:
         """Fraction of misses a perfect temporal prefetcher could cover."""
-        if not self.total_misses:
-            return 0.0
-        return self.covered_misses / self.total_misses
+        return safe_div(self.covered_misses, self.total_misses)
 
     @property
     def mean_stream_length(self) -> float:
@@ -51,9 +50,7 @@ class SequiturAnalysis:
     @property
     def compression_ratio(self) -> float:
         """Input symbols per grammar symbol (repetitiveness proxy)."""
-        if not self.grammar_size:
-            return 0.0
-        return self.total_misses / self.grammar_size
+        return safe_div(self.total_misses, self.grammar_size)
 
 
 def _expansion_lengths(grammar: Grammar) -> dict[int, int]:

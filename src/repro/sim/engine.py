@@ -28,10 +28,18 @@ from ..config import SystemConfig
 from ..memory.cache import Cache
 from ..memory.metadata import MetadataTraffic
 from ..memory.prefetch_buffer import PrefetchBuffer
+from ..obs import scope as obs_scope
+from ..obs import timed
 from ..prefetchers.base import NullPrefetcher, Prefetcher
 from ..stats.metrics import CoverageMetrics
 from ..stats.streamstats import StreamLengthStats
 from .trace import MemoryTrace
+
+#: Engine telemetry scope.  Disabled (one global read per guard) until
+#: :func:`repro.obs.configure` turns the process's telemetry on; events
+#: and counters only ever observe, so instrumented results are
+#: bit-identical to uninstrumented ones.
+_OBS = obs_scope("sim.engine")
 
 
 @dataclass
@@ -94,43 +102,82 @@ class TraceSimulator:
         metrics = self.metrics
         stream_useful = self._stream_useful
         streams_seen = self._streams_seen
+        tel = _OBS
+        tracing = tel.enabled
+        if tracing:
+            c_miss = tel.counter("trigger_miss")
+            c_phit = tel.counter("trigger_prefetch_hit")
+            c_issued = tel.counter("prefetch_issued")
+            c_evict = tel.counter("eviction_used")
+            c_over = tel.counter("overprediction")
 
-        for i in range(len(blocks)):
-            if i == warmup and warmup > 0:
-                self._reset_counters()
-                metrics = self.metrics
-            block = blocks[i]
-            pc = pcs[i]
-            metrics.accesses += 1
-            if l1.access(block):
-                metrics.l1_hits += 1
-                continue
-            entry = buffer.lookup(block)
-            if entry is not None:
-                metrics.prefetch_hits += 1
-                stream_useful[entry.stream_id] += 1
-                candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
-            else:
-                metrics.misses += 1
-                if self.collect_misses:
-                    self._miss_stream.append((pc, block))
-                candidates = prefetcher.on_miss(pc, block)
-
-            killed = prefetcher.take_killed_streams()
-            for sid in killed:
-                buffer.invalidate_stream(sid)
-
-            for cand_block, sid in candidates:
-                if buffer.probe(cand_block) or l1.probe(cand_block):
+        with timed("simulate", emit=False):
+            for i in range(len(blocks)):
+                if i == warmup and warmup > 0:
+                    self._reset_counters()
+                    metrics = self.metrics
+                block = blocks[i]
+                pc = pcs[i]
+                metrics.accesses += 1
+                if l1.access(block):
+                    metrics.l1_hits += 1
                     continue
-                metrics.prefetches_issued += 1
-                streams_seen.add(sid)
-                victim = buffer.insert(cand_block, sid)
-                if victim is not None:
-                    prefetcher.on_buffer_eviction(
-                        victim.block, victim.stream_id, victim.used)
+                entry = buffer.lookup(block)
+                if entry is not None:
+                    metrics.prefetch_hits += 1
+                    stream_useful[entry.stream_id] += 1
+                    if tracing:
+                        c_phit.inc()
+                        tel.debug("trigger", kind="prefetch_hit", i=i, pc=pc,
+                                  block=block, stream=entry.stream_id)
+                    candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
+                else:
+                    metrics.misses += 1
+                    if self.collect_misses:
+                        self._miss_stream.append((pc, block))
+                    if tracing:
+                        c_miss.inc()
+                        tel.debug("trigger", kind="miss", i=i, pc=pc, block=block)
+                    candidates = prefetcher.on_miss(pc, block)
 
-        return self._finalise(trace)
+                killed = prefetcher.take_killed_streams()
+                for sid in killed:
+                    buffer.invalidate_stream(sid)
+
+                for cand_block, sid in candidates:
+                    if buffer.probe(cand_block) or l1.probe(cand_block):
+                        continue
+                    metrics.prefetches_issued += 1
+                    streams_seen.add(sid)
+                    if tracing:
+                        c_issued.inc()
+                        tel.debug("prefetch", block=cand_block, stream=sid)
+                    victim = buffer.insert(cand_block, sid)
+                    if victim is not None:
+                        if tracing:
+                            if victim.used:
+                                c_evict.inc()
+                                tel.debug("eviction", block=victim.block,
+                                          stream=victim.stream_id)
+                            else:
+                                c_over.inc()
+                                tel.debug("overprediction", block=victim.block,
+                                          stream=victim.stream_id)
+                        prefetcher.on_buffer_eviction(
+                            victim.block, victim.stream_id, victim.used)
+
+        result = self._finalise(trace)
+        if tracing:
+            tel.info("run_complete", workload=result.workload,
+                     prefetcher=result.prefetcher, degree=result.degree,
+                     accesses=result.metrics.accesses,
+                     misses=result.metrics.misses,
+                     prefetch_hits=result.metrics.prefetch_hits,
+                     prefetches_issued=result.metrics.prefetches_issued,
+                     overpredictions=result.metrics.overpredictions,
+                     coverage=round(result.coverage, 6),
+                     accuracy=round(result.accuracy, 6))
+        return result
 
     def _reset_counters(self) -> None:
         """Forget warm-up measurements but keep all simulated state."""

@@ -1,6 +1,6 @@
 """Metrics, stream statistics, bandwidth decomposition, table rendering."""
 
-from .metrics import CoverageMetrics
+from .metrics import CoverageMetrics, safe_div
 from .streamstats import StreamLengthStats, histogram_bins, length_cdf
 from .bandwidth import BandwidthBreakdown
 from .reporting import bar_chart, to_csv, to_markdown
@@ -17,4 +17,5 @@ __all__ = [
     "format_table",
     "histogram_bins",
     "length_cdf",
+    "safe_div",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..memory.metadata import MetadataTraffic
+from .metrics import safe_div
 
 
 @dataclass
@@ -33,7 +34,7 @@ class BandwidthBreakdown:
         )
 
     def _ratio(self, blocks: int) -> float:
-        return blocks / self.baseline_blocks if self.baseline_blocks else 0.0
+        return safe_div(blocks, self.baseline_blocks)
 
     @property
     def incorrect_prefetch_overhead(self) -> float:

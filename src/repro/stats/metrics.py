@@ -17,6 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def safe_div(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, or 0.0 when the denominator is zero.
+
+    The one sanctioned way to compute a ratio metric in this repo: a
+    run with no triggering events, no issued prefetches, or no baseline
+    misses reports 0.0 for every derived ratio instead of raising
+    ``ZeroDivisionError`` mid-sweep.
+    """
+    return numerator / denominator if denominator else 0.0
+
+
 @dataclass
 class CoverageMetrics:
     """Counters from one trace-driven run."""
@@ -36,21 +47,17 @@ class CoverageMetrics:
     @property
     def coverage(self) -> float:
         """Fraction of would-be misses eliminated (0..1)."""
-        events = self.triggering_events
-        return self.prefetch_hits / events if events else 0.0
+        return safe_div(self.prefetch_hits, self.triggering_events)
 
     @property
     def overprediction_ratio(self) -> float:
         """Useless prefetches normalised to baseline misses (may exceed 1)."""
-        events = self.triggering_events
-        return self.overpredictions / events if events else 0.0
+        return safe_div(self.overpredictions, self.triggering_events)
 
     @property
     def accuracy(self) -> float:
         """Useful fraction of issued prefetches."""
-        if not self.prefetches_issued:
-            return 0.0
-        return self.prefetch_hits / self.prefetches_issued
+        return safe_div(self.prefetch_hits, self.prefetches_issued)
 
     @property
     def miss_rate_reduction(self) -> float:

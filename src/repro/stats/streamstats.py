@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .metrics import safe_div
+
 #: Fig. 12's bin edges ("0 2 4 8 16 32 64 128 128+").
 DEFAULT_BINS = (0, 2, 4, 8, 16, 32, 64, 128)
 
@@ -40,16 +42,12 @@ class StreamLengthStats:
     def mean_length(self) -> float:
         """Mean length over productive streams (the Fig. 2 metric)."""
         productive = self.productive
-        if not productive:
-            return 0.0
-        return sum(productive) / len(productive)
+        return safe_div(sum(productive), len(productive))
 
     @property
     def mean_length_all(self) -> float:
         """Mean over every allocated stream, zero-length ones included."""
-        if not self.lengths:
-            return 0.0
-        return sum(self.lengths) / len(self.lengths)
+        return safe_div(sum(self.lengths), len(self.lengths))
 
     def histogram(self, bins: tuple[int, ...] = DEFAULT_BINS) -> dict[str, int]:
         """Counts per bin; the final bin is open ('128+')."""

@@ -1,0 +1,27 @@
+"""Obs test fixtures: enable telemetry for one test, always clean up."""
+
+import pytest
+
+from repro import obs
+from repro.experiments.common import ExperimentOptions
+
+
+@pytest.fixture
+def telemetry():
+    """Fresh debug-level telemetry state, disabled again afterwards."""
+    state = obs.configure(level=obs.DEBUG)
+    yield state
+    obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_state():
+    """No test may leave the process-global telemetry installed."""
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def tiny_options() -> ExperimentOptions:
+    """A sweep small enough for sub-second cells."""
+    return ExperimentOptions(n_accesses=6000, workloads=("oltp",), seed=7)

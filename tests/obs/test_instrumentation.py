@@ -1,0 +1,145 @@
+"""Instrumented layers: events flow, and telemetry never perturbs results.
+
+The load-bearing regression here is byte-identical equality of
+simulation results with telemetry on vs off — the obs layer observes
+the simulator, it must never feed back into it.
+"""
+
+import dataclasses
+
+from repro import obs
+from repro.config import small_test_config
+from repro.core.domino import DominoPrefetcher
+from repro.runner import Cell, ExecutionPolicy, run_cells
+from repro.sim.engine import simulate_trace
+
+
+def _run(config, trace, seed=7):
+    return simulate_trace(trace, config, DominoPrefetcher(config, seed=seed))
+
+
+def _result_fields(result):
+    return (dataclasses.asdict(result.metrics),
+            dataclasses.asdict(result.metadata),
+            sorted(result.stream_lengths.lengths),
+            result.extras)
+
+
+class TestNoPerturbation:
+    def test_instrumented_equals_uninstrumented(self, config, tiny_trace):
+        baseline = _result_fields(_run(config, tiny_trace))
+        obs.configure(level=obs.DEBUG)
+        try:
+            instrumented = _result_fields(_run(config, tiny_trace))
+        finally:
+            obs.disable()
+        after = _result_fields(_run(config, tiny_trace))
+        assert instrumented == baseline
+        assert after == baseline
+
+    def test_sampled_tracing_equal_too(self, config, tiny_trace):
+        baseline = _result_fields(_run(config, tiny_trace))
+        obs.configure(level=obs.DEBUG, sample_every=10, ring=50)
+        try:
+            instrumented = _result_fields(_run(config, tiny_trace))
+        finally:
+            obs.disable()
+        assert instrumented == baseline
+
+
+class TestEngineEvents:
+    def test_engine_emits_taxonomy(self, config, tiny_trace, telemetry):
+        _run(config, tiny_trace)
+        events = {e["event"] for e in telemetry.trace.events()
+                  if e["component"] == "sim.engine"}
+        assert {"trigger", "run_complete"} <= events
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["sim.engine.trigger_miss"] > 0
+
+    def test_run_complete_matches_metrics(self, config, tiny_trace, telemetry):
+        result = _run(config, tiny_trace)
+        (done,) = [e for e in telemetry.trace.events()
+                   if e["event"] == "run_complete"]
+        assert done["misses"] == result.metrics.misses
+        assert done["prefetch_hits"] == result.metrics.prefetch_hits
+        assert done["overpredictions"] == result.metrics.overpredictions
+
+    def test_simulate_timing_histogram_recorded(self, config, tiny_trace, telemetry):
+        _run(config, tiny_trace)
+        hists = telemetry.registry.snapshot()["histograms"]
+        assert hists["time.simulate_s"]["count"] == 1
+
+
+class TestDominoEitEvents:
+    def test_eit_lookup_outcomes_counted(self, config, tiny_trace, telemetry):
+        _run(config, tiny_trace)
+        counters = telemetry.registry.snapshot()["counters"]
+        one_addr = (counters.get("core.domino.eit_one_addr_hit", 0)
+                    + counters.get("core.domino.eit_one_addr_miss", 0))
+        assert one_addr > 0
+        modes = {e.get("mode") for e in telemetry.trace.events()
+                 if e["event"] == "eit_lookup"}
+        assert "one_addr" in modes
+
+    def test_two_addr_outcomes_on_repetition(self, config, telemetry, trace_factory):
+        # The loop must not fit in L1 (128 blocks), or the repeats hit the
+        # cache and the EIT never sees a recurring miss to confirm.
+        pattern = list(range(1000, 1600))
+        trace = trace_factory(pattern * 5, name="loop")
+        simulate_trace(trace, config, DominoPrefetcher(config, seed=7))
+        counters = telemetry.registry.snapshot()["counters"]
+        two_addr = (counters.get("core.domino.eit_two_addr_match", 0)
+                    + counters.get("core.domino.eit_two_addr_discard", 0))
+        assert two_addr > 0
+
+
+class TestRunnerTelemetry:
+    def test_manifest_gets_cpu_time(self, tiny_options):
+        cells = [Cell(kind="trace", workload="oltp", prefetcher="domino",
+                      degree=1)]
+        _, manifest = run_cells(cells, tiny_options,
+                                ExecutionPolicy(use_cache=False))
+        (record,) = manifest.cells
+        assert record.wall_s > 0
+        assert record.cpu_s >= 0
+
+    def test_scheduler_events_and_absorbed_engine_events(self, tiny_options, telemetry):
+        cells = [Cell(kind="trace", workload="oltp", prefetcher="domino",
+                      degree=1)]
+        run_cells(cells, tiny_options, ExecutionPolicy(use_cache=False))
+        events = telemetry.trace.events()
+        kinds = {e["event"] for e in events}
+        assert {"cell_executed", "run_summary"} <= kinds
+        engine = [e for e in events if e["component"] == "sim.engine"]
+        assert engine and all(e.get("cell") for e in engine)
+
+    def test_parallel_trace_matches_serial(self, tiny_options):
+        cells = [Cell(kind="trace", workload="oltp", prefetcher=p, degree=1)
+                 for p in ("stms", "domino")]
+
+        def collect(jobs):
+            obs.configure(level=obs.DEBUG)
+            try:
+                payloads, _ = run_cells(cells, tiny_options,
+                                        ExecutionPolicy(jobs=jobs, use_cache=False))
+                events = [{k: v for k, v in e.items()
+                           if k not in ("seq", "wall_s", "cpu_s", "key")}
+                          for e in obs.state().trace.events()
+                          if e["event"] not in ("run_summary", "pool_start")]
+            finally:
+                obs.disable()
+            return payloads, events
+
+        serial_payloads, serial_events = collect(1)
+        pool_payloads, pool_events = collect(2)
+        assert pool_payloads == serial_payloads
+        assert pool_events == serial_events
+
+    def test_profile_rows_ride_back(self, tiny_options, telemetry):
+        obs.configure(level=obs.DEBUG, profile=True)
+        cells = [Cell(kind="trace", workload="oltp", prefetcher="domino",
+                      degree=1)]
+        run_cells(cells, tiny_options, ExecutionPolicy(use_cache=False))
+        profiles = [e for e in obs.state().trace.events()
+                    if e["event"] == "cell_profile"]
+        assert profiles and profiles[0]["rows"]

@@ -1,0 +1,117 @@
+"""Registry math: counters, gauges, histogram percentiles, merging."""
+
+import pytest
+
+from repro.obs import Histogram, NullRegistry, Registry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = Registry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter("hits").value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Registry().counter("x").inc(-1)
+
+    def test_same_name_same_object(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_gauge_last_write_wins(self):
+        registry = Registry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(7)
+        assert registry.gauge("depth").value == 7.0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        hist = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(3.25)
+        assert hist.min == 0.5
+        assert hist.max == 8.0
+
+    def test_percentiles_report_bucket_upper_bounds(self):
+        hist = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for _ in range(90):
+            hist.observe(0.5)      # bucket <=1.0
+        for _ in range(10):
+            hist.observe(3.0)      # bucket <=4.0
+        assert hist.percentile(0.50) == 1.0
+        assert hist.percentile(0.90) == 1.0
+        assert hist.percentile(0.99) == 4.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram("t", buckets=(1.0,))
+        hist.observe(123.0)
+        assert hist.percentile(0.99) == 123.0
+
+    def test_empty_percentile_zero(self):
+        assert Histogram("t").percentile(0.5) == 0.0
+
+    def test_percentile_rank_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(2.0, 1.0))
+
+
+class TestSnapshotMerge:
+    def test_round_trip_preserves_percentiles(self):
+        a = Registry()
+        for v in (0.1, 0.2, 5.0):
+            a.histogram("h", (1.0, 10.0)).observe(v)
+        a.counter("c").inc(3)
+        a.gauge("g").set(2.5)
+
+        b = Registry()
+        b.merge_snapshot(a.snapshot())
+        assert b.counter("c").value == 3
+        assert b.gauge("g").value == 2.5
+        merged = b.histogram("h", (1.0, 10.0))
+        assert merged.count == 3
+        assert merged.percentile(0.99) == 10.0
+
+    def test_merge_adds_counts(self):
+        a, b = Registry(), Registry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b.histogram("h", (1.0,)).observe(0.7)
+        b.counter("c").inc(1)
+        a.merge_snapshot(b.snapshot())
+        assert a.histogram("h", (1.0,)).count == 2
+        assert a.counter("c").value == 1
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = Registry(), Registry()
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b.histogram("h", (5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        registry = Registry()
+        registry.histogram("h").observe(0.01)
+        registry.counter("c").inc()
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(0.5)
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}

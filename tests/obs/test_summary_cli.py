@@ -1,0 +1,98 @@
+"""End-to-end CLI: --trace-events / --profile write JSONL, obs summary reads it."""
+
+import json
+
+from repro.cli import main
+from repro.obs import read_jsonl
+
+RUN_TINY = ["run", "fig11", "--quick", "--n", "8000", "--workloads", "oltp",
+            "--no-cache"]
+
+
+class TestTraceEvents:
+    def test_run_writes_parseable_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(RUN_TINY + ["--trace-events", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote" in out and "t.jsonl" in out
+
+        events = read_jsonl(trace)
+        assert events, "trace file must not be empty"
+        components = {e.get("component") for e in events}
+        assert {"sim.engine", "core.domino", "runner.scheduler",
+                "cli.run"} <= components
+        kinds = {e.get("event") for e in events}
+        assert {"trigger", "eit_lookup", "cell_executed", "run_summary",
+                "metrics_snapshot"} <= kinds
+
+    def test_table_identical_with_and_without_tracing(self, tmp_path, capsys):
+        def table_of(argv):
+            assert main(argv) == 0
+            return [line for line in capsys.readouterr().out.splitlines()
+                    if not line.startswith(("[runner]", "[obs]", "("))]
+
+        plain = table_of(list(RUN_TINY))
+        traced = table_of(RUN_TINY
+                          + ["--trace-events", str(tmp_path / "t.jsonl")])
+        assert traced == plain
+
+    def test_log_level_info_drops_debug_events(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(RUN_TINY + ["--trace-events", str(trace),
+                                "--log-level", "info"]) == 0
+        events = read_jsonl(trace)
+        assert events
+        assert all(e.get("level") != "debug" for e in events
+                   if e.get("event") not in ("trace_info", "metrics_snapshot"))
+
+    def test_profile_prints_hotspots(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(RUN_TINY + ["--trace-events", str(trace),
+                                "--jobs", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "[profile]" in out
+        assert any(e.get("event") == "cell_profile"
+                   for e in read_jsonl(trace))
+
+
+class TestObsSummary:
+    def _write_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(RUN_TINY + ["--trace-events", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_summary_renders_sections(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path, capsys)
+        assert main(["obs", "summary", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "trigger" in out            # event-count table
+        assert "cell" in out               # per-cell timings
+        assert "sim.engine.trigger_miss" in out
+        assert "p50" in out and "p99" in out
+
+    def test_summary_missing_file_fails(self, tmp_path, capsys):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_summary_malformed_jsonl_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ok": 1}\n{broken\n')
+        assert main(["obs", "summary", str(bad)]) == 1
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_summary_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "summary", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+    def test_summary_of_handwritten_trace(self, tmp_path, capsys):
+        """Summary works on any well-formed trace, not just our writer's."""
+        trace = tmp_path / "hand.jsonl"
+        events = [{"seq": i, "level": "debug", "component": "c",
+                   "event": "tick", "i": i} for i in range(4)]
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert main(["obs", "summary", str(trace)]) == 0
+        assert "tick" in capsys.readouterr().out

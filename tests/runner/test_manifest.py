@@ -1,0 +1,79 @@
+"""Manifest schema: versioned round-trip, validation, utilization math."""
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import MANIFEST_SCHEMA_VERSION
+from repro.runner.manifest import RunManifest
+
+
+def _sample() -> RunManifest:
+    manifest = RunManifest(jobs=2, mode="pool", wall_s=4.0)
+    manifest.record_hit("k1", "trace:oltp:domino:d1")
+    manifest.record_executed("k2", "trace:oltp:stms:d1", wall_s=3.0, cpu_s=2.5)
+    manifest.record_executed("k3", "trace:oltp:isb:d1", wall_s=1.0, cpu_s=0.9)
+    return manifest
+
+
+class TestRoundTrip:
+    def test_to_dict_carries_version_and_totals(self):
+        data = _sample().to_dict()
+        assert data["version"] == MANIFEST_SCHEMA_VERSION
+        assert data["wall_s"] == 4.0
+        assert data["executed_s"] == 4.0
+        assert data["executed_cpu_s"] == pytest.approx(3.4)
+        assert len(data["cells"]) == 3
+
+    def test_from_dict_round_trips(self):
+        original = _sample()
+        restored = RunManifest.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.hits == 1 and restored.misses == 2
+
+    def test_json_serialisable(self):
+        import json
+        json.dumps(_sample().to_dict())  # must not raise
+
+
+class TestValidation:
+    def test_missing_version_rejected(self):
+        data = _sample().to_dict()
+        del data["version"]
+        with pytest.raises(RunnerError, match="no 'version'"):
+            RunManifest.from_dict(data)
+
+    def test_unknown_version_rejected_with_both_versions_named(self):
+        data = _sample().to_dict()
+        data["version"] = 99
+        with pytest.raises(RunnerError) as exc:
+            RunManifest.from_dict(data)
+        message = str(exc.value)
+        assert "99" in message and str(MANIFEST_SCHEMA_VERSION) in message
+
+    def test_malformed_cell_rejected(self):
+        data = _sample().to_dict()
+        del data["cells"][0]["label"]
+        with pytest.raises(RunnerError, match="malformed manifest cell"):
+            RunManifest.from_dict(data)
+
+
+class TestAccounting:
+    def test_utilization_bounded_by_capacity(self):
+        manifest = _sample()   # 4.0s executed over 2 jobs x 4.0s wall
+        assert manifest.utilization == pytest.approx(0.5)
+
+    def test_utilization_zero_without_timed_work(self):
+        assert RunManifest().utilization == 0.0
+        idle = RunManifest(jobs=4, wall_s=0.0)
+        idle.record_hit("k", "cell")
+        assert idle.utilization == 0.0
+
+    def test_utilization_clamped_to_one(self):
+        manifest = RunManifest(jobs=1, wall_s=1.0)
+        manifest.record_executed("k", "cell", wall_s=5.0)  # timer skew
+        assert manifest.utilization == 1.0
+
+    def test_slowest_cells_excludes_hits(self):
+        slowest = _sample().slowest_cells
+        assert [c.wall_s for c in slowest] == [3.0, 1.0]
+        assert all(not c.cached for c in slowest)
