@@ -6,6 +6,8 @@ Subcommands::
     domino-repro run fig11 [--quick] [--workloads oltp,web_apache] [--n 200000]
     domino-repro run all [--quick] [--jobs 4] [--no-cache]
     domino-repro run fig11 --trace-events t.jsonl [--profile] [--log-level debug]
+    domino-repro run all --run-id nightly [--retries 3] [--timeout-s 600]
+    domino-repro run all --resume nightly # continue a killed run
     domino-repro compare --workload oltp [--degree 4] [--n 200000]
     domino-repro trace --workload oltp --n 100000 --out oltp.npz
     domino-repro cache stats|clear|gc     # artifact-store maintenance
@@ -16,6 +18,15 @@ fans independent simulation cells across a worker pool and the
 content-addressed cache under ``.domino-cache/`` makes repeated and
 overlapping runs incremental.  ``--no-cache`` forces re-execution;
 ``--cache-dir`` (or ``DOMINO_CACHE_DIR``) relocates the store.
+
+Runs are fault tolerant (see docs/ROBUSTNESS.md): a crashed or hung
+cell is retried ``--retries`` times with exponential backoff, bounded
+by ``--timeout-s``; cells that exhaust the budget are reported as
+failed, the surviving cells still render, and the process exits with
+code 3 (``EXIT_PARTIAL``) instead of aborting.  ``--run-id NAME``
+journals completed cells so ``--resume NAME`` restarts a killed run
+where it left off, bit-identically.  The hidden ``--inject-faults``
+flag drives the deterministic chaos harness in :mod:`repro.faults`.
 
 ``--trace-events PATH`` turns on the telemetry layer (see
 docs/OBSERVABILITY.md): engine, EIT, and scheduler events are collected
@@ -41,10 +52,24 @@ from .workloads import default_suite, get_workload, workload_names
 from .workloads.synthetic import generate_trace
 
 
+#: Exit codes: 0 = success, 1 = unexpected error, 2 = usage/config
+#: error, 3 = run completed but some cells failed (partial results).
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -107,16 +132,40 @@ def _write_trace(path: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from . import obs
+    from .errors import CheckpointError, ConfigError
+    from .faults import parse_fault_spec
     from .runner import ExecutionPolicy, set_policy
     from .stats.reporting import bar_chart, render_manifest, to_csv, to_markdown
 
+    if args.resume and args.run_id:
+        print("error: --resume already names the run; drop --run-id",
+              file=sys.stderr)
+        return EXIT_USAGE
+    run_id = args.resume or args.run_id
+    if run_id and args.no_cache:
+        print("error: --run-id/--resume need the artifact cache "
+              "(remove --no-cache)", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        faults = (parse_fault_spec(args.inject_faults)
+                  if args.inject_faults else None)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     set_policy(ExecutionPolicy(jobs=args.jobs,
                                use_cache=not args.no_cache,
-                               cache_dir=args.cache_dir))
+                               cache_dir=args.cache_dir,
+                               retries=args.retries,
+                               timeout_s=args.timeout_s,
+                               keep_going=True,
+                               run_id=run_id,
+                               resume=bool(args.resume),
+                               faults=faults))
     tracing = _configure_obs(args)
     run_scope = obs.scope("cli.run")
     options = _options_from_args(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    failed_cells = 0
     try:
         for experiment_id in ids:
             start = time.time()
@@ -138,6 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     labels = [str(row[0]) for row in result.rows]
                     print(bar_chart(labels, values, title=f"{args.chart}:"))
             if result.manifest is not None:
+                failed_cells += result.manifest.failed
                 print(render_manifest(result.manifest))
                 run_scope.info("manifest", experiment=experiment_id,
                                manifest=result.manifest.to_dict())
@@ -154,9 +204,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     print(f"[profile] {cum_s:8.3f}s {ncalls:>10} {func}")
             if args.trace_events:
                 _write_trace(args.trace_events)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     finally:
         obs.disable()
-    return 0
+    if failed_cells:
+        print(f"warning: {failed_cells} cell(s) failed after retries; "
+              "results above are partial (exit code 3)", file=sys.stderr)
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -242,6 +299,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the artifact cache (always re-execute)")
     run_p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="artifact cache root (default .domino-cache)")
+    run_p.add_argument("--retries", type=_nonnegative_int, default=2,
+                       metavar="N", help="retry budget per cell, with "
+                                         "exponential backoff (default 2)")
+    run_p.add_argument("--timeout-s", type=_positive_float, default=None,
+                       metavar="S", help="per-cell wall-clock timeout; hung "
+                                         "cells are killed and retried")
+    run_p.add_argument("--run-id", default=None, metavar="ID",
+                       help="journal completed cells under ID so the run "
+                            "can be resumed after a crash")
+    run_p.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume a journaled run: completed cells are "
+                            "served from the cache, bit-identically")
+    run_p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help=argparse.SUPPRESS)  # chaos harness; see repro.faults
     run_p.add_argument("--trace-events", default=None, metavar="PATH",
                        help="enable telemetry and write the JSONL event "
                             "trace to PATH (see docs/OBSERVABILITY.md)")

@@ -42,3 +42,15 @@ class UnknownExperimentError(ReproError, KeyError):
 
 class RunnerError(ReproError):
     """The execution engine was given an invalid cell or policy."""
+
+
+class RunnerTimeoutError(RunnerError):
+    """A cell exceeded its per-cell wall-clock timeout."""
+
+
+class CellFailedError(RunnerError):
+    """A cell exhausted its retry budget and the run is not degradable."""
+
+
+class CheckpointError(RunnerError):
+    """A checkpoint journal is missing, unreadable, or inconsistent."""

@@ -143,6 +143,20 @@ class ExperimentContext:
         return payloads
 
 
+def payload_field(payload: Any, name: str, default: Any = float("nan")) -> Any:
+    """A field from a cell payload, tolerating failed cells.
+
+    Under a degradable execution policy (``keep_going``), cells that
+    exhausted their retry budget come back as ``None`` payloads.
+    Drivers read fields through this helper so a partially failed sweep
+    still renders — missing values surface as ``nan`` in the table
+    instead of a ``TypeError`` that would discard the surviving cells.
+    """
+    if not isinstance(payload, dict):
+        return default
+    return payload.get(name, default)
+
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean, 0.0 on empty input."""
     values = list(values)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from ..prefetchers.registry import PAPER_PREFETCHERS
 from ..runner import Cell
-from .common import ExperimentContext, ExperimentOptions, ExperimentResult, mean
+from .common import (ExperimentContext, ExperimentOptions, ExperimentResult,
+                     mean, payload_field)
 
 
 def build_cells(options: ExperimentOptions, degree: int) -> list[Cell]:
@@ -40,12 +41,12 @@ def run(options: ExperimentOptions | None = None, degree: int = 1) -> Experiment
         cells: list = [workload]
         for name in PAPER_PREFETCHERS:
             payload = next(payloads)
-            coverage = payload["coverage"]
-            overpredictions = payload["overprediction_ratio"]
+            coverage = payload_field(payload, "coverage")
+            overpredictions = payload_field(payload, "overprediction_ratio")
             cov_acc[name].append(coverage)
             over_acc[name].append(overpredictions)
             cells.append(f"{coverage:.3f}/{overpredictions:.3f}")
-        opportunity = next(payloads)["opportunity"]
+        opportunity = payload_field(next(payloads), "opportunity")
         opp_acc.append(opportunity)
         cells.append(round(opportunity, 3))
         rows.append(cells)

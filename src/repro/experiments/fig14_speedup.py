@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..runner import Cell
 from .common import (ExperimentContext, ExperimentOptions, ExperimentResult,
-                     gmean_speedup)
+                     gmean_speedup, payload_field)
 
 PREFETCHERS = ("vldp", "isb", "stms", "digram", "domino")
 
@@ -38,10 +38,10 @@ def run(options: ExperimentOptions | None = None) -> ExperimentResult:
     rows: list[list] = []
     speedups: dict[str, list[float]] = {p: [] for p in PREFETCHERS}
     for workload in options.workloads:
-        baseline_ipc = next(payloads)["ipc"]
+        baseline_ipc = payload_field(next(payloads), "ipc")
         cells: list = [workload, round(baseline_ipc, 3)]
         for name in PREFETCHERS:
-            ipc = next(payloads)["ipc"]
+            ipc = payload_field(next(payloads), "ipc")
             speedup = ipc / baseline_ipc if baseline_ipc else 0.0
             speedups[name].append(speedup)
             cells.append(round(speedup, 3))

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from ..runner import Cell
 from ..workloads.server import SERVER_WORKLOADS
-from .common import ExperimentContext, ExperimentOptions, ExperimentResult
+from .common import (ExperimentContext, ExperimentOptions, ExperimentResult,
+                     payload_field)
 
 
 def run_table1(options: ExperimentOptions | None = None) -> ExperimentResult:
@@ -19,11 +20,13 @@ def run_table1(options: ExperimentOptions | None = None) -> ExperimentResult:
     cell's cache key excludes the trace-shaping options)."""
     ctx = ExperimentContext(options or ExperimentOptions())
     (payload,) = ctx.run_cells([Cell(kind="table1")])
+    rows = payload_field(payload, "rows",
+                         default=[["(unavailable)", "cell failed"]])
     return ExperimentResult(
         experiment_id="table1",
         title="Evaluation parameters (Table I)",
         headers=["parameter", "value"],
-        rows=payload["rows"],
+        rows=rows,
         manifest=ctx.last_manifest,
     )
 

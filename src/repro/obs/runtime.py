@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
-from .events import DEBUG, INFO, WARNING, EventTrace
+from .events import DEBUG, ERROR, INFO, WARNING, EventTrace
 from .registry import NullRegistry, Registry
 
 #: Shared null metric: what disabled scopes hand to metric users.
@@ -122,6 +122,11 @@ class Scope:
 
     def warning(self, event: str, **fields: object) -> None:
         self.emit(event, WARNING, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        """Highest severity: survives any --log-level filter, so retry
+        exhaustion and cell failures are never sampled out of a trace."""
+        self.emit(event, ERROR, **fields)
 
     def counter(self, name: str):
         """Registry counter namespaced under this component."""

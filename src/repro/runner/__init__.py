@@ -8,6 +8,15 @@ overlapping runs are incremental: a second ``domino-repro run all`` is
 near-instant, and experiments that sweep the same cells (fig11/fig13
 share their Sequitur-opportunity cells) pay for them once.
 
+The engine is fault tolerant (see docs/ROBUSTNESS.md): worker crashes,
+hangs, and deaths are isolated to the cell that suffered them, retried
+with exponential backoff, bounded by a per-cell timeout watchdog, and —
+under a degradable policy — surfaced as partial results rather than an
+aborted run.  Long sweeps journal completed cells to a checkpoint so a
+killed run resumes bit-identically (:mod:`repro.runner.checkpoint`),
+and every failure path is exercised deterministically by the fault
+injection harness in :mod:`repro.faults`.
+
 Layering: ``runner`` sits *below* :mod:`repro.experiments` — it knows
 how to execute a cell from first principles (workload suite, simulator,
 registry) and never imports the experiment drivers, so drivers can
@@ -17,21 +26,26 @@ See ``docs/RUNNER.md`` for the cell model and cache-invalidation rules.
 """
 
 from .cells import CODE_VERSION, Cell, cell_config, cell_key
+from .checkpoint import CheckpointJournal
 from .execute import CellTelemetry
+from .manifest import CELL_STATUSES
 from .manifest import SCHEMA_VERSION as MANIFEST_SCHEMA_VERSION
 from .manifest import CellRecord, RunManifest
 from .scheduler import ExecutionPolicy, get_policy, run_cells, set_policy
-from .store import ResultStore, StoreStats
+from .store import ResultStore, StoreLock, StoreStats
 
 __all__ = [
+    "CELL_STATUSES",
     "CODE_VERSION",
     "MANIFEST_SCHEMA_VERSION",
     "Cell",
     "CellRecord",
     "CellTelemetry",
+    "CheckpointJournal",
     "ExecutionPolicy",
     "ResultStore",
     "RunManifest",
+    "StoreLock",
     "StoreStats",
     "cell_config",
     "cell_key",

@@ -18,8 +18,13 @@ everything that determines its result:
   :class:`~repro.experiments.common.ExperimentOptions`
   (``n_accesses``, ``warmup_frac``, ``seed``).
 
-Execution-policy knobs (worker count, cache directory) never enter the
-key: they affect *how* a cell runs, not *what* it computes.
+Execution-policy knobs (worker count, cache directory, retry budget,
+timeout, fault plan) never enter the key: they affect *how* a cell
+runs, not *what* it computes.  The same key doubles as the cell's
+identity in checkpoint journals (:mod:`repro.runner.checkpoint`) — a
+resumed run recomputes keys from its cell list and skips the journaled
+ones — and as the unit of deterministic fault injection
+(:mod:`repro.faults` rolls per ``(key, attempt)``).
 """
 
 from __future__ import annotations

@@ -154,9 +154,10 @@ class CellTelemetry:
 
 
 def execute_timed(
-    item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"],
+    item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"] | tuple,
 ) -> tuple[int, str, dict, CellTelemetry]:
-    """Pool entry point: ``(index, key, cell, options[, obs_config])``
+    """Pool entry point:
+    ``(index, key, cell, options[, obs_config[, faults, attempt]])``
     in, ``(index, key, payload, telemetry)`` out.
 
     When an :class:`repro.obs.ObsConfig` rides along, the cell runs
@@ -164,9 +165,18 @@ def execute_timed(
     worker inherited via fork) and its events/metrics/profile come back
     in the :class:`CellTelemetry`.  Without one, the only cost over the
     bare call is two clock reads.
+
+    When a :class:`repro.faults.FaultPlan` rides along (chaos testing),
+    it is applied *before* the cell computes: the injected crash, hang,
+    or worker death for ``(key, attempt)`` is deterministic, so serial
+    and pool execution fail — and therefore retry — identically.
     """
     index, key, cell, options = item[:4]
     obs_config = item[4] if len(item) > 4 else None
+    faults = item[5] if len(item) > 5 else None
+    attempt = item[6] if len(item) > 6 else 0
+    if faults is not None:
+        faults.apply(key, attempt)
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     with obs.capture(obs_config) as cap:

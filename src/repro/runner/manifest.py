@@ -1,17 +1,20 @@
-"""Per-run manifests: what ran, what was cached, and how long it took.
+"""Per-run manifests: what ran, what was cached, and how it ended.
 
 A :class:`RunManifest` is produced by every
 :func:`repro.runner.scheduler.run_cells` call.  Experiments attach it
 to their :class:`~repro.experiments.common.ExperimentResult` so the CLI
 can print the one-line cache/parallelism summary after each table, and
-tests use it to assert hit/miss accounting.
+tests use it to assert hit/miss and failure accounting.
 
 Serialised manifests carry a ``version`` field (``SCHEMA_VERSION``);
 :meth:`RunManifest.from_dict` refuses unknown versions with a clear
 error so tooling reading old or future manifests fails loudly instead
 of with a ``KeyError`` three stack frames later.  Schema v2 added
 per-cell CPU time (``cpu_s``) next to wall time, which is what makes
-the worker-utilization accounting in ``obs summary`` possible.
+the worker-utilization accounting in ``obs summary`` possible.  Schema
+v3 added the fault-tolerance fields: per-cell ``status`` / ``attempts``
+/ ``error`` and the run's ``run_id``, so a degraded run's manifest
+records exactly which cells failed, timed out, or needed retries.
 """
 
 from __future__ import annotations
@@ -21,18 +24,40 @@ from dataclasses import dataclass, field
 from ..errors import RunnerError
 
 #: Bump on any backwards-incompatible change to :meth:`RunManifest.to_dict`.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: Per-cell outcome statuses (see docs/ROBUSTNESS.md).
+CELL_STATUSES = ("hit", "ok", "retried", "failed", "timeout")
 
 
 @dataclass
 class CellRecord:
-    """Outcome of one cell within a run."""
+    """Outcome of one cell within a run.
+
+    ``status`` is one of :data:`CELL_STATUSES`: ``hit`` (served from the
+    artifact cache or a resumed checkpoint), ``ok`` (executed first
+    try), ``retried`` (executed after >= 1 failed attempts), ``failed``
+    / ``timeout`` (retry budget exhausted; ``error`` holds the last
+    failure, the payload slot holds ``None``).
+    """
 
     key: str
     label: str
     cached: bool
     wall_s: float = 0.0
     cpu_s: float = 0.0
+    status: str = "ok"
+    attempts: int = 1
+    error: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in CELL_STATUSES:
+            raise RunnerError(f"unknown cell status {self.status!r}; "
+                              f"expected one of {CELL_STATUSES}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("hit", "ok", "retried")
 
 
 @dataclass
@@ -43,17 +68,30 @@ class RunManifest:
     cache_enabled: bool = True
     #: "serial", "pool", or "serial-fallback" (pool unavailable).
     mode: str = "serial"
+    #: Checkpoint run id, "" when the run is not journaled.
+    run_id: str = ""
     cells: list[CellRecord] = field(default_factory=list)
     wall_s: float = 0.0
 
     # -- recording ------------------------------------------------------
     def record_hit(self, key: str, label: str) -> None:
-        self.cells.append(CellRecord(key=key, label=label, cached=True))
+        self.cells.append(CellRecord(key=key, label=label, cached=True,
+                                     status="hit", attempts=0))
 
     def record_executed(self, key: str, label: str, wall_s: float,
-                        cpu_s: float = 0.0) -> None:
+                        cpu_s: float = 0.0, status: str = "ok",
+                        attempts: int = 1) -> None:
         self.cells.append(CellRecord(key=key, label=label, cached=False,
-                                     wall_s=wall_s, cpu_s=cpu_s))
+                                     wall_s=wall_s, cpu_s=cpu_s,
+                                     status=status, attempts=attempts))
+
+    def record_failed(self, key: str, label: str, status: str,
+                      attempts: int, error: str,
+                      wall_s: float = 0.0) -> None:
+        """A cell that exhausted its retry budget (no payload)."""
+        self.cells.append(CellRecord(key=key, label=label, cached=False,
+                                     wall_s=wall_s, status=status,
+                                     attempts=attempts, error=error))
 
     # -- accounting -----------------------------------------------------
     @property
@@ -67,6 +105,21 @@ class RunManifest:
     @property
     def misses(self) -> int:
         return self.n_cells - self.hits
+
+    @property
+    def failed(self) -> int:
+        """Cells with no payload after all retries (failed or timeout)."""
+        return sum(1 for c in self.cells if not c.ok)
+
+    @property
+    def retried(self) -> int:
+        """Cells that succeeded but needed at least one retry."""
+        return sum(1 for c in self.cells if c.status == "retried")
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a payload."""
+        return self.failed == 0
 
     @property
     def executed_s(self) -> float:
@@ -99,12 +152,17 @@ class RunManifest:
             "jobs": self.jobs,
             "cache_enabled": self.cache_enabled,
             "mode": self.mode,
+            "run_id": self.run_id,
             "wall_s": self.wall_s,
             "executed_s": self.executed_s,
             "executed_cpu_s": self.executed_cpu_s,
             "utilization": self.utilization,
+            "failed": self.failed,
+            "retried": self.retried,
             "cells": [{"key": c.key, "label": c.label, "cached": c.cached,
-                       "wall_s": c.wall_s, "cpu_s": c.cpu_s}
+                       "wall_s": c.wall_s, "cpu_s": c.cpu_s,
+                       "status": c.status, "attempts": c.attempts,
+                       "error": c.error}
                       for c in self.cells],
         }
 
@@ -126,6 +184,7 @@ class RunManifest:
         manifest = cls(jobs=int(data.get("jobs", 1)),
                        cache_enabled=bool(data.get("cache_enabled", True)),
                        mode=str(data.get("mode", "serial")),
+                       run_id=str(data.get("run_id", "")),
                        wall_s=float(data.get("wall_s", 0.0)))
         try:
             for cell in data.get("cells", []):
@@ -133,7 +192,10 @@ class RunManifest:
                     key=str(cell["key"]), label=str(cell["label"]),
                     cached=bool(cell["cached"]),
                     wall_s=float(cell.get("wall_s", 0.0)),
-                    cpu_s=float(cell.get("cpu_s", 0.0))))
+                    cpu_s=float(cell.get("cpu_s", 0.0)),
+                    status=str(cell.get("status", "ok")),
+                    attempts=int(cell.get("attempts", 1)),
+                    error=str(cell.get("error", ""))))
         except (KeyError, TypeError, ValueError) as exc:
             raise RunnerError(f"malformed manifest cell record: {exc}") from None
         return manifest
@@ -143,6 +205,7 @@ class RunManifest:
         merged = RunManifest(jobs=max(self.jobs, other.jobs),
                              cache_enabled=self.cache_enabled and other.cache_enabled,
                              mode=self.mode if self.mode == other.mode else "mixed",
+                             run_id=self.run_id or other.run_id,
                              wall_s=self.wall_s + other.wall_s)
         merged.cells = [*self.cells, *other.cells]
         return merged

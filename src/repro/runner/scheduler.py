@@ -1,4 +1,4 @@
-"""Cell scheduler: cache probe, pool fan-out, ordered collection.
+"""Cell scheduler: cache probe, fault-tolerant fan-out, ordered collection.
 
 ``run_cells`` is the single entry point.  For every cell it first
 probes the artifact store; only misses are executed, either in-process
@@ -7,22 +7,42 @@ pool.  Results always come back in input order regardless of worker
 completion order, so experiments can zip cells to payloads positionally
 and parallel output is bit-identical to serial output.
 
-The execution policy (worker count, cache on/off, cache root) is a
-process-wide setting written by the CLI before experiments run; library
-callers can pass an explicit policy instead.  Policy knobs never enter
-cache keys — see :mod:`repro.runner.cells`.
+Failure isolation (see docs/ROBUSTNESS.md): a worker exception, a
+worker death, or a per-cell timeout marks *that cell* failed instead of
+aborting the run.  Each cell gets ``policy.retries`` retries with
+exponential backoff and deterministic jitter; cells that exhaust the
+budget are recorded in the manifest with status ``failed`` or
+``timeout`` and — under ``keep_going`` — leave a ``None`` payload so
+the run still emits partial results.  The pool loop collects results
+asynchronously (``apply_async`` + polling) so a hung cell can never
+block the run forever: when a cell blows its wall-clock deadline the
+pool is torn down with ``terminate()``, innocent in-flight cells are
+resubmitted without penalty, and the hung cell is retried or failed.
+
+Checkpoint/resume: with ``policy.run_id`` set, every durably persisted
+cell key is journaled (atomic append + fsync) to
+``<cache>/runs/<run-id>.ckpt``; a resumed run loads the journal and
+serves those cells from the store, bit-identical.
+
+The execution policy (worker count, cache on/off, retries, timeout,
+fault plan) is a process-wide setting written by the CLI before
+experiments run; library callers can pass an explicit policy instead.
+Policy knobs never enter cache keys — see :mod:`repro.runner.cells`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Sequence
 
 from .. import obs
+from ..errors import CellFailedError, CheckpointError, RunnerTimeoutError
+from ..faults import FaultPlan, corrupt_artifact, stable_fraction
 from .cells import Cell, cell_key
+from .checkpoint import CheckpointJournal
 from .execute import CellTelemetry, execute_timed
 from .manifest import RunManifest
 from .store import ResultStore
@@ -30,24 +50,72 @@ from .store import ResultStore
 #: Scheduler telemetry scope (off until obs.configure()).
 _OBS = obs.scope("runner.scheduler")
 
+#: Grace added to pool deadlines for worker pickup latency: a task is
+#: submitted only when a worker slot is free, but the worker still has
+#: to unpickle it before the cell's clock really starts.
+_DISPATCH_GRACE_S = 0.25
+
+#: Pool poll interval while waiting for results (seconds).
+_POLL_S = 0.01
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
-    """How cells run: parallelism and caching. Never affects results.
+    """How cells run: parallelism, caching, and fault tolerance.
+    Never affects results.
 
     ``use_cache`` defaults to ``False`` so plain library calls
     (``run_experiment`` from tests or notebooks) never write to the
     working directory as a side effect; the CLI opts in explicitly
     (``domino-repro run`` caches unless ``--no-cache`` is given).
+
+    Fault-tolerance knobs (all default to the strict, legacy-compatible
+    behaviour):
+
+    ``retries``
+        Retry budget per cell; attempt ``n`` waits
+        ``backoff_s * 2**n`` (capped at ``backoff_max_s``) scaled by a
+        deterministic jitter in ``[0.5, 1.5)`` before re-running.
+    ``timeout_s``
+        Per-cell wall-clock budget.  In pool mode a watchdog terminates
+        the pool and retries the cell; in serial mode the overrun is
+        detected after the fact and the result discarded, so both modes
+        record the same ``timeout`` status.
+    ``keep_going``
+        When True, cells that exhaust retries yield ``None`` payloads
+        and the run completes (graceful degradation); when False the
+        first exhausted cell raises :class:`CellFailedError`.
+    ``run_id`` / ``resume``
+        Checkpoint journaling (requires ``use_cache``); see
+        :mod:`repro.runner.checkpoint`.
+    ``faults``
+        Deterministic fault-injection plan (chaos testing); see
+        :mod:`repro.faults`.
     """
 
     jobs: int = 1
     use_cache: bool = False
     cache_dir: str | Path | None = None
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_max_s: float = 2.0
+    timeout_s: float | None = None
+    keep_going: bool = False
+    run_id: str | None = None
+    resume: bool = False
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.resume and not self.run_id:
+            raise ValueError("resume requires a run_id")
 
 
 _POLICY = ExecutionPolicy()
@@ -65,62 +133,338 @@ def get_policy() -> ExecutionPolicy:
     return _POLICY
 
 
-def _collect(index: int, key: str, label: str, payload: dict,
-             telemetry: CellTelemetry, results: list,
-             store: ResultStore | None, manifest: RunManifest) -> None:
-    """Fold one executed cell's payload + telemetry into the run.
+# ---------------------------------------------------------------------------
+# outcomes and shared attempt bookkeeping
 
-    Worker events are absorbed into the parent's trace tagged with the
-    cell label; collection happens in ``imap`` (input) order, so the
-    assembled trace is identical for serial and pool execution.
+
+@dataclass
+class _Outcome:
+    """Terminal result of one cell: a payload or an exhausted failure."""
+
+    index: int
+    key: str
+    label: str
+    status: str                       # ok | retried | failed | timeout
+    attempts: int
+    payload: dict | None = None
+    telemetry: CellTelemetry | None = None
+    error: str = ""
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _backoff_delay(policy: ExecutionPolicy, key: str, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter in [0.5x, 1.5x)."""
+    base = min(policy.backoff_max_s, policy.backoff_s * (2 ** attempt))
+    return base * (0.5 + stable_fraction("backoff", key, attempt))
+
+
+def _attempt_failed(exc: BaseException, key: str, label: str, attempt: int,
+                    policy: ExecutionPolicy) -> tuple[str, float]:
+    """Classify one failed attempt: ``("retry", delay)`` or a terminal
+    ``("failed" | "timeout", 0.0)``.  Emits the matching trace event."""
+    timed_out = isinstance(exc, RunnerTimeoutError)
+    if timed_out:
+        _OBS.warning("cell_timeout", cell=label, attempt=attempt + 1,
+                     timeout_s=policy.timeout_s)
+    if attempt < policy.retries:
+        delay = _backoff_delay(policy, key, attempt)
+        _OBS.warning("cell_retry", cell=label, attempt=attempt + 1,
+                     delay_s=round(delay, 4), error=_describe(exc))
+        return "retry", delay
+    status = "timeout" if timed_out else "failed"
+    _OBS.error("cell_failed", cell=label, status=status,
+               attempts=attempt + 1, error=_describe(exc))
+    return status, 0.0
+
+
+def _exhausted(outcome: _Outcome, policy: ExecutionPolicy,
+               cause: BaseException) -> _Outcome:
+    """Final failure: raise under strict policy, else degrade."""
+    if not policy.keep_going:
+        raise CellFailedError(
+            f"cell {outcome.label} {outcome.status} after "
+            f"{outcome.attempts} attempt(s): {outcome.error}") from cause
+    return outcome
+
+
+def _finish(outcome: _Outcome, results: list, manifest: RunManifest) -> None:
+    """Fold one terminal cell outcome into the run, in input order.
+
+    Successful payloads are persisted and journaled immediately by the
+    caller (crash safety); this function owns the deterministic, input-
+    ordered accounting: manifest rows, absorbed worker telemetry, and
+    trace events — identical for serial and pool execution.
     """
-    results[index] = payload
-    if store is not None:
-        store.put(key, payload)
-    manifest.record_executed(key, label, telemetry.wall_s, telemetry.cpu_s)
+    if outcome.payload is None:
+        manifest.record_failed(outcome.key, outcome.label,
+                               status=outcome.status,
+                               attempts=outcome.attempts,
+                               error=outcome.error)
+        return
+    results[outcome.index] = outcome.payload
+    telemetry = outcome.telemetry or CellTelemetry()
+    manifest.record_executed(outcome.key, outcome.label,
+                             telemetry.wall_s, telemetry.cpu_s,
+                             status=outcome.status,
+                             attempts=outcome.attempts)
     if _OBS.enabled:
-        obs.absorb(telemetry.events, telemetry.metrics, tag={"cell": label})
-        _OBS.info("cell_executed", cell=label, key=key[:12],
+        obs.absorb(telemetry.events, telemetry.metrics,
+                   tag={"cell": outcome.label})
+        _OBS.info("cell_executed", cell=outcome.label, key=outcome.key[:12],
+                  status=outcome.status, attempts=outcome.attempts,
                   wall_s=round(telemetry.wall_s, 6),
                   cpu_s=round(telemetry.cpu_s, 6),
                   events=len(telemetry.events), dropped=telemetry.dropped)
         if telemetry.profile:
-            _OBS.info("cell_profile", cell=label, rows=telemetry.profile)
+            _OBS.info("cell_profile", cell=outcome.label,
+                      rows=telemetry.profile)
+
+
+def _persist(key: str, payload: dict, status: str,
+             store: ResultStore | None, policy: ExecutionPolicy,
+             journal: CheckpointJournal | None) -> None:
+    """Durably store a completed payload and journal its key.
+
+    Runs at completion time (not collection time) so a kill between two
+    cells loses at most the in-flight work.  The ``corrupt`` fault mode
+    clobbers the artifact *after* the put, modelling on-disk rot that
+    the next run's quarantine path must absorb.
+    """
+    if store is None:
+        return
+    store.put(key, payload)
+    if policy.faults is not None and policy.faults.should_corrupt(key):
+        if corrupt_artifact(store.path_for(key)):
+            _OBS.warning("fault_corrupt_artifact", key=key[:12])
+    if journal is not None:
+        journal.record(key, status)
+
+
+# ---------------------------------------------------------------------------
+# serial execution
 
 
 def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
                 results: list, store: ResultStore | None,
-                manifest: RunManifest) -> None:
+                manifest: RunManifest, policy: ExecutionPolicy,
+                journal: CheckpointJournal | None) -> None:
     obs_config = obs.current_config()
     for index, key, cell in pending:
-        _, _, payload, telemetry = execute_timed(
-            (index, key, cell, options, obs_config))
-        _collect(index, key, cell.label, payload, telemetry,
-                 results, store, manifest)
+        attempt = 0
+        while True:
+            started = time.monotonic()
+            try:
+                _, _, payload, telemetry = execute_timed(
+                    (index, key, cell, options, obs_config,
+                     policy.faults, attempt))
+                elapsed = time.monotonic() - started
+                if (policy.timeout_s is not None
+                        and elapsed > policy.timeout_s):
+                    raise RunnerTimeoutError(
+                        f"cell {cell.label} took {elapsed:.3f}s "
+                        f"(budget {policy.timeout_s:g}s)")
+            except Exception as exc:
+                action, delay = _attempt_failed(exc, key, cell.label,
+                                                attempt, policy)
+                if action == "retry":
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                outcome = _Outcome(index=index, key=key, label=cell.label,
+                                   status=action, attempts=attempt + 1,
+                                   error=_describe(exc))
+                _finish(_exhausted(outcome, policy, exc), results, manifest)
+                break
+            status = "retried" if attempt else "ok"
+            _persist(key, payload, status, store, policy, journal)
+            _finish(_Outcome(index=index, key=key, label=cell.label,
+                             status=status, attempts=attempt + 1,
+                             payload=payload, telemetry=telemetry),
+                    results, manifest)
+            break
+
+
+# ---------------------------------------------------------------------------
+# pool execution
+
+
+@dataclass
+class _InFlight:
+    """One dispatched cell attempt awaiting its AsyncResult."""
+
+    handle: Any
+    key: str
+    cell: Cell
+    attempt: int
+    deadline: float | None
+
+
+@dataclass
+class _Queued:
+    """One cell attempt waiting for a worker slot (or its backoff)."""
+
+    index: int
+    key: str
+    cell: Cell
+    attempt: int = 0
+    eligible_at: float = 0.0
+    #: Preserves original submission order among equally eligible items.
+    rank: int = field(default=0)
+
+
+def _make_pool(processes: int):
+    try:
+        return multiprocessing.Pool(processes=processes)
+    except (OSError, ValueError, ImportError):
+        return None
 
 
 def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
               results: list, store: ResultStore | None,
-              manifest: RunManifest, jobs: int) -> bool:
-    """Fan pending cells across a worker pool. False if no pool could
-    be created (caller falls back to serial execution)."""
-    labels = {index: cell.label for index, key, cell in pending}
+              manifest: RunManifest, policy: ExecutionPolicy,
+              journal: CheckpointJournal | None) -> bool:
+    """Fan pending cells across a worker pool with async collection.
+
+    Returns False if no pool could be created (caller falls back to
+    serial execution).  On any error — including KeyboardInterrupt —
+    the pool is ``terminate()``d, never ``close()``+``join()``ed, so a
+    still-running or hung worker cannot wedge the shutdown.
+    """
     obs_config = obs.current_config()
-    work = [(index, key, cell, options, obs_config)
-            for index, key, cell in pending]
-    try:
-        pool = multiprocessing.Pool(processes=min(jobs, len(work)))
-    except (OSError, ValueError, ImportError):
+    n_workers = min(policy.jobs, len(pending))
+    pool = _make_pool(n_workers)
+    if pool is None:
         return False
-    _OBS.debug("pool_start", jobs=min(jobs, len(work)), pending=len(work))
+    _OBS.debug("pool_start", jobs=n_workers, pending=len(pending))
+
+    order = [index for index, _, _ in pending]
+    queued: list[_Queued] = [
+        _Queued(index=index, key=key, cell=cell, rank=rank)
+        for rank, (index, key, cell) in enumerate(pending)]
+    next_rank = len(queued)
+    in_flight: dict[int, _InFlight] = {}
+    done: dict[int, _Outcome] = {}
+    collect_pos = 0
+
+    def submit(item: _Queued, now: float) -> None:
+        handle = pool.apply_async(
+            execute_timed,
+            ((item.index, item.key, item.cell, options, obs_config,
+              policy.faults, item.attempt),))
+        deadline = (now + policy.timeout_s + _DISPATCH_GRACE_S
+                    if policy.timeout_s is not None else None)
+        in_flight[item.index] = _InFlight(handle=handle, key=item.key,
+                                          cell=item.cell,
+                                          attempt=item.attempt,
+                                          deadline=deadline)
+
+    def requeue(index: int, fl: _InFlight, attempt: int, eligible_at: float) -> None:
+        nonlocal next_rank
+        queued.append(_Queued(index=index, key=fl.key, cell=fl.cell,
+                              attempt=attempt, eligible_at=eligible_at,
+                              rank=next_rank))
+        next_rank += 1
+
     try:
-        for index, key, payload, telemetry in pool.imap(execute_timed, work):
-            _collect(index, key, labels[index], payload, telemetry,
-                     results, store, manifest)
-    finally:
+        while collect_pos < len(pending):
+            now = time.monotonic()
+            # -- dispatch: fill free worker slots with eligible attempts
+            eligible = sorted((q for q in queued if q.eligible_at <= now),
+                              key=lambda q: q.rank)
+            for item in eligible:
+                if len(in_flight) >= n_workers:
+                    break
+                queued.remove(item)
+                submit(item, now)
+
+            progressed = False
+            # -- poll: completions, failures, and blown deadlines
+            for index, fl in list(in_flight.items()):
+                if fl.handle.ready():
+                    progressed = True
+                    del in_flight[index]
+                    try:
+                        _, _, payload, telemetry = fl.handle.get()
+                    except Exception as exc:
+                        action, delay = _attempt_failed(
+                            exc, fl.key, fl.cell.label, fl.attempt, policy)
+                        if action == "retry":
+                            requeue(index, fl, fl.attempt + 1,
+                                    time.monotonic() + delay)
+                        else:
+                            outcome = _Outcome(
+                                index=index, key=fl.key, label=fl.cell.label,
+                                status=action, attempts=fl.attempt + 1,
+                                error=_describe(exc))
+                            done[index] = _exhausted(outcome, policy, exc)
+                        continue
+                    status = "retried" if fl.attempt else "ok"
+                    _persist(fl.key, payload, status, store, policy, journal)
+                    done[index] = _Outcome(
+                        index=index, key=fl.key, label=fl.cell.label,
+                        status=status, attempts=fl.attempt + 1,
+                        payload=payload, telemetry=telemetry)
+                elif fl.deadline is not None and now > fl.deadline:
+                    # Hung (or dead-worker) cell: the only safe way to
+                    # reclaim the worker is to tear the pool down.
+                    progressed = True
+                    _OBS.warning("pool_rebuild", cell=fl.cell.label,
+                                 attempt=fl.attempt + 1,
+                                 in_flight=len(in_flight) - 1)
+                    pool.terminate()
+                    pool.join()
+                    del in_flight[index]
+                    timeout_exc = RunnerTimeoutError(
+                        f"cell {fl.cell.label} exceeded its "
+                        f"{policy.timeout_s:g}s budget")
+                    action, delay = _attempt_failed(
+                        timeout_exc, fl.key, fl.cell.label, fl.attempt, policy)
+                    if action == "retry":
+                        requeue(index, fl, fl.attempt + 1,
+                                time.monotonic() + delay)
+                    else:
+                        outcome = _Outcome(
+                            index=index, key=fl.key, label=fl.cell.label,
+                            status=action, attempts=fl.attempt + 1,
+                            error=_describe(timeout_exc))
+                        done[index] = _exhausted(outcome, policy, timeout_exc)
+                    # Innocent victims of the teardown: resubmit at the
+                    # same attempt number, no retry charged.
+                    for other_index, other in in_flight.items():
+                        requeue(other_index, other, other.attempt,
+                                time.monotonic())
+                    in_flight.clear()
+                    pool = _make_pool(n_workers)
+                    if pool is None:
+                        raise CellFailedError(
+                            "could not rebuild worker pool after a cell "
+                            "timeout") from timeout_exc
+                    break  # restart dispatch/poll against the new pool
+
+            # -- collect: contiguous finished prefix, in input order
+            while collect_pos < len(order) and order[collect_pos] in done:
+                _finish(done.pop(order[collect_pos]), results, manifest)
+                collect_pos += 1
+
+            if not progressed:
+                time.sleep(_POLL_S)
+    except BaseException:
+        # Error path (including KeyboardInterrupt): close()+join() can
+        # hang on still-running workers — terminate instead and re-raise.
+        pool.terminate()
+        pool.join()
+        raise
+    else:
         pool.close()
         pool.join()
     return True
+
+
+# ---------------------------------------------------------------------------
+# entry point
 
 
 def run_cells(cells: Sequence[Cell], options: Any,
@@ -128,42 +472,77 @@ def run_cells(cells: Sequence[Cell], options: Any,
     """Execute ``cells`` under ``policy`` (default: the global policy).
 
     Returns ``(payloads, manifest)`` with payloads in input order.
-    ``options`` supplies the trace-shaping parameters
-    (``n_accesses``/``warmup_frac``/``seed``/``degree``); see
-    :func:`repro.runner.cells.cell_key` for what enters the cache key.
+    Under ``keep_going``, cells whose retry budget is exhausted leave a
+    ``None`` payload and a ``failed``/``timeout`` manifest record
+    instead of raising.  ``options`` supplies the trace-shaping
+    parameters (``n_accesses``/``warmup_frac``/``seed``/``degree``);
+    see :func:`repro.runner.cells.cell_key` for what enters the cache
+    key.
     """
     policy = policy if policy is not None else _POLICY
     store = ResultStore(policy.cache_dir) if policy.use_cache else None
-    manifest = RunManifest(jobs=policy.jobs, cache_enabled=policy.use_cache)
+    journal: CheckpointJournal | None = None
+    completed_keys: set[str] = set()
+    if policy.run_id:
+        if store is None:
+            raise CheckpointError(
+                "checkpointing requires the artifact cache "
+                "(run_id set with use_cache=False)")
+        journal = CheckpointJournal.open(store.base, policy.run_id,
+                                         resume=policy.resume)
+        if policy.resume:
+            completed_keys = set(journal.seen)
+            _OBS.info("run_resumed", run_id=policy.run_id,
+                      journaled=len(completed_keys))
+    manifest = RunManifest(jobs=policy.jobs, cache_enabled=policy.use_cache,
+                           run_id=policy.run_id or "")
     start = time.perf_counter()
 
-    results: list = [None] * len(cells)
-    pending: list[tuple[int, str, Cell]] = []
-    for index, cell in enumerate(cells):
-        key = cell_key(cell, options)
-        payload = store.get(key) if store is not None else None
-        if payload is not None:
-            results[index] = payload
-            manifest.record_hit(key, cell.label)
-            _OBS.debug("cell_cached", cell=cell.label, key=key[:12])
-        else:
-            pending.append((index, key, cell))
-
-    if pending:
-        if policy.jobs > 1 and len(pending) > 1:
-            if _run_pool(pending, options, results, store, manifest, policy.jobs):
-                manifest.mode = "pool"
+    try:
+        results: list = [None] * len(cells)
+        pending: list[tuple[int, str, Cell]] = []
+        for index, cell in enumerate(cells):
+            key = cell_key(cell, options)
+            payload = store.get(key) if store is not None else None
+            if payload is not None:
+                results[index] = payload
+                manifest.record_hit(key, cell.label)
+                if key in completed_keys:
+                    _OBS.debug("checkpoint_skip", cell=cell.label,
+                               key=key[:12])
+                else:
+                    _OBS.debug("cell_cached", cell=cell.label, key=key[:12])
+                if journal is not None:
+                    journal.record(key, "hit")
             else:
-                _run_serial(pending, options, results, store, manifest)
-                manifest.mode = "serial-fallback"
-        else:
-            _run_serial(pending, options, results, store, manifest)
+                if key in completed_keys:
+                    _OBS.warning("checkpoint_missing_artifact",
+                                 cell=cell.label, key=key[:12])
+                pending.append((index, key, cell))
+
+        if pending:
+            if policy.jobs > 1 and len(pending) > 1:
+                if _run_pool(pending, options, results, store, manifest,
+                             policy, journal):
+                    manifest.mode = "pool"
+                else:
+                    _run_serial(pending, options, results, store, manifest,
+                                policy, journal)
+                    manifest.mode = "serial-fallback"
+            else:
+                _run_serial(pending, options, results, store, manifest,
+                            policy, journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
     manifest.wall_s = time.perf_counter() - start
     if _OBS.enabled:
         _OBS.info("run_summary", cells=manifest.n_cells, hits=manifest.hits,
-                  executed=manifest.misses, jobs=manifest.jobs,
-                  mode=manifest.mode, wall_s=round(manifest.wall_s, 6),
+                  executed=manifest.misses, failed=manifest.failed,
+                  retried=manifest.retried, jobs=manifest.jobs,
+                  mode=manifest.mode, run_id=manifest.run_id,
+                  wall_s=round(manifest.wall_s, 6),
                   compute_s=round(manifest.executed_s, 6),
                   cpu_s=round(manifest.executed_cpu_s, 6),
                   utilization=round(manifest.utilization, 4))

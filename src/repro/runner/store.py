@@ -7,15 +7,29 @@ Layout (under ``.domino-cache/`` by default, overridable via the
       v1/                      # schema version directory
         ab/                    # first two hex digits of the key
           ab3f...e0.json       # one artifact per cell
+      quarantine/              # corrupt artifacts, moved aside for autopsy
+      runs/                    # checkpoint journals (repro.runner.checkpoint)
+      .lock                    # advisory lock for clear/gc maintenance
 
 Every artifact is a small JSON document ``{"schema", "code_version",
-"key", "payload"}``.  Writes are atomic — the document is written to a
-unique temporary file in the destination directory and ``os.replace``d
-into place — so a crashed or concurrent writer can never leave a
-half-written artifact behind a valid name.  Reads are defensive: any
-unreadable, unparsable, or mismatched artifact is treated as a cache
-*miss* (and deleted) rather than an error, because the cache must never
-be able to break an experiment that could run without it.
+"key", "payload"}``.  Writes are durable and atomic — the document is
+written to a unique temporary file in the destination directory,
+flushed and ``fsync``'d, then ``os.replace``d into place — so a crashed
+or concurrent writer can never leave a half-written artifact behind a
+valid name, and a completed ``put`` survives power loss (which is what
+lets the checkpoint journal treat a journaled key as durably done).
+
+Reads are defensive: any unreadable, unparsable, or mismatched artifact
+is treated as a cache *miss* and **quarantined** — moved to
+``quarantine/`` and logged through ``repro.obs`` — rather than raised
+or silently deleted, because the cache must never break an experiment
+that could run without it, and the corrupt bytes are evidence worth
+keeping.
+
+Destructive maintenance (``clear``/``gc``) takes an advisory lockfile
+so two runs sharing one cache cannot interleave an artifact sweep with
+each other's writes.  Plain ``get``/``put`` stay lock-free: they are
+already safe under concurrency thanks to atomic replace.
 
 The store intentionally reuses plain JSON rather than pickle: artifacts
 survive interpreter upgrades, are greppable, and cannot execute code on
@@ -28,9 +42,12 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
+from ..errors import RunnerError
 from .cells import CODE_VERSION
 
 #: On-disk schema version; bump when the artifact document shape changes.
@@ -39,7 +56,13 @@ SCHEMA_VERSION = 1
 #: Default cache root (relative to the working directory).
 DEFAULT_ROOT = ".domino-cache"
 
+#: Where corrupt artifacts are moved (under the store base).
+QUARANTINE_DIR = "quarantine"
+
 _ENV_ROOT = "DOMINO_CACHE_DIR"
+
+#: Store telemetry scope (off until obs.configure()).
+_OBS = obs.scope("runner.store")
 
 
 @dataclass(frozen=True)
@@ -49,12 +72,93 @@ class StoreStats:
     root: str
     n_entries: int
     total_bytes: int
+    n_quarantined: int = 0
 
     def render(self) -> str:
         mib = self.total_bytes / (1024 * 1024)
-        return (f"cache {self.root}: {self.n_entries} artifacts, "
+        text = (f"cache {self.root}: {self.n_entries} artifacts, "
                 f"{mib:.2f} MiB (schema v{SCHEMA_VERSION}, "
                 f"code v{CODE_VERSION})")
+        if self.n_quarantined:
+            text += f", {self.n_quarantined} quarantined"
+        return text
+
+
+class StoreLock:
+    """Advisory lockfile serialising destructive cache maintenance.
+
+    ``O_CREAT | O_EXCL`` gives atomic acquisition on every platform the
+    repo targets.  The file records the holder's pid; a lock whose
+    holder is dead, or older than ``stale_s`` seconds, is broken —
+    a crashed ``cache clear`` must not wedge every future run.
+    """
+
+    def __init__(self, base: str | Path, timeout_s: float = 10.0,
+                 stale_s: float = 600.0) -> None:
+        self.path = Path(base) / ".lock"
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self._held = False
+
+    def acquire(self) -> "StoreLock":
+        deadline = time.monotonic() + self.timeout_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._break_if_stale():
+                    continue
+                if time.monotonic() >= deadline:
+                    raise RunnerError(
+                        f"cache lock {self.path} is held by another process "
+                        f"(waited {self.timeout_s:g}s); is a concurrent "
+                        "clear/gc running?")
+                time.sleep(0.05)
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(str(os.getpid()))
+            self._held = True
+            return self
+
+    def _break_if_stale(self) -> bool:
+        """Remove the lockfile if its holder is provably gone."""
+        try:
+            pid = int(self.path.read_text(encoding="utf-8") or "0")
+            age = time.time() - self.path.stat().st_mtime
+        except (OSError, ValueError):
+            return False  # racing holder mid-write (or already released)
+        stale = age > self.stale_s
+        if pid > 0 and not stale:
+            try:
+                os.kill(pid, 0)
+                return False  # holder is alive
+            except ProcessLookupError:
+                stale = True
+            except PermissionError:
+                return False  # alive, owned by someone else
+        if not stale:
+            return False
+        _OBS.warning("lock_broken", path=str(self.path), holder_pid=pid)
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            return False
+        return True
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            try:
+                self.path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire() if not self._held else self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 class ResultStore:
@@ -64,6 +168,7 @@ class ResultStore:
         base = Path(root or os.environ.get(_ENV_ROOT) or DEFAULT_ROOT)
         self.base = base
         self.root = base / f"v{SCHEMA_VERSION}"
+        self.quarantine_dir = base / QUARANTINE_DIR
 
     # -- addressing -----------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -74,13 +179,22 @@ class ResultStore:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def _quarantined(self) -> list[Path]:
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(p for p in self.quarantine_dir.iterdir() if p.is_file())
+
+    def lock(self, timeout_s: float = 10.0) -> StoreLock:
+        """The store's maintenance lock (see :class:`StoreLock`)."""
+        return StoreLock(self.base, timeout_s=timeout_s)
+
     # -- read / write ---------------------------------------------------
     def get(self, key: str) -> dict | None:
         """Payload for ``key``, or ``None`` on any kind of miss.
 
         Corrupted artifacts (truncated writes from a killed process,
-        stale schema, key mismatch from a renamed file) are deleted and
-        reported as misses so the cell simply re-executes.
+        stale schema, key mismatch from a renamed file) are quarantined
+        and reported as misses so the cell simply re-executes.
         """
         path = self.path_for(key)
         try:
@@ -88,20 +202,20 @@ class ResultStore:
                 document = json.load(fh)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._discard(path)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._quarantine(path, reason=f"{type(exc).__name__}: {exc}")
             return None
         if (not isinstance(document, dict)
                 or document.get("schema") != SCHEMA_VERSION
                 or document.get("code_version") != CODE_VERSION
                 or document.get("key") != key
                 or not isinstance(document.get("payload"), dict)):
-            self._discard(path)
+            self._quarantine(path, reason="schema/key mismatch")
             return None
         return document["payload"]
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Durably and atomically persist ``payload`` under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {"schema": SCHEMA_VERSION, "code_version": CODE_VERSION,
@@ -110,10 +224,31 @@ class ResultStore:
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(document, fh, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         finally:
             if tmp.exists():  # json.dump failed mid-way
                 tmp.unlink(missing_ok=True)
+
+    def _quarantine(self, path: Path, reason: str = "") -> Path | None:
+        """Move a corrupt artifact aside (graceful degradation).
+
+        Falls back to deletion when the move itself fails — a corrupt
+        artifact must never be able to block a run twice.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / path.name
+            if target.exists():
+                target = self.quarantine_dir / f"{path.name}.{os.getpid()}"
+            os.replace(path, target)
+        except OSError:
+            self._discard(path)
+            return None
+        _OBS.warning("artifact_quarantined", path=str(path),
+                     to=str(target), reason=reason)
+        return target
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -126,31 +261,39 @@ class ResultStore:
     def stats(self) -> StoreStats:
         artifacts = self._artifacts()
         return StoreStats(root=str(self.base), n_entries=len(artifacts),
-                          total_bytes=sum(p.stat().st_size for p in artifacts))
+                          total_bytes=sum(p.stat().st_size for p in artifacts),
+                          n_quarantined=len(self._quarantined()))
 
-    def clear(self) -> int:
-        """Remove every artifact (all schema versions). Returns count."""
-        removed = len(self._artifacts())
-        if self.base.is_dir():
-            shutil.rmtree(self.base, ignore_errors=True)
+    def clear(self, lock_timeout_s: float = 10.0) -> int:
+        """Remove every artifact (all schema versions) and the
+        quarantine, keeping checkpoint journals. Returns count."""
+        with self.lock(timeout_s=lock_timeout_s):
+            removed = len(self._artifacts())
+            if self.base.is_dir():
+                for child in self.base.iterdir():
+                    if child.is_dir() and (child.name.startswith("v")
+                                           or child == self.quarantine_dir):
+                        shutil.rmtree(child, ignore_errors=True)
         return removed
 
-    def gc(self, keep: int) -> int:
+    def gc(self, keep: int, lock_timeout_s: float = 10.0) -> int:
         """Drop the oldest artifacts beyond ``keep`` entries (by mtime).
 
         Also removes any artifact directories from older schema
         versions, which the current code can no longer read.
         """
-        removed = 0
-        if self.base.is_dir():
-            for child in self.base.iterdir():
-                if child.is_dir() and child != self.root:
-                    removed += sum(1 for _ in child.glob("*/*.json"))
-                    shutil.rmtree(child, ignore_errors=True)
-        artifacts = self._artifacts()
-        if keep >= 0 and len(artifacts) > keep:
-            by_age = sorted(artifacts, key=lambda p: p.stat().st_mtime)
-            for path in by_age[:len(artifacts) - keep]:
-                self._discard(path)
-                removed += 1
+        with self.lock(timeout_s=lock_timeout_s):
+            removed = 0
+            if self.base.is_dir():
+                for child in self.base.iterdir():
+                    if (child.is_dir() and child != self.root
+                            and child.name.startswith("v")):
+                        removed += sum(1 for _ in child.glob("*/*.json"))
+                        shutil.rmtree(child, ignore_errors=True)
+            artifacts = self._artifacts()
+            if keep >= 0 and len(artifacts) > keep:
+                by_age = sorted(artifacts, key=lambda p: p.stat().st_mtime)
+                for path in by_age[:len(artifacts) - keep]:
+                    self._discard(path)
+                    removed += 1
         return removed

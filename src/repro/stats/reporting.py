@@ -65,7 +65,12 @@ def render_manifest(manifest) -> str:
         cache_part = f"{manifest.hits} cache hits, {manifest.misses} executed"
     else:
         cache_part = f"{manifest.misses} executed, cache off"
-    return (f"[runner] {manifest.n_cells} cells: {cache_part}"
+    fault_part = ""
+    retried = getattr(manifest, "retried", 0)
+    failed = getattr(manifest, "failed", 0)
+    if retried or failed:
+        fault_part = f" | {retried} retried, {failed} FAILED"
+    return (f"[runner] {manifest.n_cells} cells: {cache_part}{fault_part}"
             f" | jobs={manifest.jobs} ({manifest.mode})"
             f" | wall {manifest.wall_s:.1f}s, compute {manifest.executed_s:.1f}s")
 

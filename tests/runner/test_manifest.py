@@ -77,3 +77,51 @@ class TestAccounting:
         slowest = _sample().slowest_cells
         assert [c.wall_s for c in slowest] == [3.0, 1.0]
         assert all(not c.cached for c in slowest)
+
+
+class TestFailureStatuses:
+    def _mixed(self) -> RunManifest:
+        manifest = RunManifest(jobs=1, mode="serial", run_id="r9")
+        manifest.record_hit("k1", "a")
+        manifest.record_executed("k2", "b", wall_s=1.0)
+        manifest.record_executed("k3", "c", wall_s=2.0,
+                                 status="retried", attempts=3)
+        manifest.record_failed("k4", "d", status="failed", attempts=2,
+                               error="InjectedFault: injected crash")
+        manifest.record_failed("k5", "e", status="timeout", attempts=1,
+                               error="RunnerTimeoutError: 0.5s")
+        return manifest
+
+    def test_counts(self):
+        manifest = self._mixed()
+        assert manifest.hits == 1 and manifest.misses == 4
+        assert manifest.failed == 2 and manifest.retried == 1
+        assert not manifest.complete
+        assert _sample().complete
+
+    def test_cell_ok_property(self):
+        by_status = {c.status: c for c in self._mixed().cells}
+        assert by_status["hit"].ok and by_status["ok"].ok
+        assert by_status["retried"].ok
+        assert not by_status["failed"].ok and not by_status["timeout"].ok
+
+    def test_round_trip_preserves_failure_fields(self):
+        original = self._mixed()
+        restored = RunManifest.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        assert restored.failed == 2 and restored.run_id == "r9"
+        by_status = {c.status: c for c in restored.cells}
+        assert by_status["failed"].attempts == 2
+        assert "injected crash" in by_status["failed"].error
+
+    def test_invalid_status_rejected(self):
+        manifest = RunManifest()
+        with pytest.raises(RunnerError, match="status"):
+            manifest.record_failed("k", "cell", status="exploded",
+                                   attempts=1, error="boom")
+
+    def test_merged_with_sums_failures(self):
+        left, right = self._mixed(), self._mixed()
+        merged = left.merged_with(right)
+        assert merged.failed == 4 and merged.retried == 2
+        assert merged.run_id == "r9"

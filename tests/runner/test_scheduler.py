@@ -95,6 +95,24 @@ class TestPolicy:
         with pytest.raises(ValueError):
             ExecutionPolicy(jobs=0)
 
+    @pytest.mark.parametrize("bad", [dict(retries=-1), dict(backoff_s=-0.1),
+                                     dict(backoff_max_s=-1.0),
+                                     dict(timeout_s=0.0),
+                                     dict(resume=True)])
+    def test_robustness_knobs_validated(self, bad):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**bad)
+
+    def test_backoff_delay_deterministic_and_bounded(self):
+        from repro.runner.scheduler import _backoff_delay
+        policy = ExecutionPolicy(retries=5, backoff_s=0.1, backoff_max_s=1.0)
+        delays = [_backoff_delay(policy, "somekey", a) for a in range(5)]
+        assert delays == [_backoff_delay(policy, "somekey", a)
+                          for a in range(5)]
+        for attempt, delay in enumerate(delays):
+            ceiling = min(1.0, 0.1 * 2 ** attempt)
+            assert 0.5 * ceiling <= delay < 1.5 * ceiling
+
     def test_set_policy_overrides(self):
         policy = set_policy(jobs=3, use_cache=False)
         assert policy.jobs == 3

@@ -1,9 +1,13 @@
-"""Artifact store: round-trips, corruption recovery, maintenance."""
+"""Artifact store: round-trips, corruption recovery, quarantine, locking."""
 
 import json
+import os
 
+import pytest
+
+from repro.errors import RunnerError
 from repro.runner import ResultStore
-from repro.runner.store import SCHEMA_VERSION
+from repro.runner.store import SCHEMA_VERSION, StoreLock
 
 KEY = "ab" + "0" * 62
 OTHER = "cd" + "1" * 62
@@ -77,6 +81,89 @@ class TestCorruptionRecovery:
         document["payload"] = [1, 2, 3]
         store.path_for(KEY).write_text(json.dumps(document))
         assert store.get(KEY) is None
+
+
+class TestQuarantine:
+    def test_corrupt_artifact_moved_not_deleted(self, tmp_path):
+        """The corrupt bytes are evidence; keep them for autopsy."""
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.path_for(KEY).write_text('{"schema": 1, "code_')
+        assert store.get(KEY) is None
+        quarantined = list(store.quarantine_dir.iterdir())
+        assert [p.name for p in quarantined] == [f"{KEY}.json"]
+        assert quarantined[0].read_text() == '{"schema": 1, "code_'
+
+    def test_quarantine_counted_in_stats(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.path_for(KEY).write_bytes(b"\x00garbage")
+        store.get(KEY)
+        stats = store.stats()
+        assert stats.n_quarantined == 1 and stats.n_entries == 0
+        assert "1 quarantined" in stats.render()
+
+    def test_repeated_corruption_does_not_collide(self, tmp_path):
+        store = make_store(tmp_path)
+        for _ in range(2):
+            store.put(KEY, {"v": 1})
+            store.path_for(KEY).write_text("junk")
+            assert store.get(KEY) is None
+        assert store.stats().n_quarantined == 2
+
+    def test_clear_sweeps_quarantine(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        store.path_for(KEY).write_text("junk")
+        store.get(KEY)
+        store.clear()
+        assert store.stats().n_quarantined == 0
+
+
+class TestStoreLock:
+    def test_exclusive_between_instances(self, tmp_path):
+        store = make_store(tmp_path)
+        with store.lock():
+            contender = store.lock(timeout_s=0.2)
+            with pytest.raises(RunnerError, match="held by another"):
+                contender.acquire()
+        with store.lock():  # released cleanly, so reacquire works
+            pass
+
+    def test_dead_holder_lock_broken(self, tmp_path):
+        """A lock left by a crashed process must not wedge the cache."""
+        store = make_store(tmp_path)
+        lock = StoreLock(store.base, timeout_s=1.0)
+        lock.path.parent.mkdir(parents=True, exist_ok=True)
+        lock.path.write_text("999999999")  # no such pid
+        with lock:
+            assert lock._held
+        assert not lock.path.exists()
+
+    def test_stale_lock_broken_by_age(self, tmp_path):
+        store = make_store(tmp_path)
+        lock = StoreLock(store.base, timeout_s=1.0, stale_s=10.0)
+        lock.path.parent.mkdir(parents=True, exist_ok=True)
+        lock.path.write_text(str(os.getpid()))  # alive, but ancient:
+        os.utime(lock.path, (1, 1))
+        with lock:
+            assert lock._held
+
+    def test_live_holder_not_broken(self, tmp_path):
+        store = make_store(tmp_path)
+        lock = StoreLock(store.base, timeout_s=0.2, stale_s=600.0)
+        lock.path.parent.mkdir(parents=True, exist_ok=True)
+        lock.path.write_text(str(os.getpid()))  # us: provably alive
+        with pytest.raises(RunnerError):
+            lock.acquire()
+
+    def test_clear_blocks_on_held_lock(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        with store.lock():
+            with pytest.raises(RunnerError):
+                store.clear(lock_timeout_s=0.2)
+        assert store.clear() == 1
 
 
 class TestMaintenance:

@@ -138,3 +138,59 @@ def test_cache_gc(tmp_path, capsys):
     capsys.readouterr()
     assert main(["cache", "gc", "--keep", "2", "--cache-dir", cache]) == 0
     assert "removed 4" in capsys.readouterr().out
+
+
+class TestRobustness:
+    """Fault-tolerance surface: exit codes, chaos flags, resume."""
+
+    def test_injected_crashes_survive_on_retries(self, capsys):
+        assert main(RUN_TINY + ["--no-cache", "--jobs", "2",
+                                "--inject-faults", "crash@1",
+                                "--retries", "2"]) == 0
+        assert "6 retried, 0 FAILED" in capsys.readouterr().out
+
+    def test_exhausted_retries_exit_partial(self, capsys):
+        assert main(["run", "table1", "--no-cache",
+                     "--inject-faults", "crash:1.0", "--retries", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "partial" in captured.err
+        assert "1 FAILED" in captured.out
+
+    def test_chaos_run_matches_clean_run(self, capsys):
+        def table_of(argv):
+            assert main(argv) == 0
+            return [line for line in capsys.readouterr().out.splitlines()
+                    if not line.startswith(("[runner]", "("))]
+        clean = table_of(RUN_TINY + ["--no-cache"])
+        chaos = table_of(RUN_TINY + ["--no-cache", "--jobs", "2",
+                                     "--inject-faults", "crash:0.3,seed:1",
+                                     "--retries", "3"])
+        assert chaos == clean
+
+    def test_resume_serves_journaled_cells(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        assert main(RUN_TINY + ["--cache-dir", cache,
+                                "--run-id", "cli-r1"]) == 0
+        capsys.readouterr()
+        assert main(RUN_TINY + ["--cache-dir", cache,
+                                "--resume", "cli-r1"]) == 0
+        assert "6 cache hits, 0 executed" in capsys.readouterr().out
+
+    def test_resume_unknown_run_is_usage_error(self, tmp_path, capsys):
+        assert main(RUN_TINY + ["--cache-dir", str(tmp_path / "c"),
+                                "--resume", "ghost"]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_conflicts_with_run_id(self, tmp_path, capsys):
+        assert main(RUN_TINY + ["--cache-dir", str(tmp_path / "c"),
+                                "--resume", "r1", "--run-id", "r2"]) == 2
+        assert "drop --run-id" in capsys.readouterr().err
+
+    def test_run_id_conflicts_with_no_cache(self, capsys):
+        assert main(RUN_TINY + ["--no-cache", "--run-id", "r1"]) == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_usage_error(self, capsys):
+        assert main(RUN_TINY + ["--no-cache",
+                                "--inject-faults", "bogus:1"]) == 2
+        assert "unknown fault mode" in capsys.readouterr().err
