@@ -1,0 +1,37 @@
+"""repro.analyze — AST-based invariant linter for the simulator stack.
+
+Encodes the repo's determinism, pickling, error-hierarchy, telemetry-
+naming, and durability conventions as machine-checked rules:
+
+========== ==================================================================
+DET001     no unseeded nondeterminism in sim/, core/, prefetchers/,
+           memory/, workloads/
+PICKLE001  runner-registered callables must be module-level (picklable)
+ERR001     no raise Exception/RuntimeError or assert control flow in src/
+OBS001     obs event/metric names must come from repro.obs.names
+IO001      durable writes in runner/store.py + checkpoint.py must fsync
+========== ==================================================================
+
+Run it as ``python -m repro.analyze [paths]`` or
+``domino-repro analyze [paths]``; suppress a finding with
+``# repro: noqa[RULE]`` (line) or ``# repro: noqa-file[RULE]`` (file).
+See ``docs/ANALYSIS.md`` for each rule's rationale and examples.
+"""
+
+from .engine import (ALL_RULES, Analyzer, FileContext, Finding, Rule,
+                     all_rules, describe_rules, main, register, render_json,
+                     render_text)
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "describe_rules",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,343 @@
+"""The invariant-linter engine: rule registry, suppressions, reporting.
+
+The simulator stack's correctness rests on conventions that ordinary
+tests cannot see — seeded RNGs, picklable cells, the ``ReproError``
+hierarchy, registered obs event names, fsync-before-rename persistence.
+This module turns those conventions into *rules*: small classes that
+walk a file's ``ast`` and yield :class:`Finding` objects.  The engine
+owns everything around the rules — discovering files, parsing, scoping
+rules to the subtrees they guard, honouring suppression comments, and
+rendering text or JSON reports — so a rule is nothing but a ``check``
+method and a few class attributes.
+
+Suppressions mirror the linter idiom the repo already uses, under a
+distinct marker so they never collide with ruff's:
+
+* ``# repro: noqa[DET001]`` on the offending line silences the named
+  rule(s) for that line (comma-separate several codes);
+* a bare ``# repro: noqa`` silences every rule for that line;
+* ``# repro: noqa-file[DET001]`` anywhere in the file silences the
+  named rule(s) for the whole file.
+
+Every suppression should carry a justification in the surrounding
+comment — the analyzer cannot enforce that, but review can.
+
+Scoping: each rule declares ``scope`` — path prefixes (or exact file
+paths) *relative to the repro package root*.  For files inside the
+package the engine matches against the part of the path after the last
+``repro/`` component; for analyzer test fixtures it matches after
+``fixtures/`` (so fixtures mirror the package layout); anything else is
+matched against the path as given.  An empty scope entry (``""``)
+matches everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import re
+import sys
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar
+
+from ..errors import AnalysisError
+
+#: Severities, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+#: Marker for an all-rules suppression.
+ALL_RULES = "*"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.severity}] {self.message}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file under analysis."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: Scope key: package-relative path used for rule scoping (see module
+    #: docstring).  Posix separators, e.g. ``"runner/store.py"``.
+    scope_key: str
+    #: line -> suppressed rule codes (or :data:`ALL_RULES`).
+    line_noqa: dict[int, set[str]] = field(default_factory=dict)
+    #: rule codes suppressed for the whole file (or :data:`ALL_RULES`).
+    file_noqa: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if ALL_RULES in self.file_noqa or code in self.file_noqa:
+            return True
+        codes = self.line_noqa.get(line)
+        return codes is not None and (ALL_RULES in codes or code in codes)
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check().
+
+    ``scope`` entries ending in ``/`` are directory prefixes; entries
+    ending in ``.py`` are exact files; ``""`` matches every file.
+    """
+
+    code: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = ""
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def applies_to(self, scope_key: str) -> bool:
+        for entry in self.scope:
+            if not entry:
+                return True
+            if entry.endswith("/") and scope_key.startswith(entry):
+                return True
+            if scope_key == entry:
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(path=str(ctx.path), line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, severity=self.severity, message=message)
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the default registry."""
+    if not rule_cls.code:
+        raise AnalysisError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.severity not in SEVERITIES:
+        raise AnalysisError(
+            f"rule {rule_cls.code}: unknown severity {rule_cls.severity!r}")
+    if rule_cls.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The default rule registry (populated by :mod:`.rules` on import)."""
+    from . import rules as _rules  # noqa: F401  (import registers the rules)
+
+    return dict(_REGISTRY)
+
+
+# -- suppression parsing ----------------------------------------------------
+
+def _parse_noqa(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    line_noqa: dict[int, set[str]] = {}
+    file_noqa: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = ({c.strip() for c in raw.split(",") if c.strip()}
+                 if raw else {ALL_RULES})
+        if match.group("file"):
+            file_noqa |= codes
+        else:
+            line_noqa.setdefault(lineno, set()).update(codes)
+    return line_noqa, file_noqa
+
+
+def _scope_key(path: Path) -> str:
+    """Package-relative scoping key for ``path`` (see module docstring)."""
+    parts = path.as_posix().split("/")
+    for anchor in ("repro", "fixtures"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            rest = parts[idx + 1:]
+            if rest:
+                return "/".join(rest)
+    return path.as_posix()
+
+
+# -- the analyzer -----------------------------------------------------------
+
+class Analyzer:
+    """Run a set of rules over files and collect findings."""
+
+    def __init__(self, rules: Iterable[type[Rule]] | None = None) -> None:
+        registry = all_rules()
+        selected = list(rules) if rules is not None else list(registry.values())
+        self.rules: list[Rule] = [cls() for cls in selected]
+
+    def check_source(self, source: str, path: str | Path = "<string>") -> list[Finding]:
+        """Analyze one in-memory source blob (the unit tests' entry point)."""
+        path = Path(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [Finding(path=str(path), line=exc.lineno or 1,
+                            col=(exc.offset or 0) + 1, code="PARSE000",
+                            severity="error",
+                            message=f"cannot parse file: {exc.msg}")]
+        line_noqa, file_noqa = _parse_noqa(source)
+        ctx = FileContext(path=path, source=source, tree=tree,
+                          scope_key=_scope_key(path),
+                          line_noqa=line_noqa, file_noqa=file_noqa)
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(ctx.scope_key):
+                continue
+            findings.extend(f for f in rule.check(ctx)
+                            if not ctx.is_suppressed(f.code, f.line))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def check_file(self, path: str | Path) -> list[Finding]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        return self.check_source(source, path)
+
+    def check_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in self.iter_files(paths):
+            findings.extend(self.check_file(path))
+        return findings
+
+    @staticmethod
+    def iter_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+        """Expand files and directories into sorted ``.py`` files."""
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(
+                    p for p in path.rglob("*.py")
+                    if "__pycache__" not in p.parts
+                    and not any(part.startswith(".") for part in p.parts))
+            elif path.is_file():
+                candidates = [path]
+            else:
+                raise AnalysisError(f"no such file or directory: {path}")
+            for candidate in candidates:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield candidate
+
+
+# -- reporting --------------------------------------------------------------
+
+def render_text(findings: list[Finding]) -> str:
+    if not findings:
+        return "no findings"
+    lines = [f.render() for f in findings]
+    n_err = sum(1 for f in findings if f.severity == "error")
+    n_warn = len(findings) - n_err
+    lines.append(f"{len(findings)} finding(s): {n_err} error(s), "
+                 f"{n_warn} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+def describe_rules() -> str:
+    rows = []
+    for code in sorted(all_rules()):
+        rule = all_rules()[code]
+        scope = ", ".join(s or "(everywhere)" for s in rule.scope)
+        rows.append(f"{code} [{rule.severity}] {rule.title}\n"
+                    f"    scope: {scope}\n"
+                    f"    {rule.rationale}")
+    return "\n".join(rows)
+
+
+# -- CLI --------------------------------------------------------------------
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="AST-based invariant linter for the repro simulator stack")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default text)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run (default all)")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    return parser
+
+
+def _resolve_rules(select: str | None, ignore: str | None) -> list[type[Rule]]:
+    registry = all_rules()
+    if select:
+        codes = [c.strip() for c in select.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in registry]
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(registry))}")
+        chosen = [registry[c] for c in codes]
+    else:
+        chosen = list(registry.values())
+    if ignore:
+        dropped = {c.strip() for c in ignore.split(",") if c.strip()}
+        unknown = sorted(dropped - set(registry))
+        if unknown:
+            raise AnalysisError(
+                f"unknown rule code(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(registry))}")
+        chosen = [cls for cls in chosen if cls.code not in dropped]
+    return chosen
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.analyze`` / ``domino-repro analyze``.
+
+    Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+    """
+    args = build_arg_parser().parse_args(argv)
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    try:
+        analyzer = Analyzer(_resolve_rules(args.select, args.ignore))
+        findings = analyzer.check_paths(args.paths)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(findings) if args.format == "json"
+          else render_text(findings))
+    return 1 if findings else 0

@@ -44,6 +44,7 @@ import time
 
 from . import __version__
 from .config import SystemConfig
+from .obs import names as obs_names
 from .experiments import ExperimentOptions, experiment_ids, run_experiment
 from .prefetchers.registry import PAPER_PREFETCHERS, make_prefetcher, prefetcher_names
 from .sim.engine import simulate_trace
@@ -120,11 +121,12 @@ def _write_trace(path: str) -> None:
     if st is None:  # pragma: no cover - guarded by caller
         return
     records = st.trace.events()
-    records.append({"level": "info", "component": "obs", "event": "trace_info",
+    records.append({"level": "info", "component": "obs",
+                    "event": obs_names.EVT_TRACE_INFO,
                     "events": len(records), "dropped": st.trace.dropped,
                     "sampled_out": st.trace.sampled_out})
     records.append({"level": "info", "component": "obs",
-                    "event": "metrics_snapshot",
+                    "event": obs_names.EVT_METRICS_SNAPSHOT,
                     "metrics": st.registry.snapshot()})
     n = obs.write_jsonl(path, records)
     print(f"[obs] wrote {n} events to {path}")
@@ -169,7 +171,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         for experiment_id in ids:
             start = time.time()
-            run_scope.info("experiment_start", experiment=experiment_id)
+            run_scope.info(obs_names.EVT_EXPERIMENT_START, experiment=experiment_id)
             with obs.timed(f"experiment.{experiment_id}", emit=False):
                 result = run_experiment(experiment_id, options)
             if args.format == "md":
@@ -189,9 +191,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if result.manifest is not None:
                 failed_cells += result.manifest.failed
                 print(render_manifest(result.manifest))
-                run_scope.info("manifest", experiment=experiment_id,
+                run_scope.info(obs_names.EVT_MANIFEST, experiment=experiment_id,
                                manifest=result.manifest.to_dict())
-            run_scope.info("experiment_end", experiment=experiment_id,
+            run_scope.info(obs_names.EVT_EXPERIMENT_END, experiment=experiment_id,
                            wall_s=round(time.time() - start, 3))
             print(f"({time.time() - start:.1f}s)\n")
         if tracing:
@@ -256,6 +258,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 1
     print(render_summary(events, top=args.top))
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analyze import main as analyze_main
+
+    forwarded = list(args.paths)
+    forwarded += ["--format", args.format]
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.ignore:
+        forwarded += ["--ignore", args.ignore]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return analyze_main(forwarded)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -351,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("--keep", type=_nonnegative_int, default=1024, metavar="N",
                          help="gc: newest artifacts to keep (default 1024)")
 
+    analyze_p = sub.add_parser(
+        "analyze", help="run the AST invariant linter (see docs/ANALYSIS.md)")
+    analyze_p.add_argument("paths", nargs="*", default=["src"],
+                           help="files or directories (default: src)")
+    analyze_p.add_argument("--format", choices=["text", "json"],
+                           default="text", help="report format (default text)")
+    analyze_p.add_argument("--select", default=None, metavar="CODES",
+                           help="comma-separated rule codes to run")
+    analyze_p.add_argument("--ignore", default=None, metavar="CODES",
+                           help="comma-separated rule codes to skip")
+    analyze_p.add_argument("--list-rules", action="store_true",
+                           help="print the rule registry and exit")
+
     obs_p = sub.add_parser("obs", help="inspect run telemetry")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
     summary_p = obs_sub.add_parser(
@@ -367,7 +396,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "trace": _cmd_trace,
-                "cache": _cmd_cache, "obs": _cmd_obs}
+                "cache": _cmd_cache, "obs": _cmd_obs,
+                "analyze": _cmd_analyze}
     return handlers[args.command](args)
 
 

@@ -23,6 +23,7 @@ same stream-end detection heuristic as STMS — all per Section IV-D.
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 from ..prefetchers.base import Candidate
 from ..prefetchers.temporal_base import GlobalHistoryPrefetcher, _UNBOUNDED_CAPACITY
@@ -63,12 +64,13 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
         self._record(block)
         if _OBS.enabled:
             if super_entry is None:
-                _OBS.counter("eit_one_addr_miss").inc()
-                _OBS.debug("eit_lookup", mode="one_addr", block=block, hit=False)
+                _OBS.counter(obs_names.MET_EIT_ONE_ADDR_MISS).inc()
+                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr", block=block,
+                           hit=False)
             else:
-                _OBS.counter("eit_one_addr_hit").inc()
-                _OBS.debug("eit_lookup", mode="one_addr", block=block, hit=True,
-                           entries=len(super_entry))
+                _OBS.counter(obs_names.MET_EIT_ONE_ADDR_HIT).inc()
+                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr", block=block,
+                           hit=True, entries=len(super_entry))
         if super_entry is None:
             return candidates
         stream, victim = self.streams.allocate()
@@ -118,12 +120,12 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
                 break
         if _OBS.enabled:
             if pointer is None:
-                _OBS.counter("eit_two_addr_discard").inc()
-                _OBS.debug("eit_lookup", mode="two_addr", block=event_block,
+                _OBS.counter(obs_names.MET_EIT_TWO_ADDR_DISCARD).inc()
+                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr", block=event_block,
                            matched=False, stream=sid)
             else:
-                _OBS.counter("eit_two_addr_match").inc()
-                _OBS.debug("eit_lookup", mode="two_addr", block=event_block,
+                _OBS.counter(obs_names.MET_EIT_TWO_ADDR_MATCH).inc()
+                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr", block=event_block,
                            matched=True, stream=sid, pointer=pointer)
         if pointer is None:
             # The two-address lookup failed: discard the stream state but

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 
 #: Replacement telemetry (off until obs.configure()); lookup *outcomes*
@@ -142,8 +143,8 @@ class EnhancedIndexTable:
                 victim_tag, _ = row.popitem(last=False)
                 self.stats.super_entry_evictions += 1
                 if _OBS.enabled:
-                    _OBS.counter("super_entry_evictions").inc()
-                    _OBS.debug("replacement", kind="super_entry", tag=tag,
+                    _OBS.counter(obs_names.MET_SUPER_ENTRY_EVICTIONS).inc()
+                    _OBS.debug(obs_names.EVT_REPLACEMENT, kind="super_entry", tag=tag,
                                victim=victim_tag, row=row_idx)
             super_entry = SuperEntry(tag=tag, max_entries=self.entries_per_super)
             row[tag] = super_entry
@@ -152,8 +153,9 @@ class EnhancedIndexTable:
         if super_entry.update(address, pointer) is not None:
             self.stats.entry_evictions += 1
             if _OBS.enabled:
-                _OBS.counter("entry_evictions").inc()
-                _OBS.debug("replacement", kind="entry", tag=tag, address=address)
+                _OBS.counter(obs_names.MET_ENTRY_EVICTIONS).inc()
+                _OBS.debug(obs_names.EVT_REPLACEMENT, kind="entry", tag=tag,
+                           address=address)
 
     def resident_tags(self) -> int:
         """Total super-entries resident (test/diagnostic helper)."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict, deque
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 
@@ -73,7 +74,7 @@ class StreamTable:
     def __len__(self) -> int:
         return len(self._streams)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ActiveStream]:
         return iter(self._streams.values())
 
     def get(self, stream_id: int) -> ActiveStream | None:

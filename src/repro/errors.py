@@ -40,6 +40,10 @@ class UnknownExperimentError(ReproError, KeyError):
     """An experiment id was requested that is not in the registry."""
 
 
+class AnalysisError(ReproError):
+    """The static analyzer was misconfigured or given unusable input."""
+
+
 class RunnerError(ReproError):
     """The execution engine was given an invalid cell or policy."""
 

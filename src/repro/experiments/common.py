@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..config import SystemConfig, timing_config
 from ..prefetchers.registry import make_prefetcher

@@ -24,7 +24,7 @@ def run(options: ExperimentOptions | None = None) -> ExperimentResult:
         lengths = [stms.stream_lengths.mean_length,
                    digram.stream_lengths.mean_length,
                    seq.mean_stream_length]
-        for key, value in zip(per_prefetcher, lengths):
+        for key, value in zip(per_prefetcher, lengths, strict=True):
             per_prefetcher[key].append(value)
         rows.append([workload] + [round(v, 2) for v in lengths])
     rows.append(["average"] + [round(mean(per_prefetcher[k]), 2)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import UnknownExperimentError
 from .common import ExperimentOptions, ExperimentResult

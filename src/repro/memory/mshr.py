@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import SimulationError
+
 
 @dataclass
 class MshrStats:
@@ -46,7 +48,7 @@ class MshrFile:
             return False
         if len(self._entries) >= self.capacity:
             self.stats.stalls += 1
-            raise RuntimeError("MSHR file full; caller must retire first")
+            raise SimulationError("MSHR file full; caller must retire first")
         self._entries[block] = ready_time
         self.stats.allocations += 1
         return True

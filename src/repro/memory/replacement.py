@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Hashable, Iterator
+from collections.abc import Hashable, Iterator
 
 
 class ReplacementPolicy(ABC):
@@ -170,11 +170,18 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str, capacity: int) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+def make_policy(name: str, capacity: int, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random').
+
+    ``seed`` feeds the RNG of stochastic policies so repeated runs with
+    the same configuration replace identically; deterministic policies
+    ignore it.
+    """
     try:
         cls = _POLICIES[name.lower()]
     except KeyError:
         raise ValueError(f"unknown replacement policy {name!r}; "
                          f"choose from {sorted(_POLICIES)}") from None
+    if cls is RandomPolicy:
+        return cls(capacity, seed=seed)
     return cls(capacity)

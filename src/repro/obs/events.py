@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
+from typing import Any
 
 DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
 
@@ -57,7 +58,7 @@ class EventTrace:
         self.level = level
         self.sample_every = sample_every
         self.ring = ring
-        self._events: deque[dict] = deque(maxlen=ring)
+        self._events: deque[dict[str, Any]] = deque(maxlen=ring)
         self._seen: dict[tuple[str, str], int] = {}
         self._seq = 0
         #: Events evicted by the ring (oldest-first) — distinct from
@@ -83,17 +84,17 @@ class EventTrace:
         self._seq += 1
         self._events.append(record)
 
-    def extend(self, records: list[dict]) -> None:
+    def extend(self, records: list[dict[str, Any]]) -> None:
         """Absorb already-formed records (e.g. shipped from a worker)."""
         for record in records:
             if len(self._events) == self.ring:
                 self.dropped += 1
             self._events.append(record)
 
-    def events(self) -> list[dict]:
+    def events(self) -> list[dict[str, Any]]:
         return list(self._events)
 
-    def drain(self) -> list[dict]:
+    def drain(self) -> list[dict[str, Any]]:
         out = list(self._events)
         self._events.clear()
         return out
@@ -102,7 +103,7 @@ class EventTrace:
         return len(self._events)
 
 
-def write_jsonl(path: str | Path, events: list[dict]) -> int:
+def write_jsonl(path: str | Path, events: list[dict[str, Any]]) -> int:
     """Write events one-JSON-object-per-line; returns the line count."""
     path = Path(path)
     with path.open("w", encoding="utf-8") as fh:
@@ -113,9 +114,9 @@ def write_jsonl(path: str | Path, events: list[dict]) -> int:
     return len(events)
 
 
-def read_jsonl(path: str | Path) -> list[dict]:
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
     """Parse a JSONL trace; malformed lines raise with their number."""
-    events: list[dict] = []
+    events: list[dict[str, Any]] = []
     with Path(path).open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()

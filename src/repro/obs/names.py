@@ -1,0 +1,92 @@
+"""Central registry of event and metric names used at emit sites.
+
+Every event name passed to a :class:`repro.obs.Scope` emitter
+(``.debug``/``.info``/``.warning``/``.error``/``.emit``) and every
+counter/histogram name passed to ``Scope.counter``/``Scope.histogram``
+must come from this module.  That keeps three things from drifting
+apart: the emit sites themselves, the ``obs summary`` renderer that
+groups and explains events, and the taxonomy tables in
+``docs/OBSERVABILITY.md``.
+
+The invariant is machine-enforced: rule **OBS001** of
+:mod:`repro.analyze` rejects any emit site whose name is not a string
+constant defined here (either the literal value or a ``names.X``
+reference).  Adding a new event is therefore a two-line change — define
+the constant here, use it at the emit site — and the analyzer, the
+summary tool, and the docs all agree by construction.
+
+Constants are grouped by the component scope that emits them.  The
+``EVENT_NAMES`` / ``METRIC_NAMES`` frozensets at the bottom are derived
+from the constants and are what OBS001 validates against.
+"""
+
+from __future__ import annotations
+
+# -- sim.engine events ------------------------------------------------------
+EVT_TRIGGER = "trigger"                    # one triggering event (miss or prefetch hit)
+EVT_PREFETCH = "prefetch"                  # one candidate inserted into the buffer
+EVT_EVICTION = "eviction"                  # used block evicted from the buffer
+EVT_OVERPREDICTION = "overprediction"      # unused block evicted from the buffer
+EVT_RUN_COMPLETE = "run_complete"          # one trace-driven simulation finished
+
+# -- core.domino / core.eit events ------------------------------------------
+EVT_EIT_LOOKUP = "eit_lookup"              # one- or two-address EIT lookup outcome
+EVT_REPLACEMENT = "replacement"            # EIT super-entry/entry eviction
+
+# -- runner.scheduler events ------------------------------------------------
+EVT_CELL_CACHED = "cell_cached"            # cache hit served from the store
+EVT_CELL_EXECUTED = "cell_executed"        # cell computed (wall/CPU attached)
+EVT_CELL_PROFILE = "cell_profile"          # per-cell cProfile rows
+EVT_CELL_RETRY = "cell_retry"              # failed attempt, retry scheduled
+EVT_CELL_TIMEOUT = "cell_timeout"          # attempt exceeded the wall-clock budget
+EVT_CELL_FAILED = "cell_failed"            # retry budget exhausted
+EVT_POOL_START = "pool_start"              # worker pool spun up
+EVT_POOL_REBUILD = "pool_rebuild"          # pool torn down after a hung cell
+EVT_RUN_RESUMED = "run_resumed"            # checkpoint journal loaded
+EVT_CHECKPOINT_SKIP = "checkpoint_skip"    # journaled cell served from the store
+EVT_CHECKPOINT_MISSING_ARTIFACT = "checkpoint_missing_artifact"
+EVT_FAULT_CORRUPT_ARTIFACT = "fault_corrupt_artifact"  # chaos harness clobbered a put
+EVT_RUN_SUMMARY = "run_summary"            # end-of-run scheduler accounting
+
+# -- runner.store events ----------------------------------------------------
+EVT_ARTIFACT_QUARANTINED = "artifact_quarantined"  # corrupt artifact moved aside
+EVT_LOCK_BROKEN = "lock_broken"            # stale/dead-holder maintenance lock removed
+
+# -- cli.run events ---------------------------------------------------------
+EVT_EXPERIMENT_START = "experiment_start"
+EVT_EXPERIMENT_END = "experiment_end"
+EVT_MANIFEST = "manifest"                  # run manifest embedded in the trace
+
+# -- obs-internal events (written by the framework, not via a Scope) --------
+EVT_SECTION_END = "section_end"            # obs.timed() debug record
+EVT_TRACE_INFO = "trace_info"              # trailer: event/drop accounting
+EVT_METRICS_SNAPSHOT = "metrics_snapshot"  # trailer: embedded registry snapshot
+
+# -- sim.engine counters ----------------------------------------------------
+MET_TRIGGER_MISS = "trigger_miss"
+MET_TRIGGER_PREFETCH_HIT = "trigger_prefetch_hit"
+MET_PREFETCH_ISSUED = "prefetch_issued"
+MET_EVICTION_USED = "eviction_used"
+MET_OVERPREDICTION = "overprediction"
+
+# -- core.domino counters ---------------------------------------------------
+MET_EIT_ONE_ADDR_HIT = "eit_one_addr_hit"
+MET_EIT_ONE_ADDR_MISS = "eit_one_addr_miss"
+MET_EIT_TWO_ADDR_MATCH = "eit_two_addr_match"
+MET_EIT_TWO_ADDR_DISCARD = "eit_two_addr_discard"
+
+# -- core.eit counters ------------------------------------------------------
+MET_SUPER_ENTRY_EVICTIONS = "super_entry_evictions"
+MET_ENTRY_EVICTIONS = "entry_evictions"
+
+
+def _collect(prefix: str) -> frozenset[str]:
+    return frozenset(value for name, value in globals().items()
+                     if name.startswith(prefix) and isinstance(value, str))
+
+
+#: Every event name an emit site may use (validated by OBS001).
+EVENT_NAMES = _collect("EVT_")
+
+#: Every counter/histogram name an emit site may use (validated by OBS001).
+METRIC_NAMES = _collect("MET_")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from typing import Any
 
 #: Default bucket upper bounds for second-valued timings: 100 us .. 100 s,
 #: roughly geometric.  The implicit final bucket is +inf.
@@ -101,7 +102,7 @@ class Histogram:
                 return self.max
         return self.max  # pragma: no cover - unreachable
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
@@ -141,7 +142,7 @@ class Registry:
         return metric
 
     # -- snapshot / merge -----------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """JSON-serialisable dump of every metric."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
@@ -150,7 +151,7 @@ class Registry:
                            for n, h in sorted(self._histograms.items())},
         }
 
-    def merge_snapshot(self, snapshot: dict) -> None:
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold a worker's snapshot into this registry.
 
         Counters and histogram buckets add; gauges take the incoming
@@ -217,5 +218,5 @@ class NullRegistry:
     def histogram(self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> _NullMetric:
         return self._null
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Any
 
 from .events import DEBUG, ERROR, INFO, WARNING, EventTrace
-from .registry import NullRegistry, Registry
+from .registry import Counter, Histogram, NullRegistry, Registry, _NullMetric
 
 #: Shared null metric: what disabled scopes hand to metric users.
 _NULL_REGISTRY = NullRegistry()
@@ -128,14 +128,15 @@ class Scope:
         exhaustion and cell failures are never sampled out of a trace."""
         self.emit(event, ERROR, **fields)
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Counter | _NullMetric:
         """Registry counter namespaced under this component."""
         st = _STATE
         if st is None:
             return _NULL_REGISTRY.counter(name)
         return st.registry.counter(f"{self.component}.{name}")
 
-    def histogram(self, name: str, buckets: tuple[float, ...] | None = None):
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None,
+                  ) -> Histogram | _NullMetric:
         st = _STATE
         if st is None:
             return _NULL_REGISTRY.histogram(name)
@@ -162,8 +163,8 @@ class capture:
 
     def __init__(self, config: ObsConfig | None) -> None:
         self.config = config
-        self.events: list[dict] = []
-        self.metrics: dict = {}
+        self.events: list[dict[str, Any]] = []
+        self.metrics: dict[str, Any] = {}
         self.dropped = 0
         self.sampled_out = 0
         self._prev: ObsState | None = None
@@ -190,8 +191,8 @@ class capture:
             _STATE = self._prev
 
 
-def absorb(events: list[dict], metrics: dict | None = None,
-           tag: dict | None = None) -> None:
+def absorb(events: list[dict[str, Any]], metrics: dict[str, Any] | None = None,
+           tag: dict[str, str] | None = None) -> None:
     """Fold captured telemetry (e.g. from a worker) into this process.
 
     ``tag`` fields are stamped onto every absorbed event — the scheduler

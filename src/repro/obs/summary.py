@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import Counter as TallyCounter
 from collections import defaultdict
+from typing import Any
 
 from ..stats.tables import format_table
 from .registry import Registry
@@ -24,7 +25,7 @@ from .registry import Registry
 PERCENTILES = (0.50, 0.90, 0.99)
 
 
-def event_counts(events: list[dict]) -> list[tuple[str, str, int]]:
+def event_counts(events: list[dict[str, Any]]) -> list[tuple[str, str, int]]:
     """(component, event, count) triples, most frequent first."""
     tally: TallyCounter = TallyCounter(
         (e.get("component", "?"), e.get("event", "?")) for e in events)
@@ -33,7 +34,7 @@ def event_counts(events: list[dict]) -> list[tuple[str, str, int]]:
                                           key=lambda kv: (-kv[1], kv[0]))]
 
 
-def metrics_snapshot(events: list[dict]) -> dict | None:
+def metrics_snapshot(events: list[dict[str, Any]]) -> dict[str, Any] | None:
     """The last embedded registry snapshot, if the trace carries one."""
     for record in reversed(events):
         if record.get("event") == "metrics_snapshot":
@@ -43,13 +44,13 @@ def metrics_snapshot(events: list[dict]) -> dict | None:
     return None
 
 
-def cell_timings(events: list[dict]) -> list[dict]:
+def cell_timings(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
     """Executed-cell records (label + wall/CPU seconds), slowest first."""
     cells = [e for e in events if e.get("event") == "cell_executed"]
     return sorted(cells, key=lambda e: -float(e.get("wall_s", 0.0)))
 
 
-def profile_rows(events: list[dict], top: int = 10) -> list[tuple[str, float, int]]:
+def profile_rows(events: list[dict[str, Any]], top: int = 10) -> list[tuple[str, float, int]]:
     """Aggregate per-cell cProfile rows across the run by function."""
     cumtime: defaultdict[str, float] = defaultdict(float)
     calls: defaultdict[str, int] = defaultdict(int)
@@ -63,7 +64,7 @@ def profile_rows(events: list[dict], top: int = 10) -> list[tuple[str, float, in
     return [(func, t, calls[func]) for func, t in ranked]
 
 
-def _histogram_table(snapshot: dict) -> str | None:
+def _histogram_table(snapshot: dict[str, Any]) -> str | None:
     dumps = snapshot.get("histograms", {})
     if not dumps:
         return None
@@ -80,7 +81,7 @@ def _histogram_table(snapshot: dict) -> str | None:
     return format_table(headers, rows, title="timing histograms (seconds)")
 
 
-def render_summary(events: list[dict], top: int = 10) -> str:
+def render_summary(events: list[dict[str, Any]], top: int = 10) -> str:
     """The full ``obs summary`` report for one parsed trace."""
     if not events:
         return "empty trace: no events"

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
+from . import names, runtime
 from .events import DEBUG
-from . import runtime
 
 
 @contextmanager
@@ -38,13 +39,13 @@ def timed(section: str, emit: bool = True) -> Iterator[None]:
         st.registry.histogram(f"time.{section}_s").observe(wall)
         st.registry.histogram(f"time.{section}_cpu_s").observe(cpu)
         if emit:
-            st.trace.emit("obs.timer", "section_end", DEBUG,
+            st.trace.emit("obs.timer", names.EVT_SECTION_END, DEBUG,
                           section=section, wall_s=round(wall, 6),
                           cpu_s=round(cpu, 6))
 
 
 def profile_call(fn: Callable[..., Any], *args: Any, top: int = 10,
-                 **kwargs: Any) -> tuple[Any, list[dict]]:
+                 **kwargs: Any) -> tuple[Any, list[dict[str, Any]]]:
     """Run ``fn`` under cProfile; returns ``(result, top_rows)``.
 
     Rows are ``{"func", "ncalls", "tottime_s", "cumtime_s"}`` sorted by
@@ -56,7 +57,7 @@ def profile_call(fn: Callable[..., Any], *args: Any, top: int = 10,
     profiler = cProfile.Profile()
     result = profiler.runcall(fn, *args, **kwargs)
     stats = pstats.Stats(profiler)
-    rows: list[dict] = []
+    rows: list[dict[str, Any]] = []
     entries = sorted(stats.stats.items(),  # type: ignore[attr-defined]
                      key=lambda item: item[1][3], reverse=True)
     for (filename, lineno, funcname), (cc, nc, tottime, cumtime, _callers) in entries:

@@ -8,7 +8,8 @@ keyword arguments (e.g. ``unbounded`` for the temporal designs or
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from ..config import SystemConfig
 from ..core.domino import DominoPrefetcher

@@ -34,6 +34,7 @@ import json
 import os
 import re
 from pathlib import Path
+from typing import Any
 
 from ..errors import CheckpointError
 
@@ -105,7 +106,8 @@ class CheckpointJournal:
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError as exc:
-            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}")
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}") from exc
         lines = text.splitlines()
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty")
@@ -124,7 +126,7 @@ class CheckpointJournal:
                 if lineno == len(lines):  # torn tail from a killed writer
                     break
                 raise CheckpointError(
-                    f"corrupt checkpoint record at {self.path}:{lineno}")
+                    f"corrupt checkpoint record at {self.path}:{lineno}") from None
             if isinstance(record, dict) and isinstance(record.get("key"), str):
                 keys.add(record["key"])
         return keys
@@ -137,7 +139,7 @@ class CheckpointJournal:
         self._append({"key": key, "status": status})
         self.seen.add(key)
 
-    def _append(self, record: dict) -> None:
+    def _append(self, record: dict[str, Any]) -> None:
         if self._fh is None:  # pragma: no cover - misuse guard
             raise CheckpointError("checkpoint journal is closed")
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")

@@ -42,7 +42,7 @@ def _warmup(options: Any) -> int:
     return int(options.n_accesses * options.warmup_frac)
 
 
-def _execute_trace(cell: Cell, options: Any) -> dict:
+def _execute_trace(cell: Cell, options: Any) -> dict[str, Any]:
     config = cell_config(cell)
     degree = cell.degree if cell.degree is not None else options.degree
     prefetcher = make_prefetcher(cell.prefetcher, config, degree=degree,
@@ -60,7 +60,7 @@ def _execute_trace(cell: Cell, options: Any) -> dict:
     }
 
 
-def _execute_opportunity(cell: Cell, options: Any) -> dict:
+def _execute_opportunity(cell: Cell, options: Any) -> dict[str, Any]:
     config = cell_config(cell)
     trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
     window = trace.slice(_warmup(options), len(trace))
@@ -73,7 +73,7 @@ def _execute_opportunity(cell: Cell, options: Any) -> dict:
     }
 
 
-def _execute_multicore(cell: Cell, options: Any) -> dict:
+def _execute_multicore(cell: Cell, options: Any) -> dict[str, Any]:
     config = cell_config(cell)
     per_core = max(options.n_accesses // 2, 20_000)
     traces = _suite(options.seed).core_traces(cell.workload, per_core,
@@ -90,7 +90,7 @@ def _execute_multicore(cell: Cell, options: Any) -> dict:
     }
 
 
-def _execute_table1(cell: Cell, options: Any) -> dict:
+def _execute_table1(cell: Cell, options: Any) -> dict[str, Any]:
     config = cell_config(cell)
     rows = [
         ["Chip", f"{config.n_cores} cores, {config.clock_ghz:g} GHz"],
@@ -123,7 +123,7 @@ _EXECUTORS = {
 }
 
 
-def execute_cell(cell: Cell, options: Any) -> dict:
+def execute_cell(cell: Cell, options: Any) -> dict[str, Any]:
     """Run one cell and return its JSON-serialisable payload."""
     try:
         executor = _EXECUTORS[cell.kind]
@@ -144,18 +144,18 @@ class CellTelemetry:
     wall_s: float = 0.0
     cpu_s: float = 0.0
     #: Structured events captured inside the (worker) process.
-    events: list[dict] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
     #: Registry snapshot captured inside the (worker) process.
-    metrics: dict = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
     #: Ring-buffer evictions during capture (0 = full-fidelity trace).
     dropped: int = 0
     #: Top cProfile rows, when per-cell profiling was requested.
-    profile: list[dict] = field(default_factory=list)
+    profile: list[dict[str, Any]] = field(default_factory=list)
 
 
 def execute_timed(
-    item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"] | tuple,
-) -> tuple[int, str, dict, CellTelemetry]:
+    item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"] | tuple[Any, ...],
+) -> tuple[int, str, dict[str, Any], CellTelemetry]:
     """Pool entry point:
     ``(index, key, cell, options[, obs_config[, faults, attempt]])``
     in, ``(index, key, payload, telemetry)`` out.

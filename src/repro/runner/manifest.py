@@ -20,6 +20,7 @@ records exactly which cells failed, timed out, or needed retries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..errors import RunnerError
 
@@ -145,7 +146,7 @@ class RunManifest:
         return sorted((c for c in self.cells if not c.cached),
                       key=lambda c: -c.wall_s)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (for logs and tooling)."""
         return {
             "version": SCHEMA_VERSION,
@@ -167,7 +168,7 @@ class RunManifest:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunManifest":
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
         """Rehydrate a serialised manifest, validating its schema.
 
         Raises :class:`RunnerError` on a missing or unknown ``version``

@@ -33,12 +33,15 @@ Policy knobs never enter cache keys — see :mod:`repro.runner.cells`.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from .. import obs
+from ..obs import names as obs_names
 from ..errors import CellFailedError, CheckpointError, RunnerTimeoutError
 from ..faults import FaultPlan, corrupt_artifact, stable_fraction
 from .cells import Cell, cell_key
@@ -146,7 +149,7 @@ class _Outcome:
     label: str
     status: str                       # ok | retried | failed | timeout
     attempts: int
-    payload: dict | None = None
+    payload: dict[str, Any] | None = None
     telemetry: CellTelemetry | None = None
     error: str = ""
 
@@ -167,15 +170,15 @@ def _attempt_failed(exc: BaseException, key: str, label: str, attempt: int,
     ``("failed" | "timeout", 0.0)``.  Emits the matching trace event."""
     timed_out = isinstance(exc, RunnerTimeoutError)
     if timed_out:
-        _OBS.warning("cell_timeout", cell=label, attempt=attempt + 1,
+        _OBS.warning(obs_names.EVT_CELL_TIMEOUT, cell=label, attempt=attempt + 1,
                      timeout_s=policy.timeout_s)
     if attempt < policy.retries:
         delay = _backoff_delay(policy, key, attempt)
-        _OBS.warning("cell_retry", cell=label, attempt=attempt + 1,
+        _OBS.warning(obs_names.EVT_CELL_RETRY, cell=label, attempt=attempt + 1,
                      delay_s=round(delay, 4), error=_describe(exc))
         return "retry", delay
     status = "timeout" if timed_out else "failed"
-    _OBS.error("cell_failed", cell=label, status=status,
+    _OBS.error(obs_names.EVT_CELL_FAILED, cell=label, status=status,
                attempts=attempt + 1, error=_describe(exc))
     return status, 0.0
 
@@ -190,7 +193,8 @@ def _exhausted(outcome: _Outcome, policy: ExecutionPolicy,
     return outcome
 
 
-def _finish(outcome: _Outcome, results: list, manifest: RunManifest) -> None:
+def _finish(outcome: _Outcome, results: list[dict[str, Any] | None],
+            manifest: RunManifest) -> None:
     """Fold one terminal cell outcome into the run, in input order.
 
     Successful payloads are persisted and journaled immediately by the
@@ -213,17 +217,17 @@ def _finish(outcome: _Outcome, results: list, manifest: RunManifest) -> None:
     if _OBS.enabled:
         obs.absorb(telemetry.events, telemetry.metrics,
                    tag={"cell": outcome.label})
-        _OBS.info("cell_executed", cell=outcome.label, key=outcome.key[:12],
+        _OBS.info(obs_names.EVT_CELL_EXECUTED, cell=outcome.label, key=outcome.key[:12],
                   status=outcome.status, attempts=outcome.attempts,
                   wall_s=round(telemetry.wall_s, 6),
                   cpu_s=round(telemetry.cpu_s, 6),
                   events=len(telemetry.events), dropped=telemetry.dropped)
         if telemetry.profile:
-            _OBS.info("cell_profile", cell=outcome.label,
+            _OBS.info(obs_names.EVT_CELL_PROFILE, cell=outcome.label,
                       rows=telemetry.profile)
 
 
-def _persist(key: str, payload: dict, status: str,
+def _persist(key: str, payload: dict[str, Any], status: str,
              store: ResultStore | None, policy: ExecutionPolicy,
              journal: CheckpointJournal | None) -> None:
     """Durably store a completed payload and journal its key.
@@ -238,7 +242,7 @@ def _persist(key: str, payload: dict, status: str,
     store.put(key, payload)
     if policy.faults is not None and policy.faults.should_corrupt(key):
         if corrupt_artifact(store.path_for(key)):
-            _OBS.warning("fault_corrupt_artifact", key=key[:12])
+            _OBS.warning(obs_names.EVT_FAULT_CORRUPT_ARTIFACT, key=key[:12])
     if journal is not None:
         journal.record(key, status)
 
@@ -248,7 +252,7 @@ def _persist(key: str, payload: dict, status: str,
 
 
 def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
-                results: list, store: ResultStore | None,
+                results: list[dict[str, Any] | None], store: ResultStore | None,
                 manifest: RunManifest, policy: ExecutionPolicy,
                 journal: CheckpointJournal | None) -> None:
     obs_config = obs.current_config()
@@ -315,7 +319,7 @@ class _Queued:
     rank: int = field(default=0)
 
 
-def _make_pool(processes: int):
+def _make_pool(processes: int) -> multiprocessing.pool.Pool | None:
     try:
         return multiprocessing.Pool(processes=processes)
     except (OSError, ValueError, ImportError):
@@ -323,7 +327,7 @@ def _make_pool(processes: int):
 
 
 def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
-              results: list, store: ResultStore | None,
+              results: list[dict[str, Any] | None], store: ResultStore | None,
               manifest: RunManifest, policy: ExecutionPolicy,
               journal: CheckpointJournal | None) -> bool:
     """Fan pending cells across a worker pool with async collection.
@@ -338,7 +342,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
     pool = _make_pool(n_workers)
     if pool is None:
         return False
-    _OBS.debug("pool_start", jobs=n_workers, pending=len(pending))
+    _OBS.debug(obs_names.EVT_POOL_START, jobs=n_workers, pending=len(pending))
 
     order = [index for index, _, _ in pending]
     queued: list[_Queued] = [
@@ -411,7 +415,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
                     # Hung (or dead-worker) cell: the only safe way to
                     # reclaim the worker is to tear the pool down.
                     progressed = True
-                    _OBS.warning("pool_rebuild", cell=fl.cell.label,
+                    _OBS.warning(obs_names.EVT_POOL_REBUILD, cell=fl.cell.label,
                                  attempt=fl.attempt + 1,
                                  in_flight=len(in_flight) - 1)
                     pool.terminate()
@@ -468,7 +472,8 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
 
 
 def run_cells(cells: Sequence[Cell], options: Any,
-              policy: ExecutionPolicy | None = None) -> tuple[list[dict], RunManifest]:
+              policy: ExecutionPolicy | None = None,
+              ) -> tuple[list[dict[str, Any] | None], RunManifest]:
     """Execute ``cells`` under ``policy`` (default: the global policy).
 
     Returns ``(payloads, manifest)`` with payloads in input order.
@@ -492,14 +497,14 @@ def run_cells(cells: Sequence[Cell], options: Any,
                                          resume=policy.resume)
         if policy.resume:
             completed_keys = set(journal.seen)
-            _OBS.info("run_resumed", run_id=policy.run_id,
+            _OBS.info(obs_names.EVT_RUN_RESUMED, run_id=policy.run_id,
                       journaled=len(completed_keys))
     manifest = RunManifest(jobs=policy.jobs, cache_enabled=policy.use_cache,
                            run_id=policy.run_id or "")
     start = time.perf_counter()
 
     try:
-        results: list = [None] * len(cells)
+        results: list[dict[str, Any] | None] = [None] * len(cells)
         pending: list[tuple[int, str, Cell]] = []
         for index, cell in enumerate(cells):
             key = cell_key(cell, options)
@@ -508,15 +513,15 @@ def run_cells(cells: Sequence[Cell], options: Any,
                 results[index] = payload
                 manifest.record_hit(key, cell.label)
                 if key in completed_keys:
-                    _OBS.debug("checkpoint_skip", cell=cell.label,
+                    _OBS.debug(obs_names.EVT_CHECKPOINT_SKIP, cell=cell.label,
                                key=key[:12])
                 else:
-                    _OBS.debug("cell_cached", cell=cell.label, key=key[:12])
+                    _OBS.debug(obs_names.EVT_CELL_CACHED, cell=cell.label, key=key[:12])
                 if journal is not None:
                     journal.record(key, "hit")
             else:
                 if key in completed_keys:
-                    _OBS.warning("checkpoint_missing_artifact",
+                    _OBS.warning(obs_names.EVT_CHECKPOINT_MISSING_ARTIFACT,
                                  cell=cell.label, key=key[:12])
                 pending.append((index, key, cell))
 
@@ -538,7 +543,7 @@ def run_cells(cells: Sequence[Cell], options: Any,
 
     manifest.wall_s = time.perf_counter() - start
     if _OBS.enabled:
-        _OBS.info("run_summary", cells=manifest.n_cells, hits=manifest.hits,
+        _OBS.info(obs_names.EVT_RUN_SUMMARY, cells=manifest.n_cells, hits=manifest.hits,
                   executed=manifest.misses, failed=manifest.failed,
                   retried=manifest.retried, jobs=manifest.jobs,
                   mode=manifest.mode, run_id=manifest.run_id,

@@ -39,14 +39,17 @@ load.  Larger binary artifacts (traces) keep using the ``.npz`` path in
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from .. import obs
+from ..obs import names as obs_names
 from ..errors import RunnerError
 from .cells import CODE_VERSION
 
@@ -113,11 +116,13 @@ class StoreLock:
                     raise RunnerError(
                         f"cache lock {self.path} is held by another process "
                         f"(waited {self.timeout_s:g}s); is a concurrent "
-                        "clear/gc running?")
+                        "clear/gc running?") from None
                 time.sleep(0.05)
                 continue
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(str(os.getpid()))
+                # Advisory lockfile only: the pid is a debugging hint, not
+                # durable state, and stale detection tolerates a torn write.
+                fh.write(str(os.getpid()))  # repro: noqa[IO001]
             self._held = True
             return self
 
@@ -139,7 +144,7 @@ class StoreLock:
                 return False  # alive, owned by someone else
         if not stale:
             return False
-        _OBS.warning("lock_broken", path=str(self.path), holder_pid=pid)
+        _OBS.warning(obs_names.EVT_LOCK_BROKEN, path=str(self.path), holder_pid=pid)
         try:
             self.path.unlink(missing_ok=True)
         except OSError:
@@ -149,10 +154,8 @@ class StoreLock:
     def release(self) -> None:
         if self._held:
             self._held = False
-            try:
+            with contextlib.suppress(OSError):
                 self.path.unlink(missing_ok=True)
-            except OSError:
-                pass
 
     def __enter__(self) -> "StoreLock":
         return self.acquire() if not self._held else self
@@ -189,7 +192,7 @@ class ResultStore:
         return StoreLock(self.base, timeout_s=timeout_s)
 
     # -- read / write ---------------------------------------------------
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str) -> dict[str, Any] | None:
         """Payload for ``key``, or ``None`` on any kind of miss.
 
         Corrupted artifacts (truncated writes from a killed process,
@@ -214,7 +217,7 @@ class ResultStore:
             return None
         return document["payload"]
 
-    def put(self, key: str, payload: dict) -> None:
+    def put(self, key: str, payload: dict[str, Any]) -> None:
         """Durably and atomically persist ``payload`` under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -246,16 +249,14 @@ class ResultStore:
         except OSError:
             self._discard(path)
             return None
-        _OBS.warning("artifact_quarantined", path=str(path),
+        _OBS.warning(obs_names.EVT_ARTIFACT_QUARANTINED, path=str(path),
                      to=str(target), reason=reason)
         return target
 
     @staticmethod
     def _discard(path: Path) -> None:
-        try:
+        with contextlib.suppress(OSError):
             path.unlink(missing_ok=True)
-        except OSError:
-            pass
 
     # -- maintenance ----------------------------------------------------
     def stats(self) -> StoreStats:

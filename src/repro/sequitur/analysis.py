@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import GrammarError
 from ..stats.metrics import safe_div
 from ..stats.streamstats import StreamLengthStats
 from .grammar import Grammar, Rule
@@ -82,7 +83,7 @@ def _expansion_lengths(grammar: Grammar) -> dict[int, int]:
             else:
                 still_pending.append(rule)
         if not progressed and still_pending:
-            raise RuntimeError("cycle detected in Sequitur rule graph")
+            raise GrammarError("cycle detected in Sequitur rule graph")
         pending = still_pending
     return lengths
 
@@ -131,6 +132,6 @@ def analyze_sequence(sequence: list[int]) -> SequiturAnalysis:
     grammar.extend(sequence)
     analysis = analyze_grammar(grammar)
     if analysis.total_misses != len(sequence):
-        raise RuntimeError("stream decomposition lost misses "
+        raise GrammarError("stream decomposition lost misses "
                            f"({analysis.total_misses} != {len(sequence)})")
     return analysis

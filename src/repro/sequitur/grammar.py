@@ -21,7 +21,7 @@ values are :class:`Rule` objects.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
+from collections.abc import Iterator
 
 from ..errors import GrammarError
 

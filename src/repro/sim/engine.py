@@ -25,9 +25,11 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from ..config import SystemConfig
+from ..errors import SimulationError
 from ..memory.cache import Cache
 from ..memory.metadata import MetadataTraffic
 from ..memory.prefetch_buffer import PrefetchBuffer
+from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 from ..obs import timed
 from ..prefetchers.base import NullPrefetcher, Prefetcher
@@ -105,11 +107,11 @@ class TraceSimulator:
         tel = _OBS
         tracing = tel.enabled
         if tracing:
-            c_miss = tel.counter("trigger_miss")
-            c_phit = tel.counter("trigger_prefetch_hit")
-            c_issued = tel.counter("prefetch_issued")
-            c_evict = tel.counter("eviction_used")
-            c_over = tel.counter("overprediction")
+            c_miss = tel.counter(obs_names.MET_TRIGGER_MISS)
+            c_phit = tel.counter(obs_names.MET_TRIGGER_PREFETCH_HIT)
+            c_issued = tel.counter(obs_names.MET_PREFETCH_ISSUED)
+            c_evict = tel.counter(obs_names.MET_EVICTION_USED)
+            c_over = tel.counter(obs_names.MET_OVERPREDICTION)
 
         with timed("simulate", emit=False):
             for i in range(len(blocks)):
@@ -128,7 +130,7 @@ class TraceSimulator:
                     stream_useful[entry.stream_id] += 1
                     if tracing:
                         c_phit.inc()
-                        tel.debug("trigger", kind="prefetch_hit", i=i, pc=pc,
+                        tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i, pc=pc,
                                   block=block, stream=entry.stream_id)
                     candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
                 else:
@@ -137,7 +139,7 @@ class TraceSimulator:
                         self._miss_stream.append((pc, block))
                     if tracing:
                         c_miss.inc()
-                        tel.debug("trigger", kind="miss", i=i, pc=pc, block=block)
+                        tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i, pc=pc, block=block)
                     candidates = prefetcher.on_miss(pc, block)
 
                 killed = prefetcher.take_killed_streams()
@@ -151,24 +153,24 @@ class TraceSimulator:
                     streams_seen.add(sid)
                     if tracing:
                         c_issued.inc()
-                        tel.debug("prefetch", block=cand_block, stream=sid)
+                        tel.debug(obs_names.EVT_PREFETCH, block=cand_block, stream=sid)
                     victim = buffer.insert(cand_block, sid)
                     if victim is not None:
                         if tracing:
                             if victim.used:
                                 c_evict.inc()
-                                tel.debug("eviction", block=victim.block,
+                                tel.debug(obs_names.EVT_EVICTION, block=victim.block,
                                           stream=victim.stream_id)
                             else:
                                 c_over.inc()
-                                tel.debug("overprediction", block=victim.block,
+                                tel.debug(obs_names.EVT_OVERPREDICTION, block=victim.block,
                                           stream=victim.stream_id)
                         prefetcher.on_buffer_eviction(
                             victim.block, victim.stream_id, victim.used)
 
         result = self._finalise(trace)
         if tracing:
-            tel.info("run_complete", workload=result.workload,
+            tel.info(obs_names.EVT_RUN_COMPLETE, workload=result.workload,
                      prefetcher=result.prefetcher, degree=result.degree,
                      accesses=result.metrics.accesses,
                      misses=result.metrics.misses,
@@ -192,7 +194,9 @@ class TraceSimulator:
         self.buffer.drain()
         self.metrics.overpredictions = self.buffer.stats.evicted_unused
         lengths = StreamLengthStats()
-        for sid in self._streams_seen:
+        # Sorted so per-stream accumulation order (and thus any
+        # order-sensitive downstream rendering) is run-invariant.
+        for sid in sorted(self._streams_seen):
             lengths.add(self._stream_useful.get(sid, 0))
         extras = {}
         component_hits = getattr(self.prefetcher, "component_hits", None)
@@ -224,5 +228,6 @@ def collect_miss_stream(trace: MemoryTrace, config: SystemConfig) -> list[tuple[
     the input to Sequitur opportunity analysis and the Fig. 3/4 study."""
     result = simulate_trace(trace, config, NullPrefetcher(config),
                             collect_misses=True)
-    assert result.miss_stream is not None
+    if result.miss_stream is None:  # collect_misses=True guarantees otherwise
+        raise SimulationError("simulate_trace dropped the requested miss stream")
     return result.miss_stream

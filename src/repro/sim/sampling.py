@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 # Two-sided Student-t critical values at 95 % for small samples; larger
 # samples fall back to the normal quantile.

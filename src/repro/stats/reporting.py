@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Sequence
+from collections.abc import Sequence
 
 #: Block-element eighths for sub-character bar resolution.
 _EIGHTHS = " ▏▎▍▌▋▊▉█"
@@ -92,7 +92,7 @@ def bar_chart(labels: Sequence[str], values: Sequence[float],
     peak = max(max(values), 1e-12)
     label_width = max(len(str(label)) for label in labels)
     lines = [title] if title else []
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         if value < 0:
             raise ValueError("bar_chart requires non-negative values")
         scaled = value / peak * width

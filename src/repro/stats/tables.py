@@ -7,7 +7,7 @@ legible) without pulling in a dependency.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def format_percent(value: float, digits: int = 1) -> str:

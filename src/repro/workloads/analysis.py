@@ -61,7 +61,7 @@ def profile_trace(trace: MemoryTrace, config: SystemConfig | None = None,
     analysis = analyze_sequence(miss_blocks[:max_sequitur_misses])
 
     same_page = 0
-    for prev, cur in zip(miss_blocks, miss_blocks[1:]):
+    for prev, cur in zip(miss_blocks, miss_blocks[1:], strict=False):
         if page_of(prev) == page_of(cur):
             same_page += 1
     page_locality = same_page / (len(miss_blocks) - 1) if len(miss_blocks) > 1 else 0.0

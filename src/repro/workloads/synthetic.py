@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TraceError
 from ..sim.trace import MemoryTrace
 from .base import WorkloadConfig
 
@@ -109,7 +109,9 @@ class SyntheticWorkload:
                 else:
                     # Variant: same head addresses, executed by the same
                     # instructions, diverging afterwards.
-                    assert family_head is not None and family_pcs is not None
+                    if family_head is None or family_pcs is None:
+                        raise TraceError(
+                            "family_left > 0 before any family head was founded")
                     elements[: len(family_head)] = family_head
                     pc_seq[: len(family_pcs)] = family_pcs
                 family_left -= 1

@@ -1,0 +1,21 @@
+"""OBS001 fixture: registered literals and names.X references pass."""
+from repro import obs
+from repro.obs import names as obs_names
+from repro.obs.names import EVT_EXPERIMENT_START
+
+_OBS = obs.scope("fixture.experiments")
+_CHILD = _OBS.child("inner")
+tel = _OBS
+
+
+def registered_literal():
+    tel.info("run_complete", coverage=0.5)
+
+
+def registered_constant():
+    _OBS.info(obs_names.EVT_RUN_COMPLETE, coverage=0.5)
+    _CHILD.counter(obs_names.MET_PREFETCH_ISSUED).inc()
+
+
+def imported_constant():
+    _OBS.info(EVT_EXPERIMENT_START, name="fixture")

@@ -1,0 +1,9 @@
+"""OBS001 fixture: a justified suppression for an ad-hoc event name."""
+from repro import obs
+
+_OBS = obs.scope("fixture.experiments")
+
+
+def tolerated_adhoc():
+    # Justification: fixture for the suppression path.
+    _OBS.debug("adhoc.fixture.event")  # repro: noqa[OBS001]

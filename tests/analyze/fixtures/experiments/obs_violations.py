@@ -1,0 +1,21 @@
+"""OBS001 fixture: unregistered and computed names at emit sites."""
+from repro import obs
+
+_OBS = obs.scope("fixture.experiments")
+
+
+def unregistered_event():
+    _OBS.info("not.a.registered.event", detail=1)
+
+
+def unregistered_metric():
+    _OBS.counter("bogus_metric").inc()
+
+
+def computed_name(kind):
+    _OBS.debug(f"dynamic.{kind}", detail=2)
+
+
+def bad_names_attr():
+    from repro.obs import names
+    _OBS.info(names.EVT_DOES_NOT_EXIST)

@@ -1,0 +1,19 @@
+"""PICKLE001 fixture: module-level functions are picklable and clean."""
+
+
+def _execute_trace(options):
+    return {"ok": True}
+
+
+EXECUTORS = {
+    "trace": _execute_trace,
+}
+
+#: lower-case locals are not executor registries and stay unflagged.
+handlers = {
+    "inline": lambda x: x,
+}
+
+
+def submit_function(pool):
+    return pool.apply_async(_execute_trace)

@@ -1,0 +1,6 @@
+"""PICKLE001 fixture: a suppressed lambda registry entry."""
+
+REGISTRY = {
+    # Justification: fixture for the suppression path.
+    "noop": lambda options: None,  # repro: noqa[PICKLE001]
+}

@@ -1,0 +1,14 @@
+"""PICKLE001 fixture: lambdas that would die at the pickle boundary."""
+
+EXECUTORS = {
+    "trace": lambda options: {"ok": True},
+    "table1": lambda options: {"ok": False},
+}
+
+
+def submit_lambda(pool):
+    return pool.apply_async(lambda: 1)
+
+
+def run_lambda_cells():
+    return run_cells(lambda cell: cell, options=None)

@@ -1,0 +1,23 @@
+"""IO001 fixture: a durable-write path that forgets to fsync."""
+import json
+import os
+
+
+def put_without_fsync(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(path, path + ".final")
+
+
+def put_durably(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(path, path + ".final")
+
+
+def lockfile_hint(path, pid):
+    with open(path, "w", encoding="utf-8") as fh:
+        # Justification: advisory hint, durability not required.
+        fh.write(str(pid))  # repro: noqa[IO001]

@@ -1,0 +1,25 @@
+"""DET001 fixture: the approved deterministic idioms must not flag."""
+import random
+
+import numpy as np
+
+
+def seeded_stdlib(seed: int):
+    rng = random.Random(seed)
+    return rng.randrange(10)
+
+
+def seeded_numpy(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10)
+
+
+def sorted_set_iteration():
+    seen = {3, 1, 2}
+    return [x for x in sorted(seen)]
+
+
+def membership_only():
+    seen = set()
+    seen.add(4)
+    return 4 in seen

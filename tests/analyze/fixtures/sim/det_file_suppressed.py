@@ -1,0 +1,12 @@
+"""DET001 fixture: a file-level suppression covers the whole module."""
+# Justification: fixture for the noqa-file path.
+# repro: noqa-file[DET001]
+import random
+
+
+def first():
+    return random.random()
+
+
+def second():
+    return random.randrange(3)

@@ -1,0 +1,17 @@
+"""DET001 fixture: line-level suppressions silence each finding."""
+import random
+import time
+
+
+def suppressed_random():
+    # Justification: exercising the suppression path itself.
+    return random.randrange(10)  # repro: noqa[DET001]
+
+
+def suppressed_clock():
+    return time.time()  # repro: noqa
+
+
+def suppressed_set_iteration():
+    seen = {1, 2}
+    return [x for x in seen]  # repro: noqa[DET001]

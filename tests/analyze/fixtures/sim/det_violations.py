@@ -1,0 +1,52 @@
+"""DET001 fixture: every form of nondeterminism the rule must catch."""
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_random():
+    return random.randrange(10)
+
+
+def global_numpy():
+    return np.random.rand(4)
+
+
+def wall_clock():
+    return time.time()
+
+
+def wall_clock_ns():
+    return time.time_ns()
+
+
+def timestamp():
+    return datetime.now()
+
+
+def fresh_id():
+    return uuid.uuid4()
+
+
+def iterate_set_literal():
+    total = 0
+    for x in {3, 1, 2}:
+        total += x
+    return total
+
+
+def iterate_tracked_set():
+    seen = set()
+    seen.add(1)
+    out = []
+    for item in seen:
+        out.append(item)
+    return out
+
+
+def comprehension_over_set():
+    pending = {5, 6}
+    return [x * 2 for x in pending]

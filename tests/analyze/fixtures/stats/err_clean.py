@@ -1,0 +1,21 @@
+"""ERR001 fixture: hierarchy raises and argument contracts are fine."""
+
+
+class FixtureError(Exception):
+    """Stands in for a ReproError subclass."""
+
+
+def hierarchy_raise(flag):
+    if not flag:
+        raise FixtureError("library failure")
+    return flag
+
+
+def argument_contract(n):
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return n
+
+
+def abstract_hook():
+    raise NotImplementedError

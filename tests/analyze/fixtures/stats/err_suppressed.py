@@ -1,0 +1,9 @@
+"""ERR001 fixture: suppressed violations stay silent."""
+
+
+def suppressed(flag):
+    if flag:
+        # Justification: fixture for the suppression path.
+        raise RuntimeError("tolerated here")  # repro: noqa[ERR001]
+    assert flag is not None  # repro: noqa[ERR001]
+    return flag

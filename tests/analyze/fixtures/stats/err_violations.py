@@ -1,0 +1,12 @@
+"""ERR001 fixture: raises outside the hierarchy and assert control flow."""
+
+
+def escape_hierarchy(flag):
+    if flag:
+        raise RuntimeError("outside the ReproError tree")
+    raise Exception("even worse")
+
+
+def assert_control_flow(value):
+    assert value > 0
+    return value

@@ -1,0 +1,146 @@
+"""Engine mechanics: suppressions, scoping, selection, output, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import Analyzer, all_rules, main, render_json, render_text
+from repro.analyze.engine import _parse_noqa, _scope_key
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestNoqaParsing:
+    def test_line_noqa_with_code(self):
+        line, file = _parse_noqa("x = 1  # repro: noqa[DET001]\n")
+        assert line == {1: {"DET001"}}
+        assert file == set()
+
+    def test_bare_noqa_suppresses_all(self):
+        line, _ = _parse_noqa("x = 1  # repro: noqa\n")
+        assert line == {1: {"*"}}
+
+    def test_multiple_codes(self):
+        line, _ = _parse_noqa("x = 1  # repro: noqa[DET001, ERR001]\n")
+        assert line == {1: {"DET001", "ERR001"}}
+
+    def test_file_noqa(self):
+        _, file = _parse_noqa("# repro: noqa-file[OBS001]\nx = 1\n")
+        assert file == {"OBS001"}
+
+    def test_plain_ruff_noqa_is_ignored(self):
+        line, file = _parse_noqa("import os  # noqa: F401\n")
+        assert line == {} and file == set()
+
+
+class TestScopeKey:
+    def test_package_path(self):
+        assert _scope_key(Path("src/repro/runner/store.py")) == "runner/store.py"
+
+    def test_fixture_path(self):
+        key = _scope_key(Path("tests/analyze/fixtures/sim/det_clean.py"))
+        assert key == "sim/det_clean.py"
+
+    def test_unanchored_path_passes_through(self):
+        assert _scope_key(Path("scripts/tool.py")) == "scripts/tool.py"
+
+
+class TestAnalyzer:
+    def test_syntax_error_yields_parse_finding(self):
+        findings = Analyzer().check_source("def broken(:\n", "bad.py")
+        assert len(findings) == 1
+        assert findings[0].code == "PARSE000"
+        assert findings[0].severity == "error"
+
+    def test_clean_source_yields_nothing(self):
+        assert Analyzer().check_source("x = 1\n", "src/repro/sim/ok.py") == []
+
+    def test_findings_sorted_by_location(self):
+        findings = Analyzer().check_paths([FIXTURES / "sim" / "det_violations.py"])
+        keys = [(f.path, f.line, f.col) for f in findings]
+        assert keys == sorted(keys)
+
+    def test_rule_subset_via_constructor(self):
+        registry = all_rules()
+        analyzer = Analyzer([registry["ERR001"]])
+        findings = analyzer.check_paths([FIXTURES / "sim" / "det_violations.py"])
+        assert findings == []  # DET001 not selected
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AnalysisError):
+            Analyzer().check_paths([FIXTURES / "does_not_exist.py"])
+
+    def test_iter_files_skips_pycache_and_hidden(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x=1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "junk.py").write_text("x=1\n")
+        (tmp_path / "keep.py").write_text("x=1\n")
+        files = list(Analyzer.iter_files([tmp_path]))
+        assert files == [tmp_path / "keep.py"]
+
+
+class TestRendering:
+    def test_text_clean(self):
+        assert render_text([]) == "no findings"
+
+    def test_text_summary_line(self):
+        findings = Analyzer().check_paths([FIXTURES / "stats" / "err_violations.py"])
+        text = render_text(findings)
+        assert "finding(s)" in text and "error(s)" in text
+
+    def test_json_round_trips(self):
+        findings = Analyzer().check_paths([FIXTURES / "stats" / "err_violations.py"])
+        decoded = json.loads(render_json(findings))
+        assert decoded and decoded[0]["code"] == "ERR001"
+        assert set(decoded[0]) == {"path", "line", "col", "code",
+                                   "severity", "message"}
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "sim" / "det_clean.py")]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([str(FIXTURES / "sim" / "det_violations.py")]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_unknown_path_exits_two(self, capsys):
+        assert main([str(FIXTURES / "nope.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, capsys):
+        assert main(["--select", "NOPE999", str(FIXTURES)]) == 2
+
+    def test_select_limits_rules(self, capsys):
+        rc = main(["--select", "ERR001",
+                   str(FIXTURES / "sim" / "det_violations.py")])
+        assert rc == 0
+
+    def test_ignore_drops_rules(self, capsys):
+        rc = main(["--ignore", "DET001",
+                   str(FIXTURES / "sim" / "det_violations.py")])
+        assert rc == 0
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json",
+                     str(FIXTURES / "stats" / "err_violations.py")]) == 1
+        decoded = json.loads(capsys.readouterr().out)
+        assert all(f["code"] == "ERR001" for f in decoded)
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "PICKLE001", "ERR001", "OBS001", "IO001"):
+            assert code in out
+
+
+class TestCliSubcommand:
+    def test_domino_repro_analyze_forwards(self, capsys):
+        from repro.cli import main as cli_main
+        rc = cli_main(["analyze", str(FIXTURES / "sim" / "det_clean.py")])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Per-rule behaviour over the fixture tree: positive, suppressed, clean."""
+
+from pathlib import Path
+
+from repro.analyze import Analyzer, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes_for(relpath: str) -> list[str]:
+    return [f.code for f in Analyzer().check_paths([FIXTURES / relpath])]
+
+
+class TestDet001:
+    def test_flags_every_nondeterminism_form(self):
+        findings = Analyzer().check_paths([FIXTURES / "sim" / "det_violations.py"])
+        assert {f.code for f in findings} == {"DET001"}
+        messages = "\n".join(f.message for f in findings)
+        assert "random.randrange" in messages
+        assert "numpy" in messages
+        assert "wall clock" in messages
+        assert "uuid.uuid4" in messages
+        assert "sorted(" in messages
+        # 6 calls + 3 set iterations
+        assert len(findings) == 9
+
+    def test_line_suppressions(self):
+        assert codes_for("sim/det_suppressed.py") == []
+
+    def test_file_suppression(self):
+        assert codes_for("sim/det_file_suppressed.py") == []
+
+    def test_clean_idioms(self):
+        assert codes_for("sim/det_clean.py") == []
+
+    def test_out_of_scope_directory(self):
+        # The same source outside sim/core/prefetchers/memory/workloads
+        # is not DET001's business.
+        src = (FIXTURES / "sim" / "det_violations.py").read_text()
+        findings = Analyzer().check_source(src, "src/repro/stats/whatever.py")
+        assert all(f.code != "DET001" for f in findings)
+
+
+class TestPickle001:
+    def test_flags_lambda_registries_and_submissions(self):
+        findings = Analyzer().check_paths(
+            [FIXTURES / "runner" / "pickle_violations.py"])
+        assert [f.code for f in findings] == ["PICKLE001"] * 4
+
+    def test_suppressed(self):
+        assert codes_for("runner/pickle_suppressed.py") == []
+
+    def test_clean(self):
+        assert codes_for("runner/pickle_clean.py") == []
+
+
+class TestErr001:
+    def test_flags_raises_and_asserts(self):
+        findings = Analyzer().check_paths(
+            [FIXTURES / "stats" / "err_violations.py"])
+        assert [f.code for f in findings] == ["ERR001"] * 3
+
+    def test_suppressed(self):
+        assert codes_for("stats/err_suppressed.py") == []
+
+    def test_clean(self):
+        assert codes_for("stats/err_clean.py") == []
+
+    def test_test_files_exempt(self):
+        src = "def test_x():\n    assert 1 == 1\n"
+        findings = Analyzer().check_source(src, "tests/stats/test_x.py")
+        assert findings == []
+
+
+class TestObs001:
+    def test_flags_unregistered_and_computed_names(self):
+        findings = Analyzer().check_paths(
+            [FIXTURES / "experiments" / "obs_violations.py"])
+        assert [f.code for f in findings] == ["OBS001"] * 4
+        messages = "\n".join(f.message for f in findings)
+        assert "not registered" in messages
+        assert "not a string constant" in messages  # the f-string
+        assert "EVT_DOES_NOT_EXIST" in messages
+
+    def test_suppressed(self):
+        assert codes_for("experiments/obs_suppressed.py") == []
+
+    def test_clean(self):
+        assert codes_for("experiments/obs_clean.py") == []
+
+    def test_obs_package_itself_exempt(self):
+        src = ('from repro import obs\n_OBS = obs.scope("x")\n'
+               'def f():\n    _OBS.info("anything.goes")\n')
+        findings = Analyzer().check_source(src, "src/repro/obs/runtime.py")
+        assert findings == []
+
+
+class TestIo001:
+    def test_flags_fsyncless_write_only(self):
+        findings = Analyzer().check_paths([FIXTURES / "runner" / "store.py"])
+        assert [f.code for f in findings] == ["IO001"]
+        assert "put_without_fsync" in findings[0].message
+
+    def test_scope_is_persistence_modules_only(self):
+        src = "def f(fh):\n    fh.write('x')\n"
+        findings = Analyzer().check_source(src, "src/repro/runner/cells.py")
+        assert findings == []
+
+
+class TestRegistry:
+    def test_expected_rule_set(self):
+        assert set(all_rules()) == {"DET001", "PICKLE001", "ERR001",
+                                    "OBS001", "IO001"}
+
+    def test_rules_carry_metadata(self):
+        for cls in all_rules().values():
+            assert cls.title and cls.rationale
+            assert cls.severity in ("warning", "error")

@@ -1,0 +1,19 @@
+"""The repo's own source tree must be clean under its own analyzer.
+
+This is the acceptance gate CI enforces (`python -m repro.analyze src`);
+running it from the suite means a violation fails fast in local test
+runs too, with the offending findings in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analyze import Analyzer, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    src = REPO_ROOT / "src"
+    assert src.is_dir(), f"missing {src}"
+    findings = Analyzer().check_paths([src])
+    assert findings == [], "\n" + render_text(findings)

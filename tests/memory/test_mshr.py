@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.memory.mshr import MshrFile
 
 
@@ -30,7 +31,7 @@ class TestAllocation:
         mshrs = MshrFile(1)
         mshrs.allocate(1, 10.0)
         assert mshrs.can_allocate() is False
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SimulationError):
             mshrs.allocate(2, 20.0)
         assert mshrs.stats.stalls == 1
 

@@ -1,0 +1,43 @@
+"""The central name registry: shape, uniqueness, and live coverage."""
+
+from repro.config import small_test_config
+from repro.core.domino import DominoPrefetcher
+from repro.obs import names
+from repro.sim.engine import simulate_trace
+
+
+class TestRegistries:
+    def test_overlap_is_intentional(self):
+        # Events and metrics live in separate namespaces; the one shared
+        # name is the overprediction event + counter pair.
+        assert names.EVENT_NAMES & names.METRIC_NAMES == {"overprediction"}
+
+    def test_every_constant_is_collected(self):
+        for attr, value in vars(names).items():
+            if attr.startswith("EVT_"):
+                assert value in names.EVENT_NAMES
+            elif attr.startswith("MET_"):
+                assert value in names.METRIC_NAMES
+
+    def test_no_duplicate_values(self):
+        evt_attrs = [a for a in vars(names) if a.startswith("EVT_")]
+        met_attrs = [a for a in vars(names) if a.startswith("MET_")]
+        assert len(evt_attrs) == len(names.EVENT_NAMES)
+        assert len(met_attrs) == len(names.METRIC_NAMES)
+
+    def test_names_are_lower_snake_or_dotted(self):
+        for value in names.EVENT_NAMES | names.METRIC_NAMES:
+            assert value == value.lower()
+            assert " " not in value
+
+
+class TestLiveEmitSites:
+    def test_simulation_emits_only_registered_names(self, tiny_trace, telemetry):
+        """Every event and metric a real run produces is in the registry."""
+        config = small_test_config()
+        simulate_trace(tiny_trace, config, DominoPrefetcher(config, seed=7))
+        for record in telemetry.trace.events():
+            assert record["event"] in names.EVENT_NAMES, record
+        for metric in telemetry.registry.snapshot()["counters"]:
+            component, _, bare = metric.rpartition(".")
+            assert bare in names.METRIC_NAMES, metric

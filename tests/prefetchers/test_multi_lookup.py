@@ -25,7 +25,7 @@ class TestLookupDepthAnalyzer:
         seq = [rng.randrange(6) for _ in range(300)]
         stats = LookupDepthAnalyzer(5).analyze(seq)
         rates = [s.match_rate for s in stats]
-        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:], strict=False))
 
     def test_empty_and_short_inputs(self):
         stats = LookupDepthAnalyzer(3).analyze([])

@@ -55,4 +55,4 @@ def test_histogram_conserves_counts(lengths):
 def test_cdf_monotone(lengths):
     cdf = length_cdf(lengths)
     values = list(cdf.values())
-    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:], strict=False))
