@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Fastpath wall-clock harness: fig11-style grid, fastpath on vs. off.
+
+Measures the end-to-end cost of one fig11-style sweep (workloads ×
+paper prefetchers trace cells, plus one opportunity cell per workload)
+twice under identical, cold cell caches:
+
+* **off** — ``DOMINO_FASTPATH=0``: every cell regenerates its trace
+  (once per worker process) and replays all accesses through the L1;
+* **on** — fastpath enabled against a store prewarmed with the grid's
+  L1 filter artifacts: trace generation is skipped entirely (the filter
+  key is computable without the trace) and each cell replays only the
+  miss fraction.
+
+The "warm artifact store" scenario is the steady state the fastpath
+exists for: the filters are shared by every cell of the grid, by
+``--resume``, and by any later sweep with the same trace identity, so
+after the first grid they are always already on disk.
+
+Alongside the timing the harness re-checks the fastpath contract: the
+two passes must produce *identical* payload lists.  Results go to a
+JSON report (``BENCH_PR5.json``) and the exit status is non-zero if
+the speedup falls below ``--min-speedup`` or the equivalence check
+fails, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py \
+        --jobs 4 --out BENCH_PR5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.experiments.common import ExperimentOptions
+from repro.experiments.fig11_degree1 import build_cells
+from repro.runner import ExecutionPolicy, run_cells
+from repro.runner import execute as execute_mod
+
+
+def _reset_process_caches() -> None:
+    """Forget every in-process memo so a pass starts cold.
+
+    Worker processes are forked from this one, so anything memoised
+    here (generated traces, decoded filters) would leak into both
+    passes and blur the comparison.
+    """
+    execute_mod._SUITES.clear()
+    execute_mod._FILTERS.clear()
+    execute_mod.set_fastpath_root(None)
+
+
+def _prewarm_filters(options: ExperimentOptions, root: Path) -> float:
+    """Build and persist the grid's L1 filter artifacts into ``root``.
+
+    One full-trace filter per workload (trace cells) plus one
+    measured-window filter per workload (opportunity cells) — exactly
+    what the first fastpath-enabled grid over these options would have
+    written.  Returns the wall-clock spent prewarming (reported, not
+    counted into either pass).
+    """
+    config = SystemConfig()  # fig11 cells run the default config
+    warmup = int(options.n_accesses * options.warmup_frac)
+    started = time.perf_counter()
+    execute_mod.set_fastpath_root(str(root))
+    try:
+        for workload in options.workloads:
+            execute_mod._l1_filter(workload, options, config)
+            execute_mod._l1_filter(workload, options, config,
+                                   window=(warmup, options.n_accesses))
+    finally:
+        execute_mod.set_fastpath_root(None)
+    return time.perf_counter() - started
+
+
+def _run_pass(cells, options: ExperimentOptions, cache_dir: Path,
+              jobs: int, fastpath: bool) -> tuple[float, list]:
+    os.environ["DOMINO_FASTPATH"] = "1" if fastpath else "0"
+    _reset_process_caches()
+    policy = ExecutionPolicy(jobs=jobs, use_cache=True, cache_dir=cache_dir)
+    started = time.perf_counter()
+    payloads, manifest = run_cells(cells, options, policy)
+    wall = time.perf_counter() - started
+    if manifest.failed:
+        raise RuntimeError(f"{manifest.failed} cell(s) failed; "
+                           "benchmark numbers would be meaningless")
+    return wall, payloads
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads",
+                        default="oltp,web_apache,media_streaming",
+                        help="comma-separated workload names")
+    parser.add_argument("--n", type=int, default=60_000,
+                        help="accesses per trace")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes per pass")
+    parser.add_argument("--degree", type=int, default=1,
+                        help="prefetch degree of the trace cells")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="JSON report path")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail below this off/on wall-clock ratio")
+    parser.add_argument("--cache-dir", default=None,
+                        help="scratch root for the two passes "
+                             "(default: a fresh temp dir)")
+    args = parser.parse_args(argv)
+
+    options = ExperimentOptions(
+        n_accesses=args.n, seed=args.seed,
+        workloads=tuple(w.strip() for w in args.workloads.split(",")
+                        if w.strip()))
+    cells = build_cells(options, args.degree)
+
+    scratch = Path(args.cache_dir) if args.cache_dir else Path(
+        tempfile.mkdtemp(prefix="bench-fastpath-"))
+    off_root = scratch / "off-store"
+    on_root = scratch / "on-store"
+
+    print(f"grid: {len(cells)} cells "
+          f"({len(options.workloads)} workloads, degree {args.degree}, "
+          f"n={args.n:,}, jobs={args.jobs})")
+    prewarm_s = _prewarm_filters(options, on_root)
+    print(f"prewarmed {2 * len(options.workloads)} filter artifacts "
+          f"in {prewarm_s:.2f}s -> {on_root}")
+
+    off_wall, off_payloads = _run_pass(cells, options, off_root,
+                                       args.jobs, fastpath=False)
+    print(f"fastpath off: {off_wall:.2f}s")
+    on_wall, on_payloads = _run_pass(cells, options, on_root,
+                                     args.jobs, fastpath=True)
+    print(f"fastpath on:  {on_wall:.2f}s (warm filter store)")
+
+    equivalent = off_payloads == on_payloads
+    speedup = off_wall / on_wall if on_wall else float("inf")
+    ok = equivalent and speedup >= args.min_speedup
+
+    report = {
+        "benchmark": "fastpath_fig11_grid",
+        "workloads": list(options.workloads),
+        "n_accesses": args.n,
+        "degree": args.degree,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cells": len(cells),
+        "prewarm_s": round(prewarm_s, 4),
+        "off_wall_s": round(off_wall, 4),
+        "on_wall_s": round(on_wall, 4),
+        "speedup": round(speedup, 4),
+        "min_speedup": args.min_speedup,
+        "equivalent": equivalent,
+        "pass": ok,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"speedup: {speedup:.2f}x (min {args.min_speedup:g}x), "
+          f"equivalent: {equivalent} -> {args.out}")
+    if not equivalent:
+        print("FAIL: fastpath-on payloads differ from fastpath-off",
+              file=sys.stderr)
+    elif not ok:
+        print(f"FAIL: speedup {speedup:.2f}x below "
+              f"{args.min_speedup:g}x", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

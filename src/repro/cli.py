@@ -39,6 +39,7 @@ simulation results — only observes them.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -154,6 +155,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if args.no_fastpath:
+        # The toggle rides the environment so forked pool workers
+        # inherit it (see repro.sim.fastpath.ENV_TOGGLE).
+        os.environ["DOMINO_FASTPATH"] = "0"
     set_policy(ExecutionPolicy(jobs=args.jobs,
                                use_cache=not args.no_cache,
                                cache_dir=args.cache_dir,
@@ -311,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append an ASCII bar chart of COLUMN")
     run_p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                        help="worker processes for cell execution (default 1)")
+    run_p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the shared L1-filter fast path "
+                            "(results are bit-identical either way)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the artifact cache (always re-execute)")
     run_p.add_argument("--cache-dir", default=None, metavar="DIR",

@@ -81,6 +81,23 @@ class Cache:
         self._insert(line_set, block)
         return False
 
+    def access_traced(self, block: int) -> tuple[bool, int | None]:
+        """:meth:`access` that also reports the evicted victim.
+
+        Same counters, same replacement behaviour — the only difference
+        is the return type: ``(hit, evicted_block_or_None)``.  Used by
+        the L1 fast path (:mod:`repro.sim.fastpath`), which must record
+        the eviction sequence to replay residency without the cache.
+        """
+        self.stats.accesses += 1
+        line_set = self._sets[self._index(block)]
+        if block in line_set:
+            line_set.move_to_end(block)
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        return False, self._insert(line_set, block)
+
     def probe(self, block: int) -> bool:
         """Presence check without replacement-state or counter updates."""
         return block in self._sets[self._index(block)]

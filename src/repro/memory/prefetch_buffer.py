@@ -47,6 +47,15 @@ class PrefetchBuffer:
         self._entries: OrderedDict[int, BufferEntry] = OrderedDict()
         self.stats = PrefetchBufferStats()
 
+    def reset_stats(self) -> None:
+        """Forget the counters while keeping the resident entries.
+
+        The warm-up protocol ends its training window by zeroing every
+        measurement without perturbing simulated state; callers must use
+        this rather than re-``__init__``-ing the stats object in place.
+        """
+        self.stats = PrefetchBufferStats()
+
     def insert(self, block: int, stream_id: int = -1, ready_time: float = 0.0) -> BufferEntry | None:
         """Insert a prefetched block; returns the evicted entry, if any.
 

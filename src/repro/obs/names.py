@@ -29,6 +29,10 @@ EVT_EVICTION = "eviction"                  # used block evicted from the buffer
 EVT_OVERPREDICTION = "overprediction"      # unused block evicted from the buffer
 EVT_RUN_COMPLETE = "run_complete"          # one trace-driven simulation finished
 
+# -- sim.fastpath / runner.fastpath events ----------------------------------
+EVT_FASTPATH_BUILD = "fastpath_build"            # one-pass L1 filter computed
+EVT_FASTPATH_FILTER_HIT = "fastpath_filter_hit"  # filter served from memo/store
+
 # -- core.domino / core.eit events ------------------------------------------
 EVT_EIT_LOOKUP = "eit_lookup"              # one- or two-address EIT lookup outcome
 EVT_REPLACEMENT = "replacement"            # EIT super-entry/entry eviction
@@ -68,6 +72,12 @@ MET_TRIGGER_PREFETCH_HIT = "trigger_prefetch_hit"
 MET_PREFETCH_ISSUED = "prefetch_issued"
 MET_EVICTION_USED = "eviction_used"
 MET_OVERPREDICTION = "overprediction"
+
+# -- sim.fastpath / runner.fastpath counters --------------------------------
+MET_FASTPATH_BUILDS = "fastpath_builds"          # filters built from a trace
+MET_FASTPATH_REPLAYS = "fastpath_replays"        # engine runs served by replay
+MET_FASTPATH_MEMO_HITS = "fastpath_memo_hits"    # filters reused in-process
+MET_FASTPATH_STORE_HITS = "fastpath_store_hits"  # filters loaded from the store
 
 # -- core.domino counters ---------------------------------------------------
 MET_EIT_ONE_ADDR_HIT = "eit_one_addr_hit"

@@ -157,6 +157,41 @@ def cell_key(cell: Cell, options: "ExperimentOptionsLike") -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def l1_filter_key(workload: str, options: "ExperimentOptionsLike",
+                  config: SystemConfig,
+                  window: tuple[int, int] | None = None) -> str:
+    """Stable content hash identifying one L1 filter artifact.
+
+    The filter (:mod:`repro.sim.fastpath`) is the prefetcher-independent
+    L1-D miss stream of one generated trace, so its identity is exactly
+    what identifies the trace — ``(workload, n_accesses, seed)``, since
+    generation is deterministic in those three — plus the L1-D geometry
+    it was filtered through and the optional ``window`` bounds when the
+    filter covers a trace slice (the opportunity cells' measured
+    window).  Deliberately **not** keyed on trace content: computing the
+    key without the trace is what lets a warm store skip generation
+    entirely.
+
+    Both :data:`CODE_VERSION` and the fastpath's own
+    :data:`~repro.sim.fastpath.FASTPATH_VERSION` salt the key, so either
+    kind of semantic change invalidates stored filters.
+    """
+    from ..sim.fastpath import FASTPATH_VERSION
+
+    material = {
+        "v": CODE_VERSION,
+        "fastpath_v": FASTPATH_VERSION,
+        "artifact": "l1_filter",
+        "workload": workload,
+        "n_accesses": options.n_accesses,
+        "seed": options.seed,
+        "window": list(window) if window is not None else None,
+        "l1d": _canonical(dataclasses.asdict(config.l1d)),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ExperimentOptionsLike:  # pragma: no cover - typing aid only
     """Structural stand-in for ExperimentOptions (avoids a layering cycle)."""
 

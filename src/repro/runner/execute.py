@@ -20,22 +20,84 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .. import obs
-from ..errors import RunnerError
+from ..config import SystemConfig
+from ..errors import RunnerError, SimulationError
+from ..obs import names as obs_names
 from ..prefetchers.registry import make_prefetcher
 from ..sequitur.analysis import analyze_sequence
-from ..sim.engine import collect_miss_stream, simulate_trace
+from ..sim import fastpath
+from ..sim.engine import TraceSimulator, collect_miss_stream, simulate_trace
 from ..sim.multicore import simulate_multicore
 from ..workloads.suite import WorkloadSuite
-from .cells import Cell, cell_config
+from .cells import Cell, cell_config, l1_filter_key
 
 #: Per-process workload suites, keyed by generation seed.
 _SUITES: dict[int, WorkloadSuite] = {}
+
+#: Per-process L1 filter memo, keyed by :func:`l1_filter_key`.
+_FILTERS: dict[str, fastpath.L1Filter] = {}
+
+#: Artifact-store root the fastpath shares filters through (set per
+#: work item by :func:`execute_timed`; ``None`` = in-process memo only).
+_FASTPATH_ROOT: str | None = None
+
+#: Fastpath reuse telemetry (off until obs.configure()).
+_OBS = obs.scope("runner.fastpath")
 
 
 def _suite(seed: int) -> WorkloadSuite:
     if seed not in _SUITES:
         _SUITES[seed] = WorkloadSuite(seed=seed)
     return _SUITES[seed]
+
+
+def set_fastpath_root(root: str | None) -> None:
+    """Point the fastpath at an artifact store (or detach it)."""
+    global _FASTPATH_ROOT
+    _FASTPATH_ROOT = root
+
+
+def _l1_filter(workload: str, options: Any, config: SystemConfig,
+               window: tuple[int, int] | None = None) -> fastpath.L1Filter:
+    """The L1 filter for one ``(workload, options, l1 config[, window])``.
+
+    Resolution order: per-process memo, then the shared artifact store
+    (``kind="l1_filter"``), then a fresh build from the generated trace
+    (persisted back to the store for every other cell, worker, and
+    ``--resume`` of the same grid).  A store hit skips trace generation
+    entirely — the key is computable without the trace.
+    """
+    from .store import ResultStore
+
+    key = l1_filter_key(workload, options, config, window=window)
+    filt = _FILTERS.get(key)
+    if filt is not None:
+        if _OBS.enabled:
+            _OBS.counter(obs_names.MET_FASTPATH_MEMO_HITS).inc()
+        return filt
+    store = ResultStore(_FASTPATH_ROOT) if _FASTPATH_ROOT is not None else None
+    if store is not None:
+        payload = store.get(key, kind="l1_filter")
+        if payload is not None:
+            try:
+                filt = fastpath.filter_from_payload(payload)
+            except SimulationError:
+                filt = None  # incompatible/corrupt: rebuild below
+            if filt is not None:
+                _FILTERS[key] = filt
+                if _OBS.enabled:
+                    _OBS.counter(obs_names.MET_FASTPATH_STORE_HITS).inc()
+                    _OBS.info(obs_names.EVT_FASTPATH_FILTER_HIT, source="store",
+                              workload=workload, misses=filt.n_misses)
+                return filt
+    trace = _suite(options.seed).trace(workload, options.n_accesses)
+    if window is not None:
+        trace = trace.slice(*window)
+    filt = fastpath.build_l1_filter(trace, config)
+    _FILTERS[key] = filt
+    if store is not None:
+        store.put(key, fastpath.filter_to_payload(filt), kind="l1_filter")
+    return filt
 
 
 def _warmup(options: Any) -> int:
@@ -47,8 +109,14 @@ def _execute_trace(cell: Cell, options: Any) -> dict[str, Any]:
     degree = cell.degree if cell.degree is not None else options.degree
     prefetcher = make_prefetcher(cell.prefetcher, config, degree=degree,
                                  **dict(cell.params))
-    trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
-    result = simulate_trace(trace, config, prefetcher, warmup=_warmup(options))
+    if fastpath.enabled():
+        filt = _l1_filter(cell.workload, options, config)
+        sim = TraceSimulator(config, prefetcher)
+        result = sim.run_filtered(filt, warmup=_warmup(options))
+    else:
+        trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+        result = simulate_trace(trace, config, prefetcher,
+                                warmup=_warmup(options))
     return {
         "coverage": result.coverage,
         "overprediction_ratio": result.overprediction_ratio,
@@ -62,10 +130,18 @@ def _execute_trace(cell: Cell, options: Any) -> dict[str, Any]:
 
 def _execute_opportunity(cell: Cell, options: Any) -> dict[str, Any]:
     config = cell_config(cell)
-    trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
-    window = trace.slice(_warmup(options), len(trace))
-    miss_stream = collect_miss_stream(window, config)
-    blocks = [block for _, block in miss_stream]
+    if fastpath.enabled():
+        # With a NullPrefetcher the buffer never fills, so the baseline
+        # miss stream over the measured window *is* the window's L1
+        # filter — no engine run needed.
+        bounds = (_warmup(options), options.n_accesses)
+        filt = _l1_filter(cell.workload, options, config, window=bounds)
+        blocks = filt.blocks.tolist()
+    else:
+        trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+        window = trace.slice(_warmup(options), len(trace))
+        miss_stream = collect_miss_stream(window, config)
+        blocks = [block for _, block in miss_stream]
     analysis = analyze_sequence(blocks)
     return {
         "opportunity": analysis.opportunity,
@@ -157,8 +233,8 @@ def execute_timed(
     item: tuple[int, str, Cell, Any] | tuple[int, str, Cell, Any, "obs.ObsConfig | None"] | tuple[Any, ...],
 ) -> tuple[int, str, dict[str, Any], CellTelemetry]:
     """Pool entry point:
-    ``(index, key, cell, options[, obs_config[, faults, attempt]])``
-    in, ``(index, key, payload, telemetry)`` out.
+    ``(index, key, cell, options[, obs_config[, faults, attempt[,
+    fastpath_root]]])`` in, ``(index, key, payload, telemetry)`` out.
 
     When an :class:`repro.obs.ObsConfig` rides along, the cell runs
     under a fresh captured telemetry state (shielding whatever the
@@ -175,6 +251,7 @@ def execute_timed(
     obs_config = item[4] if len(item) > 4 else None
     faults = item[5] if len(item) > 5 else None
     attempt = item[6] if len(item) > 6 else 0
+    set_fastpath_root(item[7] if len(item) > 7 else None)
     if faults is not None:
         faults.apply(key, attempt)
     wall0 = time.perf_counter()

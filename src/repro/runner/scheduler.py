@@ -256,6 +256,7 @@ def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
                 manifest: RunManifest, policy: ExecutionPolicy,
                 journal: CheckpointJournal | None) -> None:
     obs_config = obs.current_config()
+    fastpath_root = str(store.base) if store is not None else None
     for index, key, cell in pending:
         attempt = 0
         while True:
@@ -263,7 +264,7 @@ def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
             try:
                 _, _, payload, telemetry = execute_timed(
                     (index, key, cell, options, obs_config,
-                     policy.faults, attempt))
+                     policy.faults, attempt, fastpath_root))
                 elapsed = time.monotonic() - started
                 if (policy.timeout_s is not None
                         and elapsed > policy.timeout_s):
@@ -338,6 +339,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
     still-running or hung worker cannot wedge the shutdown.
     """
     obs_config = obs.current_config()
+    fastpath_root = str(store.base) if store is not None else None
     n_workers = min(policy.jobs, len(pending))
     pool = _make_pool(n_workers)
     if pool is None:
@@ -357,7 +359,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
         handle = pool.apply_async(
             execute_timed,
             ((item.index, item.key, item.cell, options, obs_config,
-              policy.faults, item.attempt),))
+              policy.faults, item.attempt, fastpath_root),))
         deadline = (now + policy.timeout_s + _DISPATCH_GRACE_S
                     if policy.timeout_s is not None else None)
         in_flight[item.index] = _InFlight(handle=handle, key=item.key,

@@ -192,12 +192,18 @@ class ResultStore:
         return StoreLock(self.base, timeout_s=timeout_s)
 
     # -- read / write ---------------------------------------------------
-    def get(self, key: str) -> dict[str, Any] | None:
+    def get(self, key: str, kind: str = "cell") -> dict[str, Any] | None:
         """Payload for ``key``, or ``None`` on any kind of miss.
 
         Corrupted artifacts (truncated writes from a killed process,
         stale schema, key mismatch from a renamed file) are quarantined
         and reported as misses so the cell simply re-executes.
+
+        ``kind`` distinguishes artifact families sharing the store —
+        ``"cell"`` results and ``"l1_filter"`` intermediates today.  A
+        document whose recorded kind differs from the requested one is
+        quarantined like any other mismatch; artifacts written before
+        kinds existed read back as ``"cell"``.
         """
         path = self.path_for(key)
         try:
@@ -212,17 +218,18 @@ class ResultStore:
                 or document.get("schema") != SCHEMA_VERSION
                 or document.get("code_version") != CODE_VERSION
                 or document.get("key") != key
+                or document.get("kind", "cell") != kind
                 or not isinstance(document.get("payload"), dict)):
-            self._quarantine(path, reason="schema/key mismatch")
+            self._quarantine(path, reason="schema/key/kind mismatch")
             return None
         return document["payload"]
 
-    def put(self, key: str, payload: dict[str, Any]) -> None:
+    def put(self, key: str, payload: dict[str, Any], kind: str = "cell") -> None:
         """Durably and atomically persist ``payload`` under ``key``."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {"schema": SCHEMA_VERSION, "code_version": CODE_VERSION,
-                    "key": key, "payload": payload}
+                    "key": key, "kind": kind, "payload": payload}
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -36,6 +37,9 @@ from ..prefetchers.base import NullPrefetcher, Prefetcher
 from ..stats.metrics import CoverageMetrics
 from ..stats.streamstats import StreamLengthStats
 from .trace import MemoryTrace
+
+if TYPE_CHECKING:
+    from .fastpath import L1Filter
 
 #: Engine telemetry scope.  Disabled (one global read per guard) until
 #: :func:`repro.obs.configure` turns the process's telemetry on; events
@@ -94,9 +98,25 @@ class TraceSimulator:
         self._streams_seen: set[int] = set()
         self._miss_stream: list[tuple[int, int]] = []
 
+    @staticmethod
+    def _validate_warmup(warmup: int, n_accesses: int) -> None:
+        """``warmup`` must leave at least one measured access.
+
+        A warm-up window covering the whole trace used to slip through
+        silently: the counter reset at ``i == warmup`` never fired and
+        the "measured" result quietly included the training window.
+        """
+        if warmup < 0:
+            raise SimulationError(f"warmup must be non-negative, got {warmup}")
+        if warmup and warmup >= n_accesses:
+            raise SimulationError(
+                f"warmup of {warmup} accesses leaves no measured window "
+                f"in a trace of {n_accesses} accesses")
+
     def run(self, trace: MemoryTrace, warmup: int = 0) -> SimulationResult:
         """Simulate the whole trace; ``warmup`` leading accesses train
         state but are excluded from the reported counters."""
+        self._validate_warmup(warmup, len(trace))
         pcs, blocks, _, _ = trace.as_lists()
         prefetcher = self.prefetcher
         l1 = self.l1
@@ -168,8 +188,118 @@ class TraceSimulator:
                         prefetcher.on_buffer_eviction(
                             victim.block, victim.stream_id, victim.used)
 
-        result = self._finalise(trace)
+        return self._emit_result(self._finalise(trace.name))
+
+    def run_filtered(self, filt: "L1Filter", warmup: int = 0) -> SimulationResult:
+        """Replay only the L1 misses recorded in ``filt``.
+
+        Bit-identical to :meth:`run` on the originating trace (pinned by
+        ``tests/sim/test_fastpath.py``): prefetches never fill the L1,
+        so its hit/miss split and eviction sequence are
+        prefetcher-independent and :func:`repro.sim.fastpath.build_l1_filter`
+        precomputes them once per ``(trace, l1 config)``.  The replay
+        walks the ~miss-rate fraction of accesses, maintains an exact L1
+        residency set from the recorded evictions (all the candidate
+        filter needs), and reconstructs the hit counters analytically.
+        The simulator's own ``self.l1`` is untouched — every L1 fact
+        comes from the filter.
+        """
+        n_accesses = filt.n_accesses
+        self._validate_warmup(warmup, n_accesses)
+        prefetcher = self.prefetcher
+        buffer = self.buffer
+        metrics = self.metrics
+        stream_useful = self._stream_useful
+        streams_seen = self._streams_seen
+        tel = _OBS
+        tracing = tel.enabled
         if tracing:
+            tel.counter(obs_names.MET_FASTPATH_REPLAYS).inc()
+            c_miss = tel.counter(obs_names.MET_TRIGGER_MISS)
+            c_phit = tel.counter(obs_names.MET_TRIGGER_PREFETCH_HIT)
+            c_issued = tel.counter(obs_names.MET_PREFETCH_ISSUED)
+            c_evict = tel.counter(obs_names.MET_EVICTION_USED)
+            c_over = tel.counter(obs_names.MET_OVERPREDICTION)
+
+        indices = filt.indices.tolist()
+        pcs = filt.pcs.tolist()
+        blocks = filt.blocks.tolist()
+        evicted = filt.evicted.tolist()
+        resident: set[int] = set()
+        reset_done = warmup == 0
+
+        with timed("simulate", emit=False):
+            for j in range(len(indices)):
+                i = indices[j]
+                if not reset_done and i >= warmup:
+                    self._reset_counters()
+                    metrics = self.metrics
+                    reset_done = True
+                block = blocks[j]
+                pc = pcs[j]
+                victim_block = evicted[j]
+                if victim_block >= 0:
+                    resident.discard(victim_block)
+                resident.add(block)
+                entry = buffer.lookup(block)
+                if entry is not None:
+                    metrics.prefetch_hits += 1
+                    stream_useful[entry.stream_id] += 1
+                    if tracing:
+                        c_phit.inc()
+                        tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i, pc=pc,
+                                  block=block, stream=entry.stream_id)
+                    candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
+                else:
+                    metrics.misses += 1
+                    if self.collect_misses:
+                        self._miss_stream.append((pc, block))
+                    if tracing:
+                        c_miss.inc()
+                        tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i, pc=pc, block=block)
+                    candidates = prefetcher.on_miss(pc, block)
+
+                killed = prefetcher.take_killed_streams()
+                for sid in killed:
+                    buffer.invalidate_stream(sid)
+
+                for cand_block, sid in candidates:
+                    if buffer.probe(cand_block) or cand_block in resident:
+                        continue
+                    metrics.prefetches_issued += 1
+                    streams_seen.add(sid)
+                    if tracing:
+                        c_issued.inc()
+                        tel.debug(obs_names.EVT_PREFETCH, block=cand_block, stream=sid)
+                    victim = buffer.insert(cand_block, sid)
+                    if victim is not None:
+                        if tracing:
+                            if victim.used:
+                                c_evict.inc()
+                                tel.debug(obs_names.EVT_EVICTION, block=victim.block,
+                                          stream=victim.stream_id)
+                            else:
+                                c_over.inc()
+                                tel.debug(obs_names.EVT_OVERPREDICTION, block=victim.block,
+                                          stream=victim.stream_id)
+                        prefetcher.on_buffer_eviction(
+                            victim.block, victim.stream_id, victim.used)
+
+        if not reset_done:
+            # Every recorded miss fell inside the warm-up window; the
+            # unfiltered loop would still have reset at i == warmup.
+            self._reset_counters()
+        metrics = self.metrics
+        # The skipped hit iterations only ever touched these two
+        # counters; the engine's per-access increments reduce to them.
+        measured = n_accesses - warmup
+        metrics.accesses = measured
+        metrics.l1_hits = measured - (metrics.misses + metrics.prefetch_hits)
+        return self._emit_result(self._finalise(filt.trace_name))
+
+    def _emit_result(self, result: SimulationResult) -> SimulationResult:
+        tel = _OBS
+        if tel.enabled:
             tel.info(obs_names.EVT_RUN_COMPLETE, workload=result.workload,
                      prefetcher=result.prefetcher, degree=result.degree,
                      accesses=result.metrics.accesses,
@@ -184,13 +314,13 @@ class TraceSimulator:
     def _reset_counters(self) -> None:
         """Forget warm-up measurements but keep all simulated state."""
         self.metrics = CoverageMetrics()
-        self.buffer.stats.__init__()
+        self.buffer.reset_stats()
         self.prefetcher.reset_traffic()
         self._stream_useful.clear()
         self._streams_seen.clear()
         self._miss_stream.clear()
 
-    def _finalise(self, trace: MemoryTrace) -> SimulationResult:
+    def _finalise(self, workload_name: str) -> SimulationResult:
         self.buffer.drain()
         self.metrics.overpredictions = self.buffer.stats.evicted_unused
         lengths = StreamLengthStats()
@@ -203,7 +333,7 @@ class TraceSimulator:
         if component_hits is not None:
             extras["component_hits"] = dict(component_hits)
         return SimulationResult(
-            workload=trace.name,
+            workload=workload_name,
             prefetcher=self.prefetcher.name,
             degree=self.prefetcher.degree,
             metrics=self.metrics,

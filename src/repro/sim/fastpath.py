@@ -1,0 +1,213 @@
+"""Prefetcher-independent L1-D filtering (the cross-cell fast path).
+
+In the trace-driven methodology (Section IV-C/D) prefetches only ever
+fill the 32-block buffer next to the L1-D — the L1 itself is touched by
+demand accesses alone.  The L1 hit/miss split of a trace is therefore a
+pure function of ``(trace, l1 config)``: it is identical for every
+prefetcher and every degree in a fig11/fig13-style grid.  This module
+computes that split **once** and packages everything the engine needs
+to replay only the miss events:
+
+* the access ``indices`` of the L1 misses (so warm-up windows still
+  land on the right boundary);
+* the ``pcs`` and ``blocks`` of those misses (the prefetchers' entire
+  input);
+* the ``evicted`` block of each miss allocation (``-1`` when the set
+  had a free way), which lets the replay maintain an exact L1
+  *residency set* for candidate filtering without simulating the cache.
+
+Residency is sufficient because the engine consults the L1 for only two
+things: the hit/miss verdict of a demand access and the
+``probe(candidate)`` membership test before a buffer insert.  LRU order
+influences *which* block a future miss evicts — and that is precisely
+what the ``evicted`` array records — so replaying misses against the
+residency set is bit-identical to running the full cache
+(:meth:`repro.sim.engine.TraceSimulator.run_filtered` carries the
+replay; ``tests/sim/test_fastpath.py`` pins the equivalence).
+
+Filters serialise to JSON-safe payloads (zlib + base64 over
+little-endian int64) so the :mod:`repro.runner` artifact store can
+share one filter across every cell of a grid, across ``--resume``, and
+across worker processes.  The cache *key* of a filter is owned by
+:func:`repro.runner.cells.l1_filter_key` — the runner layer knows what
+identifies a generated trace; this module only knows how to build,
+encode, and replay filters.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..memory.cache import Cache
+from ..obs import names as obs_names
+from ..obs import scope as obs_scope
+from .trace import MemoryTrace
+
+#: Bump when the filter semantics or payload layout change (rides next
+#: to the runner's ``CODE_VERSION`` inside the artifact key material).
+FASTPATH_VERSION = 1
+
+#: Environment toggle: set ``DOMINO_FASTPATH=0`` to force every cell
+#: through the unfiltered engine loop (the results are bit-identical
+#: either way; the toggle exists for benchmarking and bisection).
+ENV_TOGGLE = "DOMINO_FASTPATH"
+
+_ARRAY_FIELDS = ("indices", "pcs", "blocks", "evicted")
+_CODEC = "zlib+b64:<i8"
+
+#: Fastpath telemetry scope (off until obs.configure()).
+_OBS = obs_scope("sim.fastpath")
+
+
+def enabled() -> bool:
+    """Whether the filtered replay path is active (default: yes)."""
+    return os.environ.get(ENV_TOGGLE, "1").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class L1Filter:
+    """The compact uncovered-access stream of one ``(trace, l1)`` pair.
+
+    ``indices[j]``/``pcs[j]``/``blocks[j]`` describe the ``j``-th L1
+    miss of the trace; ``evicted[j]`` is the block the miss allocation
+    displaced (``-1`` for none).  ``n_accesses`` is the length of the
+    originating trace (hits included), which the replay needs to place
+    warm-up boundaries and to reconstruct the hit counters.
+    """
+
+    trace_name: str
+    n_accesses: int
+    indices: np.ndarray
+    pcs: np.ndarray
+    blocks: np.ndarray
+    evicted: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.indices)
+        for fname in _ARRAY_FIELDS:
+            arr = getattr(self, fname)
+            if arr.ndim != 1 or len(arr) != n:
+                raise SimulationError(
+                    f"L1 filter field {fname} must be 1-D of length {n}")
+        if n > self.n_accesses:
+            raise SimulationError(
+                f"L1 filter has {n} misses for {self.n_accesses} accesses")
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.indices)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.n_misses / self.n_accesses if self.n_accesses else 0.0
+
+    def misses_from(self, warmup: int) -> int:
+        """Number of recorded misses with access index >= ``warmup``."""
+        return int(self.n_misses - np.searchsorted(self.indices, warmup))
+
+
+def build_l1_filter(trace: MemoryTrace, config: SystemConfig) -> L1Filter:
+    """One pass over ``trace`` through the L1-D alone.
+
+    Uses the same :class:`~repro.memory.cache.Cache` model (via
+    ``access_traced``) that the unfiltered engine drives, so the
+    recorded hit/miss split and eviction sequence are exactly what
+    every prefetcher cell would observe.
+    """
+    wall0 = time.perf_counter()
+    l1 = Cache(config.l1d)
+    access = l1.access_traced
+    pcs_list, blocks_list, _, _ = trace.as_lists()
+    indices: list[int] = []
+    miss_pcs: list[int] = []
+    miss_blocks: list[int] = []
+    evicted: list[int] = []
+    for i, block in enumerate(blocks_list):
+        hit, victim = access(block)
+        if hit:
+            continue
+        indices.append(i)
+        miss_pcs.append(pcs_list[i])
+        miss_blocks.append(block)
+        evicted.append(victim if victim is not None else -1)
+    filt = L1Filter(
+        trace_name=trace.name,
+        n_accesses=len(trace),
+        indices=np.asarray(indices, dtype=np.int64),
+        pcs=np.asarray(miss_pcs, dtype=np.int64),
+        blocks=np.asarray(miss_blocks, dtype=np.int64),
+        evicted=np.asarray(evicted, dtype=np.int64),
+    )
+    if _OBS.enabled:
+        _OBS.counter(obs_names.MET_FASTPATH_BUILDS).inc()
+        _OBS.info(obs_names.EVT_FASTPATH_BUILD, trace=trace.name,
+                  accesses=len(trace), misses=filt.n_misses,
+                  miss_rate=round(filt.miss_rate, 6),
+                  wall_s=round(time.perf_counter() - wall0, 6))
+    return filt
+
+
+# -- payload codec ----------------------------------------------------------
+
+
+def _encode(arr: np.ndarray) -> str:
+    data = np.ascontiguousarray(arr, dtype="<i8").tobytes()
+    return base64.b64encode(zlib.compress(data)).decode("ascii")
+
+
+def _decode(text: str, expected_len: int) -> np.ndarray:
+    try:
+        raw = zlib.decompress(base64.b64decode(text.encode("ascii")))
+        arr = np.frombuffer(raw, dtype="<i8")
+    except (ValueError, zlib.error) as exc:
+        raise SimulationError(f"corrupt L1 filter payload: {exc}") from exc
+    if len(arr) != expected_len:
+        raise SimulationError(
+            f"corrupt L1 filter payload: expected {expected_len} values, "
+            f"decoded {len(arr)}")
+    return arr.astype(np.int64, copy=False)
+
+
+def filter_to_payload(filt: L1Filter) -> dict[str, Any]:
+    """Serialise a filter into a JSON-safe artifact payload."""
+    payload: dict[str, Any] = {
+        "version": FASTPATH_VERSION,
+        "codec": _CODEC,
+        "trace_name": filt.trace_name,
+        "n_accesses": filt.n_accesses,
+        "n_misses": filt.n_misses,
+    }
+    for fname in _ARRAY_FIELDS:
+        payload[fname] = _encode(getattr(filt, fname))
+    return payload
+
+
+def filter_from_payload(payload: dict[str, Any]) -> L1Filter:
+    """Rebuild a filter from an artifact payload.
+
+    Raises :class:`SimulationError` on any structural mismatch so the
+    caller can treat the artifact as a miss and rebuild from the trace.
+    """
+    if (payload.get("version") != FASTPATH_VERSION
+            or payload.get("codec") != _CODEC):
+        raise SimulationError(
+            "L1 filter payload has an incompatible version or codec")
+    try:
+        n_accesses = int(payload["n_accesses"])
+        n_misses = int(payload["n_misses"])
+        arrays = {fname: _decode(payload[fname], n_misses)
+                  for fname in _ARRAY_FIELDS}
+        name = str(payload["trace_name"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SimulationError(f"malformed L1 filter payload: {exc}") from exc
+    return L1Filter(trace_name=name, n_accesses=n_accesses, **arrays)

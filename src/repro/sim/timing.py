@@ -108,7 +108,20 @@ class TimingSimulator:
         self._warm_now = self.now
 
     def finalise(self) -> TimingResult:
-        """Close the measurement window (subtracting any warm-up)."""
+        """Close the measurement window (subtracting any warm-up).
+
+        Misses still in flight at trace end are part of the measured
+        region — the program has not finished until its last fill
+        returns — so the clock is first advanced to the latest
+        outstanding completion.  Idempotent: the drain empties the
+        queue, so a second call changes nothing.
+        """
+        while self._outstanding:
+            completion, _ = self._outstanding.popleft()
+            if completion > self.now:
+                self.now = completion
+            if completion > self._last_completion:
+                self._last_completion = completion
         res = self.result
         if self._warm_counters is not None:
             warm = self._warm_counters
@@ -166,9 +179,16 @@ class TimingSimulator:
                 self._outstanding.append((completion, self.inst_index))
                 self._retire(self.inst_index)
         else:
+            # Timely prefetch hit: the block is in the buffer, so the
+            # access costs an L1-hit latency — dependent accesses stall
+            # for it, independent ones carry it in the ROB window just
+            # like any other completed load.
             completion = self.now + self.config.l1d.hit_latency
             if dep:
                 self.now = completion
+            else:
+                self._outstanding.append((completion, self.inst_index))
+                self._retire(self.inst_index)
         self._last_completion = completion
         self.hierarchy.fill_l1(block)
         candidates = self.prefetcher.on_prefetch_hit(pc, block, entry.stream_id)

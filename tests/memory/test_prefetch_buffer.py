@@ -7,6 +7,30 @@ from hypothesis import strategies as st
 from repro.memory.prefetch_buffer import PrefetchBuffer
 
 
+class TestResetStats:
+    def test_counters_zeroed_entries_kept(self):
+        buf = PrefetchBuffer(2)
+        buf.insert(1)
+        buf.insert(2)
+        buf.insert(3)          # evicts 1 (unused)
+        buf.lookup(2)          # consumes 2
+        buf.reset_stats()
+        assert buf.stats.inserted == 0
+        assert buf.stats.hits == 0
+        assert buf.stats.evicted_unused == 0
+        assert len(buf) == 1 and buf.probe(3)
+
+    def test_fresh_stats_object(self):
+        # The warm-up reset must not mutate a stats object someone else
+        # holds a reference to (the old __init__-in-place hazard).
+        buf = PrefetchBuffer(2)
+        buf.insert(1)
+        old = buf.stats
+        buf.reset_stats()
+        assert buf.stats is not old
+        assert old.inserted == 1
+
+
 class TestInsertLookup:
     def test_lookup_consumes_entry(self):
         buf = PrefetchBuffer(4)

@@ -102,3 +102,54 @@ class TestCellKey:
                     overrides=(("ht_entries", object()),))
         with pytest.raises(RunnerError):
             key(cell, tiny_options)
+
+
+class TestL1FilterKey:
+    def test_stable_and_hex(self, tiny_options):
+        from repro.config import SystemConfig
+        from repro.runner.cells import l1_filter_key
+
+        cfg = SystemConfig()
+        k = l1_filter_key("oltp", tiny_options, cfg)
+        assert k == l1_filter_key("oltp", tiny_options, cfg)
+        assert len(k) == 64
+        int(k, 16)
+
+    def test_trace_identity_enters_key(self, tiny_options):
+        from repro.config import SystemConfig
+        from repro.runner.cells import l1_filter_key
+
+        cfg = SystemConfig()
+        base = l1_filter_key("oltp", tiny_options, cfg)
+        assert l1_filter_key("web_apache", tiny_options, cfg) != base
+        assert l1_filter_key("oltp", tiny_options.scaled(n_accesses=999),
+                             cfg) != base
+        assert l1_filter_key("oltp", tiny_options.scaled(seed=99), cfg) != base
+        assert l1_filter_key("oltp", tiny_options, cfg,
+                             window=(100, 6000)) != base
+
+    def test_l1_geometry_enters_key(self, tiny_options):
+        from repro.config import SystemConfig, small_test_config
+        from repro.runner.cells import l1_filter_key
+
+        assert (l1_filter_key("oltp", tiny_options, SystemConfig())
+                != l1_filter_key("oltp", tiny_options, small_test_config()))
+
+    def test_prefetcher_irrelevant_knobs_do_not_enter_key(self, tiny_options):
+        """The whole point: one filter serves every prefetcher/degree."""
+        from repro.config import SystemConfig
+        from repro.runner.cells import l1_filter_key
+
+        cfg = SystemConfig()
+        assert (l1_filter_key("oltp", tiny_options, cfg)
+                == l1_filter_key("oltp", tiny_options.scaled(degree=8), cfg)
+                == l1_filter_key("oltp", tiny_options.scaled(
+                    warmup_frac=0.5), cfg))
+
+    def test_distinct_from_cell_keys(self, tiny_options):
+        from repro.config import SystemConfig
+        from repro.runner.cells import l1_filter_key
+
+        cell = Cell(kind="trace", workload="oltp", prefetcher="domino", degree=1)
+        assert (l1_filter_key("oltp", tiny_options, SystemConfig())
+                != key(cell, tiny_options))

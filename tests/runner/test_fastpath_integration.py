@@ -1,0 +1,86 @@
+"""Fastpath ↔ runner integration: shared filter artifacts and the
+on/off payload-equality guarantee at the scheduler level."""
+
+import json
+
+import pytest
+
+from repro.runner import Cell, ExecutionPolicy, run_cells
+from repro.runner import execute as execute_mod
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fastpath_state():
+    """Make per-process fastpath caches test-local and deterministic."""
+    execute_mod._FILTERS.clear()
+    execute_mod.set_fastpath_root(None)
+    yield
+    execute_mod._FILTERS.clear()
+    execute_mod.set_fastpath_root(None)
+
+
+def _grid():
+    cells = [Cell(kind="trace", workload="oltp", prefetcher=name, degree=1)
+             for name in ("baseline", "stms", "domino")]
+    cells.append(Cell(kind="opportunity", workload="oltp"))
+    return cells
+
+
+class TestFastpathToggleEquivalence:
+    def test_payloads_identical_on_and_off(self, tiny_options, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "0")
+        off, _ = run_cells(_grid(), tiny_options,
+                           ExecutionPolicy(use_cache=False))
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        on, _ = run_cells(_grid(), tiny_options,
+                          ExecutionPolicy(use_cache=False))
+        assert on == off
+
+    def test_store_served_filter_equivalent(self, tiny_options, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        cache = tmp_path / "warm-store"
+        first, _ = run_cells(_grid(), tiny_options,
+                             ExecutionPolicy(use_cache=True, cache_dir=cache))
+        # Same grid, cold memo, warm store: the filters (and the cell
+        # artifacts) come back from disk bit-identical.
+        execute_mod._FILTERS.clear()
+        again, _ = run_cells(_grid(), tiny_options,
+                             ExecutionPolicy(use_cache=True, cache_dir=cache))
+        assert again == first
+
+
+class TestFilterArtifacts:
+    def test_filters_persisted_with_their_own_kind(self, tiny_options,
+                                                   tmp_path, monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        cache = tmp_path / "store"
+        run_cells(_grid(), tiny_options,
+                  ExecutionPolicy(use_cache=True, cache_dir=cache))
+        kinds = [json.loads(p.read_text()).get("kind", "cell")
+                 for p in cache.glob("v*/*/*.json")]
+        # Full-trace filter + opportunity-window filter + 4 cell results.
+        assert kinds.count("l1_filter") == 2
+        assert kinds.count("cell") == 4
+
+    def test_one_filter_shared_across_prefetcher_cells(self, tiny_options,
+                                                       tmp_path, monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        cache = tmp_path / "store"
+        cells = [Cell(kind="trace", workload="oltp", prefetcher=name,
+                      degree=degree)
+                 for name in ("baseline", "nextline", "stms", "domino")
+                 for degree in (1, 4)]
+        run_cells(cells, tiny_options,
+                  ExecutionPolicy(use_cache=True, cache_dir=cache))
+        kinds = [json.loads(p.read_text()).get("kind", "cell")
+                 for p in cache.glob("v*/*/*.json")]
+        assert kinds.count("l1_filter") == 1  # 8 cells, one filter
+
+    def test_no_cache_means_no_filter_writes(self, tiny_options, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        monkeypatch.setenv("DOMINO_CACHE_DIR", str(tmp_path / "unused"))
+        run_cells(_grid(), tiny_options, ExecutionPolicy(use_cache=False))
+        assert not (tmp_path / "unused").exists()

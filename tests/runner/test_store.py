@@ -41,6 +41,33 @@ class TestRoundTrip:
         assert store.stats().n_entries == 1
 
 
+class TestArtifactKinds:
+    def test_kind_roundtrip(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"misses": [1, 2]}, kind="l1_filter")
+        assert store.get(KEY, kind="l1_filter") == {"misses": [1, 2]}
+
+    def test_kind_mismatch_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1}, kind="l1_filter")
+        assert store.get(KEY) is None  # asked for a "cell", got a filter
+
+    def test_default_kind_is_cell(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        assert store.get(KEY, kind="cell") == {"v": 1}
+
+    def test_pre_kind_artifact_reads_as_cell(self, tmp_path):
+        # Artifacts written before kinds existed have no "kind" field.
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        document = json.loads(store.path_for(KEY).read_text())
+        del document["kind"]
+        store.path_for(KEY).write_text(json.dumps(document))
+        assert store.get(KEY) == {"v": 1}
+        assert store.get(KEY, kind="l1_filter") is None
+
+
 class TestCorruptionRecovery:
     def test_truncated_artifact_is_a_miss_and_removed(self, tmp_path):
         store = make_store(tmp_path)

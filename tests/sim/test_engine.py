@@ -1,5 +1,8 @@
 """Trace-driven engine: coverage accounting, warm-up, stream feedback."""
 
+import pytest
+
+from repro.errors import SimulationError
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
 from repro.prefetchers.nextline import NextLinePrefetcher
 from repro.prefetchers.stms import StmsPrefetcher
@@ -86,6 +89,31 @@ class TestWarmup:
                               StmsPrefetcher(paper_config),
                               warmup=len(tiny_trace) // 2)
         assert warm.coverage >= cold.coverage
+
+
+class TestWarmupValidation:
+    def test_negative_warmup_rejected(self, config, tiny_trace):
+        with pytest.raises(SimulationError):
+            simulate_trace(tiny_trace, config, warmup=-1)
+
+    def test_whole_trace_warmup_rejected(self, config, tiny_trace):
+        # Used to slip through silently: the reset at i == warmup never
+        # fired and the "measured" counters included the training window.
+        with pytest.raises(SimulationError):
+            simulate_trace(tiny_trace, config, warmup=len(tiny_trace))
+
+    def test_beyond_trace_warmup_rejected(self, config, tiny_trace):
+        with pytest.raises(SimulationError):
+            simulate_trace(tiny_trace, config, warmup=len(tiny_trace) + 1)
+
+    def test_zero_warmup_on_empty_window_ok(self, config, trace_factory):
+        result = simulate_trace(trace_factory([1, 2]), config, warmup=0)
+        assert result.metrics.accesses == 2
+
+    def test_max_valid_warmup_measures_one_access(self, config, tiny_trace):
+        result = simulate_trace(tiny_trace, config,
+                                warmup=len(tiny_trace) - 1)
+        assert result.metrics.accesses == 1
 
 
 class TestStreamFeedback:

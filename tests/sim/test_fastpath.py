@@ -1,0 +1,169 @@
+"""L1 fastpath tests: filter construction, codec, and the
+bit-identical-replay guarantee against the unfiltered engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.prefetchers.base import NullPrefetcher
+from repro.prefetchers.registry import make_prefetcher, prefetcher_names
+from repro.sim.engine import TraceSimulator, collect_miss_stream
+from repro.sim.fastpath import (L1Filter, build_l1_filter, enabled,
+                                filter_from_payload, filter_to_payload)
+
+
+class TestBuild:
+    def test_filter_matches_baseline_miss_stream(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        expected = collect_miss_stream(tiny_trace, config)
+        assert list(zip(filt.pcs.tolist(), filt.blocks.tolist())) == expected
+
+    def test_metadata_fields(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        assert filt.trace_name == tiny_trace.name
+        assert filt.n_accesses == len(tiny_trace)
+        assert 0 < filt.n_misses <= filt.n_accesses
+        assert filt.miss_rate == filt.n_misses / filt.n_accesses
+        assert list(filt.indices) == sorted(filt.indices)
+
+    def test_misses_from_counts_tail(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        assert filt.misses_from(0) == filt.n_misses
+        assert filt.misses_from(filt.n_accesses) == 0
+        mid = len(tiny_trace) // 2
+        assert filt.misses_from(mid) == int(np.sum(filt.indices >= mid))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(SimulationError):
+            L1Filter(trace_name="t", n_accesses=10,
+                     indices=np.zeros(2, dtype=np.int64),
+                     pcs=np.zeros(3, dtype=np.int64),
+                     blocks=np.zeros(2, dtype=np.int64),
+                     evicted=np.zeros(2, dtype=np.int64))
+
+    def test_more_misses_than_accesses_rejected(self):
+        with pytest.raises(SimulationError):
+            L1Filter(trace_name="t", n_accesses=1,
+                     indices=np.zeros(2, dtype=np.int64),
+                     pcs=np.zeros(2, dtype=np.int64),
+                     blocks=np.zeros(2, dtype=np.int64),
+                     evicted=np.zeros(2, dtype=np.int64))
+
+
+class TestToggle:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("DOMINO_FASTPATH", raising=False)
+        assert enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "OFF", " no "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv("DOMINO_FASTPATH", value)
+        assert not enabled()
+
+    def test_other_values_keep_it_on(self, monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        assert enabled()
+
+
+class TestReplayEquivalence:
+    """run_filtered must be bit-identical to run on the same trace."""
+
+    @pytest.mark.parametrize("name", ["baseline", "nextline", "stms", "digram",
+                                      "domino", "isb", "vldp"])
+    @pytest.mark.parametrize("warmup", [0, 3000])
+    def test_prefetchers_bit_identical(self, config, tiny_trace, name, warmup):
+        filt = build_l1_filter(tiny_trace, config)
+        plain = TraceSimulator(config, make_prefetcher(name, config, degree=4),
+                               collect_misses=True).run(tiny_trace, warmup=warmup)
+        replay = TraceSimulator(config, make_prefetcher(name, config, degree=4),
+                                collect_misses=True).run_filtered(filt, warmup=warmup)
+        assert plain == replay
+
+    @pytest.mark.parametrize("degree", [1, 8])
+    def test_degrees_bit_identical(self, config, tiny_trace, degree):
+        filt = build_l1_filter(tiny_trace, config)
+        plain = TraceSimulator(
+            config, make_prefetcher("domino", config, degree=degree),
+        ).run(tiny_trace)
+        replay = TraceSimulator(
+            config, make_prefetcher("domino", config, degree=degree),
+        ).run_filtered(filt)
+        assert plain == replay
+
+    def test_every_registered_prefetcher(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        for name in prefetcher_names():
+            plain = TraceSimulator(config, make_prefetcher(name, config)).run(
+                tiny_trace, warmup=1500)
+            replay = TraceSimulator(
+                config, make_prefetcher(name, config)).run_filtered(
+                filt, warmup=1500)
+            assert plain == replay, name
+
+    def test_roundtripped_filter_equivalent(self, config, tiny_trace):
+        filt = filter_from_payload(
+            filter_to_payload(build_l1_filter(tiny_trace, config)))
+        plain = TraceSimulator(config, make_prefetcher("stms", config)).run(
+            tiny_trace)
+        replay = TraceSimulator(
+            config, make_prefetcher("stms", config)).run_filtered(filt)
+        assert plain == replay
+
+    def test_warmup_past_last_miss(self, config, trace_factory):
+        # One cold miss, then hits only: every recorded miss falls in
+        # the warm-up window, so the replay's trailing reset must fire.
+        trace = trace_factory([5] * 50)
+        filt = build_l1_filter(trace, config)
+        plain = TraceSimulator(config, NullPrefetcher(config)).run(
+            trace, warmup=10)
+        replay = TraceSimulator(config, NullPrefetcher(config)).run_filtered(
+            filt, warmup=10)
+        assert plain == replay
+        assert replay.metrics.misses == 0
+        assert replay.metrics.accesses == 40
+
+    def test_whole_trace_warmup_rejected(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        sim = TraceSimulator(config, NullPrefetcher(config))
+        with pytest.raises(SimulationError):
+            sim.run_filtered(filt, warmup=len(tiny_trace))
+
+
+class TestPayloadCodec:
+    def test_roundtrip_exact(self, config, tiny_trace):
+        filt = build_l1_filter(tiny_trace, config)
+        back = filter_from_payload(filter_to_payload(filt))
+        assert back.trace_name == filt.trace_name
+        assert back.n_accesses == filt.n_accesses
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            assert np.array_equal(getattr(back, fname), getattr(filt, fname))
+
+    def test_payload_is_json_safe(self, config, tiny_trace):
+        import json
+
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_wrong_version_rejected(self, config, tiny_trace):
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        payload["version"] = -1
+        with pytest.raises(SimulationError):
+            filter_from_payload(payload)
+
+    def test_corrupt_array_rejected(self, config, tiny_trace):
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        payload["blocks"] = "not base64 zlib data"
+        with pytest.raises(SimulationError):
+            filter_from_payload(payload)
+
+    def test_truncated_array_rejected(self, config, tiny_trace):
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        payload["n_misses"] = payload["n_misses"] + 1
+        with pytest.raises(SimulationError):
+            filter_from_payload(payload)
+
+    def test_missing_field_rejected(self, config, tiny_trace):
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        del payload["indices"]
+        with pytest.raises(SimulationError):
+            filter_from_payload(payload)

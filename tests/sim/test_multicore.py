@@ -52,6 +52,31 @@ class TestSimulateMulticore:
         assert 0.0 <= result.coverage <= 1.0
 
 
+class TestPerCoreAccounting:
+    def test_per_core_ipc_consistent_with_counters(self, config, tiny_trace):
+        result = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.0)
+        for core in result.per_core:
+            assert core.cycles > 0
+            assert core.ipc == pytest.approx(core.instructions / core.cycles)
+
+    def test_per_core_cycles_include_trailing_misses(self, config, tiny_trace):
+        # Every core's sub-trace ends with misses still in flight; the
+        # finalise() drain means each core is charged at least one full
+        # memory round trip (tiny_trace misses on every core).
+        result = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.0)
+        for core in result.per_core:
+            assert core.misses > 0
+            assert core.cycles >= config.memory_latency_cycles
+
+    def test_system_ipc_uses_slowest_core(self, config, tiny_trace):
+        result = simulate_multicore(tiny_trace, config, "baseline",
+                                    warmup_frac=0.0)
+        assert result.cycles == pytest.approx(
+            max(core.cycles for core in result.per_core))
+
+
 class TestSpeedup:
     def test_speedup_returns_triple(self, config, tiny_trace):
         speedup, run, baseline = speedup_over_baseline(tiny_trace, config,

@@ -1,5 +1,7 @@
 """Cycle-accounting timing model tests."""
 
+import pytest
+
 from repro.config import small_test_config
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
 from repro.prefetchers.nextline import NextLinePrefetcher
@@ -100,6 +102,74 @@ class TestPrefetchTiming:
         sim = TimingSimulator(config, NextLinePrefetcher(config, degree=4))
         result = sim.run(trace)
         assert result.prefetches_dropped > 0
+
+
+class TestOutstandingDrain:
+    """finalise() must wait for in-flight misses (cycle undercount fix)."""
+
+    def test_single_independent_miss_accrues_latency(self, config, trace_factory):
+        # One independent miss and nothing after it: before the drain
+        # fix the clock never advanced past the (tiny) issue time and
+        # the miss contributed zero cycles.
+        trace = trace_factory([100])
+        result = TimingSimulator(config, NullPrefetcher(config)).run(trace)
+        assert result.cycles >= config.memory_latency_cycles
+
+    def test_trace_ending_in_misses_accrues_latency(self, config, trace_factory):
+        blocks = [i * 64 for i in range(10)]
+        indep = TimingSimulator(config, NullPrefetcher(config)).run(
+            trace_factory(blocks, deps=[0] * 10))
+        dep = TimingSimulator(config, NullPrefetcher(config)).run(
+            trace_factory(blocks, deps=[1] * 10))
+        # Independent misses overlap but the last one must still finish;
+        # dependent ones serialise to at least as many cycles.
+        assert indep.cycles >= config.memory_latency_cycles
+        assert dep.cycles >= indep.cycles
+
+    def test_overlapped_tail_cheaper_than_serialised_tail(self, config,
+                                                          trace_factory):
+        # The drain waits for the *last* completion, not the sum: a
+        # burst of independent trailing misses still overlaps.
+        n = 8
+        blocks = [i * 64 for i in range(n)]
+        result = TimingSimulator(config, NullPrefetcher(config)).run(
+            trace_factory(blocks, deps=[0] * n))
+        assert result.cycles < n * config.memory_latency_cycles
+
+    def test_finalise_idempotent(self, config, trace_factory):
+        sim = TimingSimulator(config, NullPrefetcher(config))
+        sim.load(trace_factory([100, 200, 300]))
+        while not sim.done():
+            sim.step()
+        first = sim.finalise().cycles
+        assert sim.finalise().cycles == first
+        assert not sim._outstanding
+
+
+class TestTimelyIndependentPrefetchHit:
+    """A timely prefetch hit costs the L1 hit latency on every path."""
+
+    def test_independent_hit_charged_hit_latency(self, config, trace_factory):
+        # Access 100 (miss, prefetches 200), long work gap, then an
+        # *independent* access to 200: a timely buffer hit.  Before the
+        # fix its completion was computed and dropped, making it free.
+        pf_trace = trace_factory([100, 200], works=[0, 4000], deps=[0, 0])
+        hit_trace = trace_factory([100, 100], works=[0, 4000], deps=[0, 0])
+        with_pf = TimingSimulator(config, OneShotPrefetcher(config, 200)).run(pf_trace)
+        l1_hit = TimingSimulator(config, NullPrefetcher(config)).run(hit_trace)
+        assert with_pf.prefetch_hits == 1
+        assert with_pf.late_prefetch_hits == 0
+        assert with_pf.cycles - l1_hit.cycles == pytest.approx(
+            config.l1d.hit_latency)
+
+    def test_dependent_and_independent_hits_cost_the_same(self, config,
+                                                          trace_factory):
+        dep = TimingSimulator(config, OneShotPrefetcher(config, 200)).run(
+            trace_factory([100, 200], works=[0, 4000], deps=[0, 1]))
+        indep = TimingSimulator(config, OneShotPrefetcher(config, 200)).run(
+            trace_factory([100, 200], works=[0, 4000], deps=[0, 0]))
+        assert dep.prefetch_hits == indep.prefetch_hits == 1
+        assert indep.cycles == pytest.approx(dep.cycles)
 
 
 class TestWarmupWindow:
