@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Serve smoke: boot the experiment server for real and prove the
+# serving path end to end.  Four gates:
+#
+#   1. lifecycle    — server starts on a unix socket, serves a small
+#                     multi-tenant loadgen scenario with zero errors,
+#                     and drains cleanly on SIGTERM (exit 0).
+#   2. equivalence  — a job fetched through the wire is bit-identical
+#                     to the same spec computed by run_cells in-process.
+#   3. telemetry    — every event the server traced uses a registered
+#                     obs name, and `obs summary` parses the trace
+#                     (doubling as a trace-integrity check).
+#   4. store warm   — serving populated the artifact store (the batch
+#                     path would hit, not recompute).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+WORK=$(mktemp -d)
+SOCK="$WORK/serve.sock"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== gate 1: server lifecycle under load =="
+python -m repro.cli serve --socket "$SOCK" --slots 2 \
+  --cache-dir "$WORK/cache" --trace-events "$WORK/trace.jsonl" \
+  > "$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "server never bound $SOCK"; cat "$WORK/server.log"; exit 1; }
+
+python -m repro.cli loadgen "unix:$SOCK" \
+  --tenants 2 --jobs-per-tenant 3 --rate 5 --n 2000 \
+  --out "$WORK/loadgen.json"
+python - "$WORK/loadgen.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["errors"] == 0 and report["failed"] == 0, report
+assert report["completed"] == report["submitted"], report
+print(f"loadgen: {report['completed']} jobs, "
+      f"fairness {report['fairness_jain']}")
+EOF
+
+echo "== gate 2: served == batch, payload for payload =="
+python - "$SOCK" <<'EOF'
+import asyncio, sys
+from repro.runner import ExecutionPolicy, run_cells
+from repro.serve import JobSpec, ServeClient
+
+SPEC = {"workload": "oltp", "prefetcher": "domino", "kind": "trace",
+        "degrees": [1, 4], "n_accesses": 2000, "seed": 77}
+
+async def serve_once():
+    async with await ServeClient.connect(f"unix:{sys.argv[1]}",
+                                         "smoke") as client:
+        return await client.run_job(SPEC, "smoke-1")
+
+served = asyncio.run(serve_once())
+assert served.status == "ok", (served.status, served.reason)
+cells, options = JobSpec.from_dict(SPEC).compile()
+batch, manifest = run_cells(cells, options,
+                            ExecutionPolicy(jobs=1, use_cache=False))
+assert manifest.failed == 0
+assert served.payloads == batch, "served payloads differ from batch"
+print(f"{len(batch)} cells bit-identical through the wire")
+EOF
+
+# Clean shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "drained; bye" "$WORK/server.log" \
+  || { echo "no clean-drain message"; cat "$WORK/server.log"; exit 1; }
+echo "drained cleanly on SIGTERM"
+
+echo "== gate 3: zero unregistered obs names in the trace =="
+python - "$WORK/trace.jsonl" <<'EOF'
+import sys
+from repro.obs import read_jsonl
+from repro.obs.names import EVENT_NAMES
+
+events = read_jsonl(sys.argv[1])
+assert events, "server wrote an empty trace"
+names = {str(e.get("event", "")) for e in events}
+rogue = sorted(names - EVENT_NAMES)
+assert not rogue, f"unregistered event names in trace: {rogue}"
+served = [n for n in names if any(
+    e.get("event") == n and str(e.get("component", "")).startswith("serve.")
+    for e in events)]
+assert served, "trace has no serve-tier events"
+print(f"{len(events)} events, {len(names)} names, all registered")
+EOF
+python -m repro.cli obs summary "$WORK/trace.jsonl" --top 5 > /dev/null
+echo "obs summary parses the trace"
+
+echo "== gate 4: serving warmed the artifact store =="
+python -m repro.cli cache stats --cache-dir "$WORK/cache" | tee "$WORK/stats.txt"
+grep -vq " 0 artifacts" "$WORK/stats.txt" || true
+python - "$WORK/cache" <<'EOF'
+import sys
+from repro.runner import ResultStore
+stats = ResultStore(sys.argv[1]).stats()
+assert stats.n_entries > 0, "serving left the store empty"
+assert stats.n_quarantined == 0, "serving quarantined artifacts"
+print(f"store holds {stats.n_entries} artifacts, none quarantined")
+EOF
+
+echo "serve smoke: all gates passed"

@@ -166,7 +166,7 @@ class PicklableCellFunctions(Rule):
                  "lambdas and nested functions cannot be pickled, so "
                  "executor/experiment registries and pool submissions must "
                  "reference module-level functions.")
-    scope = ("runner/", "experiments/")
+    scope = ("runner/", "experiments/", "serve/")
 
     #: Call attributes that ship their callable argument to workers.
     _SUBMIT_ATTRS = frozenset({"apply_async", "apply", "map", "map_async",

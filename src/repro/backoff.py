@@ -1,0 +1,65 @@
+"""Deterministic exponential backoff with stable jitter.
+
+One formula, two consumers:
+
+* the **runner** (:mod:`repro.runner.scheduler`) spaces the retries of
+  a failed cell — attempt ``n`` waits ``base_s * 2**n`` (capped at
+  ``max_s``) scaled by a jitter factor in ``[0.5, 1.5)``;
+* the **server** (:mod:`repro.serve`) turns the same curve into the
+  ``retry_after_s`` hint attached to a shed response, so a client that
+  keeps hammering a saturated server is pushed back harder each time.
+
+Both sides need the *same* property: the delay must be a pure function
+of its inputs.  Retry schedules enter chaos-test expectations (a CI
+fault-injection run must replay identically), and shed hints enter the
+load generator's seeded benchmark — a wall-clock- or RNG-state-derived
+jitter would make either nondeterministic.  The jitter therefore comes
+from :func:`repro.faults.stable_fraction` (SHA-256 over the inputs),
+keyed by a caller-chosen ``key`` (cell key, tenant name) and the
+attempt number.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+from .faults import stable_fraction
+
+__all__ = ["backoff_delay", "jittered", "next_delays"]
+
+#: Domain separator mixed into the jitter hash.  Distinct consumers may
+#: pass their own ``salt`` so e.g. a cell retry and a shed hint for the
+#: same key string do not produce correlated jitter.
+DEFAULT_SALT = "backoff"
+
+
+def jittered(value: float, key: str, attempt: int,
+             salt: str = DEFAULT_SALT) -> float:
+    """``value`` scaled by the deterministic jitter factor in [0.5, 1.5)."""
+    return value * (0.5 + stable_fraction(salt, key, attempt))
+
+
+def backoff_delay(key: str, attempt: int, *, base_s: float, max_s: float,
+                  salt: str = DEFAULT_SALT) -> float:
+    """Delay before retrying ``key`` after its ``attempt``-th failure.
+
+    Exponential growth from ``base_s``, capped at ``max_s`` *before*
+    jitter is applied, then scaled by a stable jitter in ``[0.5, 1.5)``
+    — so the worst-case delay is ``1.5 * max_s`` and the expected delay
+    of a capped attempt is exactly ``max_s``.  Attempts count from 0.
+    """
+    if base_s < 0 or max_s < 0:
+        raise ConfigError("backoff delays must be >= 0")
+    if attempt < 0:
+        raise ConfigError("backoff attempt must be >= 0")
+    # 2**attempt overflows floats near attempt ~1024; clamp the exponent
+    # first so a long-lived shed streak cannot raise OverflowError.
+    exponent = min(attempt, 64)
+    base = min(max_s, base_s * (2 ** exponent))
+    return jittered(base, key, attempt, salt=salt)
+
+
+def next_delays(key: str, attempts: int, *, base_s: float, max_s: float,
+                salt: str = DEFAULT_SALT) -> list[float]:
+    """The first ``attempts`` delays of the schedule for ``key``."""
+    return [backoff_delay(key, attempt, base_s=base_s, max_s=max_s, salt=salt)
+            for attempt in range(attempts)]

@@ -12,6 +12,8 @@ Subcommands::
     domino-repro trace --workload oltp --n 100000 --out oltp.npz
     domino-repro cache stats|clear|gc     # artifact-store maintenance
     domino-repro obs summary t.jsonl      # render a run's telemetry
+    domino-repro serve --socket /tmp/d.sock --slots 2   # experiment server
+    domino-repro loadgen unix:/tmp/d.sock --tenants 4   # drive + measure it
 
 ``run`` goes through the cell runner (see docs/RUNNER.md): ``--jobs N``
 fans independent simulation cells across a worker pool and the
@@ -27,6 +29,14 @@ code 3 (``EXIT_PARTIAL``) instead of aborting.  ``--run-id NAME``
 journals completed cells so ``--resume NAME`` restarts a killed run
 where it left off, bit-identically.  The hidden ``--inject-faults``
 flag drives the deterministic chaos harness in :mod:`repro.faults`.
+
+``serve`` turns the evaluator into a long-running multi-tenant server
+(see docs/SERVING.md): clients submit job specs over a Unix or TCP
+socket, a weighted-fair scheduler multiplexes tenants onto worker
+slots, and admission control sheds load with retry-after hints when
+saturated.  ``loadgen`` is the matching measurement harness: seeded
+Poisson-arrival clients plus a BENCH-style JSON report (throughput,
+latency percentiles, shed rate, Jain fairness index).
 
 ``--trace-events PATH`` turns on the telemetry layer (see
 docs/OBSERVABILITY.md): engine, EIT, and scheduler events are collected
@@ -293,6 +303,113 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_weights(text: str) -> tuple[tuple[str, float], ...]:
+    """``a=2,b=0.5`` -> (("a", 2.0), ("b", 0.5)); argparse type."""
+    weights = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, value = token.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"weight {token!r} is not tenant=WEIGHT")
+        try:
+            weights.append((name.strip(), float(value)))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"weight {token!r}: {value!r} is not a number") from None
+    return tuple(weights)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .errors import ReproError
+    from .serve import AdmissionConfig, ExperimentServer, ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, path=args.socket,
+            slots=args.slots, retries=args.retries, timeout_s=args.timeout_s,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+            admission=AdmissionConfig(
+                max_queued_total=args.max_queued,
+                max_queued_per_tenant=args.max_queued_per_tenant,
+                max_in_flight_per_tenant=args.max_in_flight),
+            weights=args.weights,
+            max_cells_per_job=args.max_cells,
+            allow_remote_shutdown=not args.no_remote_shutdown)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    tracing = _configure_obs(args)
+    server = ExperimentServer(config)
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(server.request_shutdown()))
+        print(f"serving on {server.address} "
+              f"({config.slots} slots; ctrl-c drains)", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        if tracing and args.trace_events:
+            _write_trace(args.trace_events)
+        from . import obs
+
+        obs.disable()
+    print("drained; bye")
+    return EXIT_OK
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .faults import FaultPlan, parse_fault_spec
+    from .serve.loadgen import LoadGenConfig, run_loadgen
+
+    try:
+        degrees = [int(d) for d in args.degrees.split(",") if d.strip()]
+    except ValueError:
+        print(f"error: --degrees {args.degrees!r} is not a comma-separated "
+              "list of integers", file=sys.stderr)
+        return EXIT_USAGE
+    spec = {"workload": args.workload, "prefetcher": args.prefetcher,
+            "kind": "trace", "degrees": degrees, "n_accesses": args.n}
+    try:
+        faults = (parse_fault_spec(args.inject_faults)
+                  if args.inject_faults else FaultPlan())
+        config = LoadGenConfig(
+            address=args.address, tenants=args.tenants,
+            jobs_per_tenant=args.jobs_per_tenant, rate_hz=args.rate,
+            spec=spec, seed=args.seed if args.seed is not None else 1234,
+            faults=faults, job_timeout_s=args.job_timeout_s)
+        report = run_loadgen(config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"error: cannot reach {args.address}: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.out}")
+    print(text)
+    return EXIT_PARTIAL if report["errors"] or report["failed"] else EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="domino-repro",
@@ -388,6 +505,74 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--list-rules", action="store_true",
                            help="print the rule registry and exit")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the multi-tenant experiment server "
+                      "(see docs/SERVING.md)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=_nonnegative_int, default=0,
+                         help="TCP port (default 0 = ephemeral)")
+    serve_p.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a Unix socket instead of TCP")
+    serve_p.add_argument("--slots", type=_positive_int, default=2,
+                         help="concurrent worker slots (default 2)")
+    serve_p.add_argument("--retries", type=_nonnegative_int, default=1,
+                         metavar="N", help="retry budget per served cell")
+    serve_p.add_argument("--timeout-s", type=_positive_float, default=None,
+                         metavar="S", help="per-cell wall-clock timeout")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="bypass the shared artifact cache")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="artifact cache root (default .domino-cache)")
+    serve_p.add_argument("--max-queued", type=_positive_int, default=64,
+                         metavar="N", help="global admission queue bound")
+    serve_p.add_argument("--max-queued-per-tenant", type=_positive_int,
+                         default=8, metavar="N")
+    serve_p.add_argument("--max-in-flight", type=_positive_int, default=2,
+                         metavar="N", help="per-tenant concurrent-job cap")
+    serve_p.add_argument("--weights", type=_parse_weights, default=(),
+                         metavar="T=W,...", help="per-tenant fair-share "
+                                                 "weights (default: equal)")
+    serve_p.add_argument("--max-cells", type=_positive_int, default=16,
+                         metavar="N", help="largest job (in cells) accepted")
+    serve_p.add_argument("--no-remote-shutdown", action="store_true",
+                         help="ignore client shutdown requests")
+    serve_p.add_argument("--trace-events", default=None, metavar="PATH",
+                         help="write the server's JSONL telemetry trace on "
+                              "shutdown (see docs/OBSERVABILITY.md)")
+    serve_p.add_argument("--log-level", default="debug",
+                         choices=["debug", "info", "warning", "error"])
+    serve_p.add_argument("--trace-sample", type=_positive_int, default=1,
+                         metavar="N", help=argparse.SUPPRESS)
+    serve_p.add_argument("--trace-ring", type=_positive_int, default=100_000,
+                         metavar="N", help=argparse.SUPPRESS)
+    serve_p.set_defaults(profile=False)
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="drive a running server with seeded Poisson "
+                        "multi-tenant load and report BENCH JSON")
+    loadgen_p.add_argument("address", help="unix:<path> or host:port")
+    loadgen_p.add_argument("--tenants", type=_positive_int, default=4)
+    loadgen_p.add_argument("--jobs-per-tenant", type=_positive_int, default=8)
+    loadgen_p.add_argument("--rate", type=_positive_float, default=2.0,
+                           metavar="HZ", help="per-tenant Poisson arrival "
+                                              "rate (default 2/s)")
+    loadgen_p.add_argument("--seed", type=int, default=None)
+    loadgen_p.add_argument("--workload", default="sat_solver",
+                           choices=workload_names())
+    loadgen_p.add_argument("--prefetcher", default="domino",
+                           choices=prefetcher_names())
+    loadgen_p.add_argument("--n", type=_positive_int, default=1_000,
+                           help="accesses per job trace (default 1000)")
+    loadgen_p.add_argument("--degrees", default="1",
+                           help="comma-separated degrees per job (default 1)")
+    loadgen_p.add_argument("--job-timeout-s", type=_positive_float,
+                           default=120.0, metavar="S")
+    loadgen_p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                           help=argparse.SUPPRESS)  # chaos clients; repro.faults
+    loadgen_p.add_argument("--out", default=None, metavar="PATH",
+                           help="also write the JSON report to PATH")
+
     obs_p = sub.add_parser("obs", help="inspect run telemetry")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
     summary_p = obs_sub.add_parser(
@@ -405,7 +590,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"list": _cmd_list, "run": _cmd_run,
                 "compare": _cmd_compare, "trace": _cmd_trace,
                 "cache": _cmd_cache, "obs": _cmd_obs,
-                "analyze": _cmd_analyze}
+                "analyze": _cmd_analyze, "serve": _cmd_serve,
+                "loadgen": _cmd_loadgen}
     return handlers[args.command](args)
 
 

@@ -58,3 +58,11 @@ class CellFailedError(RunnerError):
 
 class CheckpointError(RunnerError):
     """A checkpoint journal is missing, unreadable, or inconsistent."""
+
+
+class ServeError(ReproError):
+    """The experiment server was misconfigured or reached a bad state."""
+
+
+class ProtocolError(ServeError):
+    """A serve wire message is malformed or violates the protocol."""

@@ -32,8 +32,30 @@ Four fault modes cover the runner's failure paths:
     quarantine path on the next run.  Applied by the scheduler after
     ``ResultStore.put``, never inside workers.
 
+Three further modes target the serve tier and are applied by the
+**load generator's chaos clients** (:mod:`repro.serve.loadgen`), not by
+the executor — the misbehaviour under test is the client's, and the
+property under test is that the server contains it:
+
+``slow_client``
+    The client stalls ``slow_client_s`` seconds before draining its
+    reply stream — exercises per-connection write isolation (a glacial
+    reader must not block other tenants' streams).
+``disconnect``
+    The client vanishes right after its job is accepted — exercises
+    mid-stream dead-connection handling (the job still completes; the
+    results are simply unread).
+``malformed``
+    The client sends a garbage frame before its submit — exercises the
+    error-reply path (the connection and the tenant's healthy jobs
+    survive).
+
+Serve rolls are keyed by ``(tenant, job index)`` instead of
+``(cell key, attempt)`` — same :func:`stable_fraction` determinism.
+
 Specs are parsed from the hidden ``--inject-faults`` CLI flag, e.g.
-``crash:0.3``, ``crash@2,hang:0.1,seed:7``, ``hang:1,hang_s:5``.
+``crash:0.3``, ``crash@2,hang:0.1,seed:7``, ``hang:1,hang_s:5``,
+``slow_client:0.2,disconnect:0.1,malformed:0.1``.
 """
 
 from __future__ import annotations
@@ -89,10 +111,18 @@ class FaultPlan:
     crash_attempts: int = 0
     #: How long an injected hang sleeps (choose > the cell timeout).
     hang_s: float = 5.0
+    #: Serve-tier client misbehaviour (rolled per tenant job, applied
+    #: by loadgen chaos clients — see module docstring).
+    slow_client_p: float = 0.0
+    disconnect_p: float = 0.0
+    malformed_p: float = 0.0
+    #: How long a slow client stalls before draining replies.
+    slow_client_s: float = 0.5
     seed: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("crash_p", "hang_p", "exit_p", "corrupt_p"):
+        for name in ("crash_p", "hang_p", "exit_p", "corrupt_p",
+                     "slow_client_p", "disconnect_p", "malformed_p"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"fault probability {name}={p!r} not in [0, 1]")
@@ -100,6 +130,8 @@ class FaultPlan:
             raise ConfigError("crash_attempts must be >= 0")
         if self.hang_s < 0:
             raise ConfigError("hang_s must be >= 0")
+        if self.slow_client_s < 0:
+            raise ConfigError("slow_client_s must be >= 0")
 
     # -- decisions ------------------------------------------------------
     @property
@@ -124,6 +156,21 @@ class FaultPlan:
     def should_corrupt(self, key: str) -> bool:
         """Corrupt the stored artifact for ``key`` (attempt-independent)."""
         return self._roll("corrupt", key, 0, self.corrupt_p)
+
+    # -- serve-tier client misbehaviour (rolled per tenant job) ---------
+    @property
+    def serve_active(self) -> bool:
+        return bool(self.slow_client_p or self.disconnect_p
+                    or self.malformed_p)
+
+    def should_slow_client(self, tenant: str, job_index: int) -> bool:
+        return self._roll("slow_client", tenant, job_index, self.slow_client_p)
+
+    def should_disconnect(self, tenant: str, job_index: int) -> bool:
+        return self._roll("disconnect", tenant, job_index, self.disconnect_p)
+
+    def should_malform(self, tenant: str, job_index: int) -> bool:
+        return self._roll("malformed", tenant, job_index, self.malformed_p)
 
     # -- application ----------------------------------------------------
     def apply(self, key: str, attempt: int) -> None:
@@ -163,7 +210,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
     """Parse an ``--inject-faults`` spec string into a :class:`FaultPlan`.
 
     Grammar: comma-separated tokens, each one of
-    ``crash:P | crash@N | hang:P | exit:P | corrupt:P | seed:N | hang_s:S``.
+    ``crash:P | crash@N | hang:P | exit:P | corrupt:P | seed:N | hang_s:S
+    | slow_client:P | disconnect:P | malformed:P | slow_client_s:S``.
     """
     plan = FaultPlan()
     for token in spec.split(","):
@@ -189,14 +237,16 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         try:
             if mode == "seed":
                 plan = replace(plan, seed=int(value))
-            elif mode == "hang_s":
-                plan = replace(plan, hang_s=float(value))
-            elif mode in ("crash", "hang", "exit", "corrupt"):
+            elif mode in ("hang_s", "slow_client_s"):
+                plan = replace(plan, **{mode: float(value)})
+            elif mode in ("crash", "hang", "exit", "corrupt",
+                          "slow_client", "disconnect", "malformed"):
                 plan = replace(plan, **{f"{mode}_p": float(value)})
             else:
                 raise ConfigError(
                     f"unknown fault mode {mode!r}; "
-                    "known: crash, hang, exit, corrupt, seed, hang_s")
+                    "known: crash, hang, exit, corrupt, slow_client, "
+                    "disconnect, malformed, seed, hang_s, slow_client_s")
         except ValueError:
             raise ConfigError(
                 f"fault token {token!r}: value {value!r} is not a number") from None

@@ -56,6 +56,18 @@ EVT_RUN_SUMMARY = "run_summary"            # end-of-run scheduler accounting
 EVT_ARTIFACT_QUARANTINED = "artifact_quarantined"  # corrupt artifact moved aside
 EVT_LOCK_BROKEN = "lock_broken"            # stale/dead-holder maintenance lock removed
 
+# -- serve.server / serve.scheduler events ----------------------------------
+EVT_SERVER_START = "server_start"          # listener bound, workers running
+EVT_SERVER_STOP = "server_stop"            # drained and closed
+EVT_CLIENT_CONNECT = "client_connect"      # handshake accepted
+EVT_CLIENT_DISCONNECT = "client_disconnect"  # connection closed (either side)
+EVT_REQUEST_MALFORMED = "request_malformed"  # undecodable/invalid client message
+EVT_JOB_ADMITTED = "job_admitted"          # job queued for a tenant
+EVT_JOB_SHED = "job_shed"                  # admission refused (retry-after sent)
+EVT_JOB_STARTED = "job_started"            # worker slot picked the job up
+EVT_JOB_COMPLETED = "job_completed"        # all cells served back
+EVT_JOB_FAILED = "job_failed"              # a cell failed after retries
+
 # -- cli.run events ---------------------------------------------------------
 EVT_EXPERIMENT_START = "experiment_start"
 EVT_EXPERIMENT_END = "experiment_end"
@@ -88,6 +100,20 @@ MET_EIT_TWO_ADDR_DISCARD = "eit_two_addr_discard"
 # -- core.eit counters ------------------------------------------------------
 MET_SUPER_ENTRY_EVICTIONS = "super_entry_evictions"
 MET_ENTRY_EVICTIONS = "entry_evictions"
+
+# -- runner.store counters --------------------------------------------------
+MET_LOCK_WAITS = "lock_waits"              # acquire() found the lock held
+MET_LOCK_BREAKS = "lock_breaks"            # stale/dead-holder lock removed
+
+# -- serve.server / serve.scheduler / serve.tenant.* metrics ----------------
+MET_JOBS_ADMITTED = "jobs_admitted"
+MET_JOBS_SHED = "jobs_shed"
+MET_JOBS_COMPLETED = "jobs_completed"
+MET_JOBS_FAILED = "jobs_failed"
+MET_REQUESTS_MALFORMED = "requests_malformed"
+MET_QUEUE_DEPTH = "queue_depth"            # histogram, sampled per admission decision
+MET_JOB_WAIT_S = "job_wait_s"              # histogram, admission -> worker pickup
+MET_JOB_SERVICE_S = "job_service_s"        # histogram, worker pickup -> served
 
 
 def _collect(prefix: str) -> frozenset[str]:

@@ -41,9 +41,10 @@ from collections.abc import Sequence
 from typing import Any
 
 from .. import obs
+from ..backoff import backoff_delay
 from ..obs import names as obs_names
 from ..errors import CellFailedError, CheckpointError, RunnerTimeoutError
-from ..faults import FaultPlan, corrupt_artifact, stable_fraction
+from ..faults import FaultPlan, corrupt_artifact
 from .cells import Cell, cell_key
 from .checkpoint import CheckpointJournal
 from .execute import CellTelemetry, execute_timed
@@ -160,8 +161,8 @@ def _describe(exc: BaseException) -> str:
 
 def _backoff_delay(policy: ExecutionPolicy, key: str, attempt: int) -> float:
     """Exponential backoff with deterministic jitter in [0.5x, 1.5x)."""
-    base = min(policy.backoff_max_s, policy.backoff_s * (2 ** attempt))
-    return base * (0.5 + stable_fraction("backoff", key, attempt))
+    return backoff_delay(key, attempt, base_s=policy.backoff_s,
+                         max_s=policy.backoff_max_s)
 
 
 def _attempt_failed(exc: BaseException, key: str, label: str, attempt: int,

@@ -64,8 +64,29 @@ QUARANTINE_DIR = "quarantine"
 
 _ENV_ROOT = "DOMINO_CACHE_DIR"
 
+#: Seconds a maintenance lock acquire waits before giving up; the env
+#: variable lets shared-cache CI shards wait out each other's sweeps
+#: without threading a flag through every call site.
+_ENV_LOCK_TIMEOUT = "DOMINO_STORE_LOCK_TIMEOUT"
+DEFAULT_LOCK_TIMEOUT_S = 10.0
+
 #: Store telemetry scope (off until obs.configure()).
 _OBS = obs.scope("runner.store")
+
+
+def default_lock_timeout_s() -> float:
+    """Lock-acquire budget: ``DOMINO_STORE_LOCK_TIMEOUT`` or 10s."""
+    raw = os.environ.get(_ENV_LOCK_TIMEOUT)
+    if raw is None or not raw.strip():
+        return DEFAULT_LOCK_TIMEOUT_S
+    try:
+        timeout_s = float(raw)
+    except ValueError:
+        raise RunnerError(
+            f"{_ENV_LOCK_TIMEOUT}={raw!r} is not a number") from None
+    if timeout_s < 0:
+        raise RunnerError(f"{_ENV_LOCK_TIMEOUT} must be >= 0")
+    return timeout_s
 
 
 @dataclass(frozen=True)
@@ -96,20 +117,25 @@ class StoreLock:
     a crashed ``cache clear`` must not wedge every future run.
     """
 
-    def __init__(self, base: str | Path, timeout_s: float = 10.0,
+    def __init__(self, base: str | Path, timeout_s: float | None = None,
                  stale_s: float = 600.0) -> None:
         self.path = Path(base) / ".lock"
-        self.timeout_s = timeout_s
+        self.timeout_s = (default_lock_timeout_s() if timeout_s is None
+                          else timeout_s)
         self.stale_s = stale_s
         self._held = False
 
     def acquire(self) -> "StoreLock":
         deadline = time.monotonic() + self.timeout_s
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        waited = False
         while True:
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
+                if not waited:
+                    waited = True
+                    _OBS.counter(obs_names.MET_LOCK_WAITS).inc()
                 if self._break_if_stale():
                     continue
                 if time.monotonic() >= deadline:
@@ -145,6 +171,7 @@ class StoreLock:
         if not stale:
             return False
         _OBS.warning(obs_names.EVT_LOCK_BROKEN, path=str(self.path), holder_pid=pid)
+        _OBS.counter(obs_names.MET_LOCK_BREAKS).inc()
         try:
             self.path.unlink(missing_ok=True)
         except OSError:
@@ -187,7 +214,7 @@ class ResultStore:
             return []
         return sorted(p for p in self.quarantine_dir.iterdir() if p.is_file())
 
-    def lock(self, timeout_s: float = 10.0) -> StoreLock:
+    def lock(self, timeout_s: float | None = None) -> StoreLock:
         """The store's maintenance lock (see :class:`StoreLock`)."""
         return StoreLock(self.base, timeout_s=timeout_s)
 
@@ -272,7 +299,7 @@ class ResultStore:
                           total_bytes=sum(p.stat().st_size for p in artifacts),
                           n_quarantined=len(self._quarantined()))
 
-    def clear(self, lock_timeout_s: float = 10.0) -> int:
+    def clear(self, lock_timeout_s: float | None = None) -> int:
         """Remove every artifact (all schema versions) and the
         quarantine, keeping checkpoint journals. Returns count."""
         with self.lock(timeout_s=lock_timeout_s):
@@ -284,7 +311,7 @@ class ResultStore:
                         shutil.rmtree(child, ignore_errors=True)
         return removed
 
-    def gc(self, keep: int, lock_timeout_s: float = 10.0) -> int:
+    def gc(self, keep: int, lock_timeout_s: float | None = None) -> int:
         """Drop the oldest artifacts beyond ``keep`` entries (by mtime).
 
         Also removes any artifact directories from older schema

@@ -1,0 +1,55 @@
+"""repro.serve — the evaluator as a long-running multi-tenant server.
+
+Everything below :mod:`repro.experiments` is batch: one CLI
+invocation, one grid, one manifest.  This package adds the service
+tier the ROADMAP calls for — many concurrent clients submit experiment
+requests, a fair scheduler multiplexes them onto the existing
+fault-tolerant :mod:`repro.runner` machinery, and results stream back
+incrementally over the wire:
+
+* :mod:`repro.serve.protocol` — JSONL-framed request/response messages
+  and the schema-validated :class:`JobSpec` that compiles to the same
+  :class:`~repro.runner.Cell` objects the batch path executes, so a
+  served result is **bit-identical** to ``domino-repro run`` output and
+  warms the same artifact store;
+* :mod:`repro.serve.scheduler` — weighted fair queueing across tenants
+  with admission control: bounded queues, per-tenant in-flight caps,
+  and load shedding with deterministic retry-after hints
+  (:mod:`repro.backoff`) when saturated;
+* :mod:`repro.serve.server` — the asyncio front-end: TCP or Unix
+  socket listener, per-connection protocol handling, worker slots that
+  execute admitted jobs through :func:`repro.runner.run_cells`, and
+  full :mod:`repro.obs` instrumentation (queue depth, admission
+  decisions, per-tenant wait/service histograms);
+* :mod:`repro.serve.client` — a small asyncio client used by tests,
+  the CLI, and the load generator;
+* :mod:`repro.serve.loadgen` — a seeded Poisson-arrival multi-client
+  load generator that drives the server to saturation and emits a
+  BENCH-style JSON report (throughput, p50/p99 latency, shed rate,
+  Jain fairness index), so overload behaviour is itself a measured,
+  regression-gated scenario (``benchmarks/bench_serve.py``).
+
+See ``docs/SERVING.md`` for the wire protocol and the fairness and
+admission semantics.
+"""
+
+from .protocol import PROTO_VERSION, JobSpec
+from .scheduler import Admission, AdmissionConfig, FairScheduler, Job
+from .server import ExperimentServer, ServeConfig
+from .client import ServeClient
+from .loadgen import LoadGenConfig, jain_index, run_loadgen
+
+__all__ = [
+    "Admission",
+    "AdmissionConfig",
+    "ExperimentServer",
+    "FairScheduler",
+    "Job",
+    "JobSpec",
+    "LoadGenConfig",
+    "PROTO_VERSION",
+    "ServeClient",
+    "ServeConfig",
+    "jain_index",
+    "run_loadgen",
+]

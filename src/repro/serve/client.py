@@ -1,0 +1,209 @@
+"""Asyncio client for the experiment server.
+
+A deliberately thin wrapper over the JSONL protocol, shared by the CLI
+(``domino-repro serve --submit`` style usage), the test suite, and the
+load generator.  One client drives one connection and one job at a
+time, which keeps the reply stream trivially ordered: ``submit`` is
+answered by ``accepted`` or ``shed``, an accepted job streams ``cell``
+frames and finishes with ``done``.
+
+The raw ``send``/``recv`` frame methods are public on purpose — the
+chaos side of the load generator uses them to misbehave (malformed
+frames, mid-stream disconnects, glacial reads) in ways the high-level
+helpers would never produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ProtocolError
+from . import protocol
+
+
+@dataclass
+class CellResult:
+    """One streamed cell frame of an accepted job."""
+
+    seq: int
+    label: str
+    status: str
+    payload: dict[str, Any] | None
+
+
+@dataclass
+class JobResult:
+    """Everything one submit produced, shed or served.
+
+    ``status`` is ``ok`` / ``failed`` for completed jobs, ``shed`` for
+    admission refusals (with ``reason`` and ``retry_after_s`` set), and
+    ``error`` when the server answered with an error frame.
+    """
+
+    request_id: str
+    accepted: bool
+    status: str = ""
+    job_id: str = ""
+    reason: str = ""
+    retry_after_s: float = 0.0
+    wait_s: float = 0.0
+    service_s: float = 0.0
+    cells: list[CellResult] = field(default_factory=list)
+
+    @property
+    def payloads(self) -> list[dict[str, Any] | None]:
+        """Cell payloads in stream order (None for failed cells)."""
+        return [cell.payload for cell in self.cells]
+
+
+def parse_address(address: str) -> tuple[str | None, str, int]:
+    """``unix:<path>`` or ``host:port`` -> (unix_path, host, port)."""
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ProtocolError("empty unix socket path")
+        return path, "", 0
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(
+            f"address {address!r} is neither unix:<path> nor host:port")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ProtocolError(f"bad port in address {address!r}") from exc
+    return None, host, port
+
+
+class ServeClient:
+    """One authenticated connection to an :class:`ExperimentServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, tenant: str) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.tenant = tenant
+        self.server_version = ""
+
+    @classmethod
+    async def connect(cls, address: str, tenant: str) -> "ServeClient":
+        """Dial, handshake, and return a ready client."""
+        path, host, port = parse_address(address)
+        limit = protocol.MAX_LINE_BYTES + 2
+        if path is not None:
+            reader, writer = await asyncio.open_unix_connection(path,
+                                                                limit=limit)
+        else:
+            reader, writer = await asyncio.open_connection(host, port,
+                                                           limit=limit)
+        client = cls(reader, writer, tenant)
+        await client.send(protocol.hello(tenant))
+        reply = await client.recv()
+        if reply["type"] != protocol.WELCOME:
+            await client.close(polite=False)
+            raise ProtocolError(
+                f"handshake refused: {reply.get('error', reply['type'])}")
+        client.server_version = str(reply.get("server", ""))
+        return client
+
+    # -- frames ---------------------------------------------------------
+    async def send(self, message: dict[str, Any]) -> None:
+        self.writer.write(protocol.encode_message(message))
+        await self.writer.drain()
+
+    async def send_raw(self, frame: bytes) -> None:
+        """Write arbitrary bytes — the chaos clients' backdoor."""
+        self.writer.write(frame)
+        await self.writer.drain()
+
+    async def recv(self) -> dict[str, Any]:
+        frame = await self.reader.readline()
+        if not frame:
+            raise ProtocolError("server closed the connection")
+        return protocol.decode_line(frame)
+
+    # -- high-level calls -----------------------------------------------
+    async def submit(self, spec: protocol.JobSpec | dict[str, Any],
+                     request_id: str) -> None:
+        """Send one submit frame (pair with :meth:`collect`)."""
+        await self.send(protocol.submit(request_id, spec))
+
+    async def run_job(self, spec: protocol.JobSpec | dict[str, Any],
+                      request_id: str) -> JobResult:
+        """Submit one job and collect its full reply stream."""
+        await self.submit(spec, request_id)
+        return await self.collect(request_id)
+
+    async def collect(self, request_id: str) -> JobResult:
+        """Drain the reply stream of an already-sent submit."""
+        reply = await self.recv()
+        kind = reply["type"]
+        if kind == protocol.SHED:
+            return JobResult(request_id=request_id, accepted=False,
+                             status="shed", reason=str(reply.get("reason", "")),
+                             retry_after_s=float(reply.get("retry_after_s", 0.0)))
+        if kind == protocol.ERROR:
+            return JobResult(request_id=request_id, accepted=False,
+                             status="error", reason=str(reply.get("error", "")))
+        if kind != protocol.ACCEPTED:
+            raise ProtocolError(f"unexpected submit reply {kind!r}")
+        return await self.stream(request_id,
+                                 job_id=str(reply.get("job", "")))
+
+    async def stream(self, request_id: str, job_id: str = "") -> JobResult:
+        """Drain cell/done frames of a job already known to be accepted."""
+        result = JobResult(request_id=request_id, accepted=True,
+                           job_id=job_id)
+        while True:
+            frame = await self.recv()
+            kind = frame["type"]
+            if kind == protocol.CELL:
+                result.cells.append(CellResult(
+                    seq=int(frame.get("seq", 0)),
+                    label=str(frame.get("cell", "")),
+                    status=str(frame.get("status", "")),
+                    payload=frame.get("payload")))
+            elif kind == protocol.DONE:
+                result.status = str(frame.get("status", ""))
+                result.wait_s = float(frame.get("wait_s", 0.0))
+                result.service_s = float(frame.get("service_s", 0.0))
+                return result
+            elif kind == protocol.ERROR:
+                result.status = "error"
+                result.reason = str(frame.get("error", ""))
+                return result
+            else:
+                raise ProtocolError(f"unexpected stream frame {kind!r}")
+
+    async def status(self) -> dict[str, Any]:
+        """The server's scheduler/stats snapshot."""
+        await self.send({"type": protocol.STATUS})
+        reply = await self.recv()
+        if reply["type"] != protocol.STATS:
+            raise ProtocolError(f"unexpected status reply {reply['type']!r}")
+        return reply
+
+    async def shutdown(self) -> None:
+        """Ask the server to drain and exit (admin clients only)."""
+        await self.send({"type": protocol.SHUTDOWN})
+        reply = await self.recv()
+        if reply["type"] != protocol.STOPPING:
+            raise ProtocolError(
+                f"shutdown refused: {reply.get('error', reply['type'])}")
+
+    async def close(self, polite: bool = True) -> None:
+        """Say goodbye (unless impolite) and tear the connection down."""
+        import contextlib
+
+        with contextlib.suppress(ConnectionError, OSError, ProtocolError):
+            if polite:
+                await self.send({"type": protocol.BYE})
+            self.writer.close()
+            await self.writer.wait_closed()
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

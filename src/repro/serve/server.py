@@ -1,0 +1,415 @@
+"""The asyncio experiment server: connections, workers, streaming.
+
+One process, one event loop, three kinds of task:
+
+* the **listener** (TCP on ``host:port`` or a Unix socket at ``path``)
+  accepts connections and runs one handler task per client;
+* **handler tasks** speak the JSONL protocol: handshake, then a loop of
+  ``submit`` / ``status`` / ``bye`` / ``shutdown`` messages.  Admission
+  decisions are made inline (the scheduler is pure and the event loop
+  is single-threaded, so no locking); accepted jobs are queued and a
+  condition variable wakes the workers;
+* **worker tasks** (``slots`` of them) pull jobs in weighted-fair order
+  and execute each cell through :func:`repro.runner.run_cells` inside
+  ``asyncio.to_thread``, so the event loop keeps serving other tenants
+  while a simulation runs.  Results stream back per cell as they
+  complete; a client that disconnected mid-job simply stops receiving
+  — the job still runs to completion and its artifacts stay in the
+  store (shedding happens at admission, never mid-run).
+
+Execution reuses the runner's whole fault-tolerance stack: the per-job
+:class:`~repro.runner.ExecutionPolicy` carries the server's retry
+budget, backoff, and per-cell timeout, and ``keep_going`` degradation
+turns an exhausted cell into a ``failed`` cell message instead of a
+dead worker.  With ``use_cache`` on (the default) served jobs read and
+write the same content-addressed artifact store as batch runs — a job
+the batch path already computed is served from cache, bit-identically.
+
+Telemetry note: per-cell event capture (``repro.obs.capture``) swaps
+process-global state and is not thread-safe; with ``--trace-events``
+and ``slots > 1``, concurrently executing cells can interleave their
+captures and drop events.  Counters and results are unaffected.  Run
+one slot when a full-fidelity trace matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .. import __version__, obs
+from ..errors import ProtocolError, ServeError
+from ..obs import names as obs_names
+from ..runner import ExecutionPolicy, run_cells
+from . import protocol
+from .scheduler import AdmissionConfig, FairScheduler, Job
+
+#: Server telemetry scope (off until obs.configure()).
+_OBS = obs.scope("serve.server")
+
+#: Queue-depth histogram buckets (jobs, not seconds).
+QUEUE_DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                       128.0, 256.0)
+
+#: A connection this deep into malformed frames is garbage, not a
+#: client with a bug; it gets disconnected.
+MAX_MALFORMED_PER_CONN = 32
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One server instance: where it listens and how it executes.
+
+    Exactly one of ``path`` (Unix socket) or ``host``/``port`` (TCP) is
+    used; ``path`` wins when both are set.  ``port=0`` binds an
+    ephemeral port (see :attr:`ExperimentServer.address`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    path: str | None = None
+    slots: int = 2
+    retries: int = 1
+    timeout_s: float | None = None
+    use_cache: bool = True
+    cache_dir: str | None = None
+    #: ``ExecutionPolicy.jobs`` of each job's run (1 = in-thread serial;
+    #: >1 spins a multiprocessing pool per multi-cell job).
+    jobs_per_run: int = 1
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    weights: tuple[tuple[str, float], ...] = ()
+    max_cells_per_job: int = 16
+    #: Whether a client ``shutdown`` message may drain-stop the server.
+    allow_remote_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ServeError("slots must be >= 1")
+        if self.jobs_per_run < 1:
+            raise ServeError("jobs_per_run must be >= 1")
+        if self.max_cells_per_job < 1:
+            raise ServeError("max_cells_per_job must be >= 1")
+
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy every served job runs under."""
+        return ExecutionPolicy(jobs=self.jobs_per_run,
+                               use_cache=self.use_cache,
+                               cache_dir=self.cache_dir,
+                               retries=self.retries,
+                               timeout_s=self.timeout_s,
+                               keep_going=True)
+
+
+class _Connection:
+    """One client link: serialised writes + liveness tracking."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.tenant = ""
+        self.closed = False
+        self._lock = asyncio.Lock()
+
+    async def send(self, message: dict[str, Any]) -> bool:
+        """Write one frame; False (never raises) on a dead connection."""
+        if self.closed:
+            return False
+        frame = protocol.encode_message(message)
+        try:
+            async with self._lock:
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            self.closed = True
+            return False
+        return True
+
+    async def close(self) -> None:
+        self.closed = True
+        with contextlib.suppress(ConnectionError, OSError):
+            self.writer.close()
+            await self.writer.wait_closed()
+
+
+class ExperimentServer:
+    """Multi-tenant front-end over the cell runner (see module doc)."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.scheduler = FairScheduler(admission=self.config.admission,
+                                       weights=dict(self.config.weights))
+        self._policy = self.config.policy()
+        self._server: asyncio.AbstractServer | None = None
+        self._cond: asyncio.Condition = asyncio.Condition()
+        self._done: asyncio.Event = asyncio.Event()
+        self._stop_workers = False
+        self._workers: list[asyncio.Task[None]] = []
+        self._job_conns: dict[str, _Connection] = {}
+        self._job_counter = 0
+        self._started_at = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker tasks."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        if self.config.path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.config.path,
+                limit=protocol.MAX_LINE_BYTES + 2)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.config.host, port=self.config.port,
+                limit=protocol.MAX_LINE_BYTES + 2)
+        self._started_at = time.monotonic()
+        self._workers = [asyncio.create_task(self._worker(slot),
+                                             name=f"serve-worker-{slot}")
+                         for slot in range(self.config.slots)]
+        _OBS.info(obs_names.EVT_SERVER_START, address=str(self.address),
+                  slots=self.config.slots,
+                  max_queued=self.config.admission.max_queued_total)
+
+    @property
+    def address(self) -> str:
+        """``unix:<path>`` or ``host:port`` (the *bound* port)."""
+        if self.config.path is not None:
+            return f"unix:{self.config.path}"
+        if self._server is not None and self._server.sockets:
+            host, port = self._server.sockets[0].getsockname()[:2]
+            return f"{host}:{port}"
+        return f"{self.config.host}:{self.config.port}"
+
+    async def serve_forever(self) -> None:
+        """Block until a drain shutdown completes."""
+        if self._server is None:
+            await self.start()
+        await self._done.wait()
+
+    async def request_shutdown(self) -> None:
+        """Begin a graceful drain: shed new work, finish admitted work.
+
+        Every job admitted before this call still runs to completion
+        and streams its results; only *new* submits are shed (reason
+        ``stopping``).  The server exits when the queue is empty and
+        nothing is in flight.
+        """
+        self.scheduler.draining = True
+        async with self._cond:
+            self._maybe_finish_drain()
+            self._cond.notify_all()
+
+    async def aclose(self) -> None:
+        """Drain-stop and wait for the workers and listener to exit."""
+        await self.request_shutdown()
+        await self._done.wait()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+
+    def _maybe_finish_drain(self) -> None:
+        """Under ``_cond``: complete the drain when no work remains."""
+        if (self.scheduler.draining and not self._done.is_set()
+                and self.scheduler.queue_depth == 0
+                and self.scheduler.in_flight == 0):
+            self._stop_workers = True
+            if self._server is not None:
+                self._server.close()
+            _OBS.info(obs_names.EVT_SERVER_STOP,
+                      uptime_s=round(time.monotonic() - self._started_at, 3),
+                      **{k: v for k, v in self.scheduler.stats().items()
+                         if isinstance(v, (int, bool))})
+            self._done.set()
+
+    # -- connection handling --------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        malformed = 0
+        try:
+            try:
+                frame = await reader.readline()
+                conn.tenant = protocol.parse_hello(protocol.decode_line(frame))
+            except (ProtocolError, ValueError) as exc:
+                await conn.send(protocol.error(str(exc)))
+                return
+            _OBS.info(obs_names.EVT_CLIENT_CONNECT, tenant=conn.tenant)
+            await conn.send(protocol.welcome(__version__))
+            while True:
+                try:
+                    frame = await reader.readline()
+                except ValueError:
+                    # Overlong line: the stream is desynchronised and
+                    # cannot be safely re-framed — drop the client.
+                    await conn.send(protocol.error("frame too long"))
+                    break
+                if not frame:
+                    break  # EOF
+                try:
+                    message = protocol.decode_line(frame)
+                    keep_open = await self._dispatch(conn, message)
+                except ProtocolError as exc:
+                    malformed += 1
+                    self._note_malformed(conn, exc)
+                    await conn.send(protocol.error(
+                        str(exc), request_id=self._request_id_of(frame)))
+                    if malformed >= MAX_MALFORMED_PER_CONN:
+                        break
+                    continue
+                if not keep_open:
+                    break
+        finally:
+            await conn.close()
+            _OBS.info(obs_names.EVT_CLIENT_DISCONNECT, tenant=conn.tenant,
+                      malformed=malformed)
+
+    @staticmethod
+    def _request_id_of(frame: bytes) -> str | None:
+        """Best-effort request id from a frame that failed validation."""
+        import json
+
+        try:
+            parsed = json.loads(frame.decode("utf-8", "replace"))
+        except json.JSONDecodeError:
+            return None
+        if isinstance(parsed, dict) and isinstance(parsed.get("id"), str):
+            return parsed["id"]
+        return None
+
+    def _note_malformed(self, conn: _Connection, exc: ProtocolError) -> None:
+        if _OBS.enabled:
+            _OBS.warning(obs_names.EVT_REQUEST_MALFORMED, tenant=conn.tenant,
+                         error=str(exc))
+            _OBS.counter(obs_names.MET_REQUESTS_MALFORMED).inc()
+
+    async def _dispatch(self, conn: _Connection,
+                        message: dict[str, Any]) -> bool:
+        """Handle one decoded client message; False closes the link."""
+        kind = message["type"]
+        if kind not in protocol.CLIENT_TYPES:
+            raise ProtocolError(f"unexpected message type {kind!r}")
+        if kind == protocol.BYE:
+            return False
+        if kind == protocol.STATUS:
+            body = self.scheduler.stats()
+            body["address"] = self.address
+            body["uptime_s"] = round(time.monotonic() - self._started_at, 3)
+            await conn.send(protocol.stats(body))
+            return True
+        if kind == protocol.SHUTDOWN:
+            if not self.config.allow_remote_shutdown:
+                raise ProtocolError("shutdown is disabled on this server")
+            await conn.send({"type": protocol.STOPPING})
+            await self.request_shutdown()
+            return True
+        await self._submit(conn, message)
+        return True
+
+    async def _submit(self, conn: _Connection,
+                      message: dict[str, Any]) -> None:
+        request_id = message.get("id")
+        if not isinstance(request_id, str) or not request_id:
+            raise ProtocolError("submit needs a string 'id' field")
+        spec = protocol.JobSpec.from_dict(message.get("spec"))
+        cells, options = spec.compile()
+        if len(cells) > self.config.max_cells_per_job:
+            raise ProtocolError(
+                f"job expands to {len(cells)} cells; this server caps "
+                f"jobs at {self.config.max_cells_per_job}")
+        self._job_counter += 1
+        job = Job(job_id=f"j{self._job_counter}", request_id=request_id,
+                  tenant=conn.tenant, spec=spec, cells=cells,
+                  options=options, enqueued_at=time.monotonic())
+        admission = self.scheduler.submit(job)
+        if _OBS.enabled:
+            _OBS.histogram(obs_names.MET_QUEUE_DEPTH,
+                           QUEUE_DEPTH_BUCKETS).observe(admission.queue_depth)
+        if not admission.accepted:
+            if _OBS.enabled:
+                _OBS.warning(obs_names.EVT_JOB_SHED, tenant=job.tenant,
+                             job=job.job_id, reason=admission.reason,
+                             retry_after_s=round(admission.retry_after_s, 4))
+                _OBS.counter(obs_names.MET_JOBS_SHED).inc()
+            await conn.send(protocol.shed(request_id, admission.reason,
+                                          admission.retry_after_s))
+            return
+        self._job_conns[job.job_id] = conn
+        if _OBS.enabled:
+            _OBS.info(obs_names.EVT_JOB_ADMITTED, tenant=job.tenant,
+                      job=job.job_id, cells=len(cells),
+                      queue_depth=admission.queue_depth)
+            _OBS.counter(obs_names.MET_JOBS_ADMITTED).inc()
+        await conn.send(protocol.accepted(request_id, job.job_id,
+                                          admission.queue_depth,
+                                          admission.tenant_depth))
+        async with self._cond:
+            self._cond.notify_all()
+
+    # -- execution ------------------------------------------------------
+    async def _worker(self, slot: int) -> None:
+        while True:
+            async with self._cond:
+                while not self.scheduler.has_work() and not self._stop_workers:
+                    await self._cond.wait()
+                if self._stop_workers and not self.scheduler.has_work():
+                    return
+                job = self.scheduler.next_job()
+            if job is None:  # pragma: no cover - racing another slot
+                continue
+            await self._run_job(job, slot)
+            async with self._cond:
+                # A freed in-flight slot may make a capped tenant
+                # eligible again, and a drain may now be complete.
+                self._maybe_finish_drain()
+                self._cond.notify_all()
+
+    async def _run_job(self, job: Job, slot: int) -> None:
+        job.started_at = time.monotonic()
+        wait_s = job.started_at - job.enqueued_at
+        conn = self._job_conns.pop(job.job_id, None)
+        _OBS.info(obs_names.EVT_JOB_STARTED, tenant=job.tenant,
+                  job=job.job_id, slot=slot, wait_s=round(wait_s, 6))
+        n_ok = n_failed = 0
+        for seq, cell in enumerate(job.cells):
+            try:
+                payloads, _ = await asyncio.to_thread(
+                    run_cells, [cell], job.options, self._policy)
+                payload = payloads[0]
+            except Exception as exc:  # runner bug or misconfiguration
+                payload = None
+                _OBS.error(obs_names.EVT_JOB_FAILED, tenant=job.tenant,
+                           job=job.job_id, cell=cell.label,
+                           error=f"{type(exc).__name__}: {exc}")
+            status = "ok" if payload is not None else "failed"
+            if payload is not None:
+                n_ok += 1
+            else:
+                n_failed += 1
+            if conn is not None:
+                await conn.send(protocol.cell_result(
+                    job.request_id, job.job_id, seq, len(job.cells),
+                    cell.label, status, payload))
+        service_s = time.monotonic() - job.started_at
+        ok = n_failed == 0
+        self.scheduler.finish(job, service_s, wait_s=wait_s, ok=ok)
+        if _OBS.enabled:
+            outcome = {"tenant": job.tenant, "job": job.job_id,
+                       "cells": len(job.cells), "failed": n_failed,
+                       "wait_s": round(wait_s, 6),
+                       "service_s": round(service_s, 6)}
+            if ok:
+                _OBS.info(obs_names.EVT_JOB_COMPLETED, **outcome)
+                _OBS.counter(obs_names.MET_JOBS_COMPLETED).inc()
+            else:
+                _OBS.warning(obs_names.EVT_JOB_FAILED, **outcome)
+                _OBS.counter(obs_names.MET_JOBS_FAILED).inc()
+            _OBS.histogram(obs_names.MET_JOB_WAIT_S).observe(wait_s)
+            _OBS.histogram(obs_names.MET_JOB_SERVICE_S).observe(service_s)
+            tenant_scope = obs.scope(f"serve.tenant.{job.tenant}")
+            tenant_scope.histogram(obs_names.MET_JOB_WAIT_S).observe(wait_s)
+            tenant_scope.histogram(obs_names.MET_JOB_SERVICE_S).observe(service_s)
+        if conn is not None:
+            await conn.send(protocol.done(
+                job.request_id, job.job_id, "ok" if ok else "failed",
+                n_ok, n_failed, wait_s, service_s))

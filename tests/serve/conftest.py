@@ -1,0 +1,27 @@
+"""Serve test helpers: an in-loop server context and tiny job specs.
+
+There is no pytest-asyncio in the toolchain, so tests are plain sync
+functions that drive one event loop each via ``asyncio.run`` — which
+also guarantees every test tears its server, workers, and sockets down
+completely.
+"""
+
+import contextlib
+
+from repro.serve import ExperimentServer, ServeConfig
+
+#: The smallest spec admission allows (~tens of ms of simulation).
+TINY_SPEC = {"workload": "sat_solver", "prefetcher": "domino",
+             "kind": "trace", "degrees": [1], "n_accesses": 1000}
+
+
+@contextlib.asynccontextmanager
+async def serving(**kwargs):
+    """A started :class:`ExperimentServer` on an ephemeral TCP port."""
+    kwargs.setdefault("slots", 2)
+    server = ExperimentServer(ServeConfig(**kwargs))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.aclose()

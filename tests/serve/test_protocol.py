@@ -1,0 +1,148 @@
+"""Wire framing and JobSpec validation/lowering."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runner import Cell
+from repro.runner.cells import cell_key
+from repro.serve import JobSpec
+from repro.serve import protocol
+
+
+class TestFraming:
+    def test_round_trip(self):
+        msg = {"type": "submit", "id": "r1", "spec": {"workload": "oltp"}}
+        assert protocol.decode_line(protocol.encode_message(msg)) == msg
+
+    def test_decode_accepts_str(self):
+        assert protocol.decode_line('{"type":"bye"}')["type"] == "bye"
+
+    def test_oversize_frame_rejected(self):
+        frame = b'{"type":"x","pad":"' + b"a" * protocol.MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode_line(frame)
+
+    @pytest.mark.parametrize("frame", [
+        b"", b"   \n", b"not json\n", b"[1, 2]\n", b'"just a string"\n',
+        b'{"no_type": 1}\n', b'{"type": 7}\n', b"\xff\xfe\n",
+    ])
+    def test_bad_frames_rejected(self, frame):
+        with pytest.raises(ProtocolError):
+            protocol.decode_line(frame)
+
+    def test_unserialisable_message_rejected(self):
+        with pytest.raises(ProtocolError, match="unserialisable"):
+            protocol.encode_message({"type": "x", "bad": object()})
+
+
+class TestHandshake:
+    def test_parse_hello_returns_tenant(self):
+        assert protocol.parse_hello(protocol.hello("team-a")) == "team-a"
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="hello"):
+            protocol.parse_hello({"type": "submit"})
+
+    def test_version_mismatch_rejected(self):
+        msg = protocol.hello("a", proto=protocol.PROTO_VERSION + 1)
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.parse_hello(msg)
+
+    @pytest.mark.parametrize("tenant", [
+        "", "UPPER", "spa ce", "-leading", "x" * 65, 42, None,
+    ])
+    def test_bad_tenants_rejected(self, tenant):
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol.parse_hello({"type": "hello", "tenant": tenant,
+                                  "proto": protocol.PROTO_VERSION})
+
+
+class TestJobSpecValidation:
+    def test_minimal_spec(self):
+        spec = JobSpec.from_dict({"workload": "oltp"})
+        assert spec.prefetcher == "domino"
+        assert spec.degrees == (4,)
+
+    def test_round_trip(self):
+        spec = JobSpec.from_dict({"workload": "oltp", "degrees": [1, 8],
+                                  "n_accesses": 2000, "seed": 9,
+                                  "overrides": {"eit_assoc": 8}})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_degree_singular_alias(self):
+        assert JobSpec.from_dict({"workload": "oltp", "degree": 2}).degrees == (2,)
+
+    def test_degree_and_degrees_conflict(self):
+        with pytest.raises(ProtocolError, match="both"):
+            JobSpec.from_dict({"workload": "oltp", "degree": 2, "degrees": [2]})
+
+    @pytest.mark.parametrize("patch", [
+        {"workload": "no_such"},
+        {"prefetcher": "no_such"},
+        {"kind": "table1"},
+        {"degrees": []},
+        {"degrees": [0]},
+        {"degrees": [65]},
+        {"degrees": list(range(1, protocol.MAX_CELLS_PER_JOB + 2))},
+        {"degrees": "4"},
+        {"n_accesses": 10},
+        {"n_accesses": 10**9},
+        {"n_accesses": True},
+        {"warmup_frac": 0.95},
+        {"seed": -1},
+        {"seed": 2**32},
+        {"config_name": "huge"},
+        {"overrides": {"not_a_field": 1}},
+        {"overrides": {"eit_assoc": "8"}},
+        {"overrides": [1, 2]},
+        {"mystery_knob": 1},
+    ])
+    def test_invalid_specs_rejected(self, patch):
+        with pytest.raises(ProtocolError):
+            JobSpec.from_dict({"workload": "oltp", **patch})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            JobSpec.from_dict(["workload"])
+
+    def test_baseline_accepted_for_multicore(self):
+        spec = JobSpec.from_dict({"workload": "oltp", "kind": "multicore",
+                                  "prefetcher": "baseline"})
+        assert spec.prefetcher == "baseline"
+
+
+class TestCompile:
+    def test_trace_spec_fans_one_cell_per_degree(self):
+        spec = JobSpec.from_dict({"workload": "oltp", "degrees": [1, 4, 8],
+                                  "n_accesses": 2000})
+        cells, options = spec.compile()
+        assert [c.degree for c in cells] == [1, 4, 8]
+        assert all(c.kind == "trace" and c.workload == "oltp" for c in cells)
+        assert options.n_accesses == 2000
+
+    def test_compiled_cell_matches_hand_built_batch_cell(self):
+        """Cache-key identity with the batch path, field for field."""
+        spec = JobSpec.from_dict({"workload": "oltp", "degrees": [4],
+                                  "n_accesses": 2000, "seed": 7})
+        cells, options = spec.compile()
+        batch = Cell(kind="trace", workload="oltp", prefetcher="domino",
+                     degree=4, config_name="default", overrides=())
+        assert cells[0] == batch
+        assert cell_key(cells[0], options) == cell_key(batch, options)
+
+    def test_explicit_degree_decouples_key_from_options_default(self):
+        spec = JobSpec.from_dict({"workload": "oltp", "degrees": [4]})
+        cells, options = spec.compile()
+        assert cell_key(cells[0], options) == cell_key(
+            cells[0], options.scaled(degree=13))
+
+    def test_opportunity_single_cell(self):
+        cells, _ = JobSpec.from_dict(
+            {"workload": "oltp", "kind": "opportunity"}).compile()
+        assert len(cells) == 1
+        assert cells[0].kind == "opportunity"
+
+    def test_multicore_defaults_to_timing_config(self):
+        cells, _ = JobSpec.from_dict(
+            {"workload": "oltp", "kind": "multicore"}).compile()
+        assert cells[0].config_name == "timing"

@@ -1,0 +1,305 @@
+"""End-to-end server behaviour over real sockets.
+
+Includes the PR's headline guarantee: a served job's payloads are
+bit-identical to what the batch path computes for the same spec, and
+serving warms the same artifact store the batch CLI reads.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.errors import ProtocolError
+from repro.obs.names import EVENT_NAMES, METRIC_NAMES
+from repro.runner import ExecutionPolicy, run_cells
+from repro.serve import AdmissionConfig, JobSpec, ServeClient
+from repro.serve import protocol
+from repro.serve.client import parse_address
+
+from .conftest import TINY_SPEC, serving
+
+#: A job slow enough (4 small cells) to hold a worker slot while the
+#: test piles more submits behind it.
+SLOW_SPEC = {**TINY_SPEC, "degrees": [1, 2, 3, 4], "n_accesses": 20_000}
+
+
+def test_parse_address_forms():
+    assert parse_address("unix:/tmp/x.sock") == ("/tmp/x.sock", "", 0)
+    assert parse_address("127.0.0.1:8000") == (None, "127.0.0.1", 8000)
+    for bad in ("unix:", "nohost", "host:notaport"):
+        with pytest.raises(ProtocolError):
+            parse_address(bad)
+
+
+class TestRoundTrip:
+    def test_single_job_streams_cells_then_done(self):
+        async def scenario():
+            async with serving() as server:
+                async with await ServeClient.connect(
+                        server.address, "alice") as client:
+                    spec = {**TINY_SPEC, "degrees": [1, 2]}
+                    return await client.run_job(spec, "r1")
+
+        result = asyncio.run(scenario())
+        assert result.accepted and result.status == "ok"
+        assert [c.seq for c in result.cells] == [0, 1]
+        assert all(c.status == "ok" for c in result.cells)
+        assert all(p and "accuracy" in p or p for p in result.payloads)
+
+    def test_unix_socket_transport(self, tmp_path):
+        async def scenario():
+            path = str(tmp_path / "d.sock")
+            async with serving(path=path) as server:
+                assert server.address == f"unix:{path}"
+                async with await ServeClient.connect(
+                        server.address, "alice") as client:
+                    return await client.run_job(TINY_SPEC, "r1")
+
+        assert asyncio.run(scenario()).status == "ok"
+
+    def test_status_counts_and_stats_shape(self):
+        async def scenario():
+            async with serving() as server:
+                async with await ServeClient.connect(
+                        server.address, "alice") as client:
+                    await client.run_job(TINY_SPEC, "r1")
+                    return await client.status()
+
+        stats = asyncio.run(scenario())
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["tenants"]["alice"]["completed"] == 1
+        assert "uptime_s" in stats
+
+
+class TestBitIdentity:
+    def test_served_equals_batch_payloads(self):
+        """Same spec through the wire == run_cells in-process, exactly."""
+        spec = {**TINY_SPEC, "degrees": [1, 4], "n_accesses": 2000}
+
+        async def scenario():
+            async with serving() as server:
+                async with await ServeClient.connect(
+                        server.address, "alice") as client:
+                    return await client.run_job(spec, "r1")
+
+        served = asyncio.run(scenario())
+        cells, options = JobSpec.from_dict(spec).compile()
+        batch_payloads, manifest = run_cells(
+            cells, options, ExecutionPolicy(jobs=1, use_cache=False))
+        assert manifest.failed == 0
+        assert served.payloads == batch_payloads
+
+    def test_serving_warms_the_shared_store(self):
+        """A served job's artifacts are cache hits for the batch path."""
+        spec = {**TINY_SPEC, "degrees": [2], "n_accesses": 2000}
+
+        async def scenario():
+            async with serving() as server:
+                async with await ServeClient.connect(
+                        server.address, "alice") as client:
+                    return await client.run_job(spec, "r1")
+
+        served = asyncio.run(scenario())
+        assert served.status == "ok"
+        cells, options = JobSpec.from_dict(spec).compile()
+        payloads, manifest = run_cells(
+            cells, options, ExecutionPolicy(jobs=1, use_cache=True))
+        assert manifest.hits == len(cells)
+        assert payloads == served.payloads
+
+
+class TestProtocolErrors:
+    def test_malformed_frame_keeps_connection_usable(self):
+        async def scenario():
+            async with serving() as server:
+                client = await ServeClient.connect(server.address, "alice")
+                await client.send_raw(b"}{ definitely not json\n")
+                error = await client.recv()
+                result = await client.run_job(TINY_SPEC, "r1")
+                await client.close()
+                return error, result
+
+        error, result = asyncio.run(scenario())
+        assert error["type"] == protocol.ERROR
+        assert result.status == "ok"
+
+    def test_invalid_spec_is_answered_not_fatal(self):
+        async def scenario():
+            async with serving() as server:
+                client = await ServeClient.connect(server.address, "alice")
+                bad = await client.run_job({"workload": "no_such"}, "r1")
+                good = await client.run_job(TINY_SPEC, "r2")
+                await client.close()
+                return bad, good
+
+        bad, good = asyncio.run(scenario())
+        assert bad.status == "error" and "no_such" in bad.reason
+        assert good.status == "ok"
+
+    def test_server_only_type_from_client_is_error(self):
+        async def scenario():
+            async with serving() as server:
+                client = await ServeClient.connect(server.address, "alice")
+                await client.send({"type": protocol.ACCEPTED})
+                reply = await client.recv()
+                await client.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == protocol.ERROR
+        assert "unexpected" in reply["error"]
+
+    def test_submit_without_id_is_error(self):
+        async def scenario():
+            async with serving() as server:
+                client = await ServeClient.connect(server.address, "alice")
+                await client.send({"type": protocol.SUBMIT,
+                                   "spec": dict(TINY_SPEC)})
+                reply = await client.recv()
+                await client.close()
+                return reply
+
+        assert "id" in asyncio.run(scenario())["error"]
+
+    def test_handshake_rejects_wrong_proto(self):
+        async def scenario():
+            async with serving() as server:
+                _, host, port = parse_address(server.address)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(protocol.encode_message(
+                    protocol.hello("alice", proto=99)))
+                await writer.drain()
+                reply = protocol.decode_line(await reader.readline())
+                writer.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == protocol.ERROR
+        assert "version" in reply["error"]
+
+    def test_oversized_job_is_rejected_at_submit(self):
+        async def scenario():
+            async with serving(max_cells_per_job=2) as server:
+                client = await ServeClient.connect(server.address, "alice")
+                result = await client.run_job(
+                    {**TINY_SPEC, "degrees": [1, 2, 3]}, "r1")
+                await client.close()
+                return result
+
+        result = asyncio.run(scenario())
+        assert result.status == "error" and "caps" in result.reason
+
+
+class TestAdmissionOverSockets:
+    def test_saturation_sheds_with_retry_hint_and_admitted_complete(self):
+        """Sheds happen at admission only; admitted jobs always finish."""
+        async def scenario():
+            admission = AdmissionConfig(max_queued_per_tenant=1)
+            async with serving(slots=1, admission=admission) as server:
+                client = await ServeClient.connect(server.address, "alice")
+                await client.submit(SLOW_SPEC, "r1")   # occupies the slot
+                first = await client.recv()
+                await client.submit(TINY_SPEC, "r2")   # fills the queue
+                second = await client.recv()
+                await client.submit(TINY_SPEC, "r3")   # over the bound
+                third = await client.recv()
+                done1 = await client.stream("r1")
+                done2 = await client.stream("r2")
+                await client.close()
+                return first, second, third, done1, done2
+
+        first, second, third, done1, done2 = asyncio.run(scenario())
+        assert first["type"] == protocol.ACCEPTED
+        assert second["type"] == protocol.ACCEPTED
+        assert third["type"] == protocol.SHED
+        assert third["reason"] == "tenant_queue_full"
+        assert third["retry_after_s"] > 0
+        assert done1.status == "ok" and len(done1.cells) == 4
+        assert done2.status == "ok"
+
+    def test_drain_completes_running_jobs_and_sheds_new_ones(self):
+        async def scenario():
+            async with serving(slots=1) as server:
+                client = await ServeClient.connect(server.address, "alice")
+                await client.submit(SLOW_SPEC, "r1")
+                accepted = await client.recv()
+                admin = await ServeClient.connect(server.address, "admin")
+                await admin.shutdown()
+                shed = await client.run_job(TINY_SPEC, "r2")
+                result = await client.stream("r1")
+                await client.close()
+                await admin.close()
+                await asyncio.wait_for(server.serve_forever(), timeout=30)
+                return accepted, shed, result
+
+        accepted, shed, result = asyncio.run(scenario())
+        assert accepted["type"] == protocol.ACCEPTED
+        assert shed.status == "shed" and shed.reason == "stopping"
+        assert result.status == "ok" and len(result.cells) == 4
+
+    def test_remote_shutdown_can_be_disabled(self):
+        async def scenario():
+            async with serving(allow_remote_shutdown=False) as server:
+                client = await ServeClient.connect(server.address, "admin")
+                try:
+                    await client.shutdown()
+                except ProtocolError as exc:
+                    return str(exc)
+                finally:
+                    await client.close()
+                return None
+
+        assert "disabled" in asyncio.run(scenario())
+
+
+class TestObsInstrumentation:
+    def test_serve_events_and_metrics_are_registered(self):
+        """Every name the server emits exists in the obs registry."""
+        # info level: the engine's per-access debug events would
+        # overflow the trace ring and evict the serve events under test.
+        obs.configure(level=obs.parse_level("info"))
+        try:
+            async def scenario():
+                admission = AdmissionConfig(max_queued_per_tenant=1)
+                async with serving(slots=1, admission=admission) as server:
+                    client = await ServeClient.connect(server.address, "alice")
+                    await client.submit(SLOW_SPEC, "r1")
+                    await client.recv()
+                    await client.submit(TINY_SPEC, "r2")
+                    await client.recv()
+                    await client.submit(TINY_SPEC, "r3")  # shed
+                    await client.recv()
+                    await client.send_raw(b"garbage\n")   # malformed
+                    await client.recv()
+                    await client.stream("r1")
+                    await client.stream("r2")
+                    await client.close()
+
+            asyncio.run(scenario())
+            state = obs.state()
+            events = [e for e in state.trace.events()
+                      if str(e.get("component", "")).startswith("serve.")]
+            names = {e["event"] for e in events}
+            assert names <= EVENT_NAMES
+            for expected in ("server_start", "client_connect", "job_admitted",
+                             "job_shed", "job_started", "job_completed",
+                             "request_malformed", "client_disconnect",
+                             "server_stop"):
+                assert expected in names, expected
+            metrics = state.registry.snapshot()
+            counters = metrics.get("counters", metrics)
+            for name, want in (("serve.server.jobs_admitted", 2),
+                               ("serve.server.jobs_completed", 2),
+                               ("serve.server.jobs_shed", 1),
+                               ("serve.server.requests_malformed", 1)):
+                assert counters.get(name) == want, (name, counters)
+            histograms = metrics.get("histograms", {})
+            assert any(k.startswith("serve.tenant.alice.") for k in histograms)
+            bare = {k.rpartition(".")[2]
+                    for k in list(counters) + list(histograms)
+                    if k.startswith("serve.")}
+            assert bare <= METRIC_NAMES
+        finally:
+            obs.disable()

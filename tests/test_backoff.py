@@ -1,0 +1,81 @@
+"""The shared deterministic backoff helper (repro.backoff)."""
+
+import pytest
+
+from repro.backoff import backoff_delay, jittered, next_delays
+from repro.errors import ConfigError, ReproError
+
+
+class TestBackoffDelay:
+    def test_deterministic(self):
+        a = [backoff_delay("key", n, base_s=0.1, max_s=2.0) for n in range(6)]
+        b = [backoff_delay("key", n, base_s=0.1, max_s=2.0) for n in range(6)]
+        assert a == b
+
+    def test_exponential_envelope(self):
+        for attempt in range(8):
+            delay = backoff_delay("cell", attempt, base_s=0.05, max_s=100.0)
+            base = 0.05 * (2 ** attempt)
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_cap_applies_before_jitter(self):
+        # Worst case is 1.5 * max_s, never 1.5 * (uncapped base).
+        for attempt in range(20):
+            delay = backoff_delay("cell", attempt, base_s=1.0, max_s=2.0)
+            assert delay < 1.5 * 2.0
+
+    def test_zero_base_is_zero_delay(self):
+        assert backoff_delay("k", 3, base_s=0.0, max_s=5.0) == 0.0
+
+    def test_huge_attempt_does_not_overflow(self):
+        delay = backoff_delay("k", 10_000, base_s=0.1, max_s=2.0)
+        assert 1.0 <= delay < 3.0  # capped at max_s, jittered [0.5, 1.5)
+
+    def test_distinct_keys_decorrelate(self):
+        delays = {backoff_delay(f"key{i}", 0, base_s=1.0, max_s=10.0)
+                  for i in range(16)}
+        assert len(delays) == 16
+
+    def test_salt_decorrelates_consumers(self):
+        retry = backoff_delay("tenant-a", 2, base_s=0.1, max_s=2.0)
+        shed = backoff_delay("tenant-a", 2, base_s=0.1, max_s=2.0,
+                             salt="serve.shed")
+        assert retry != shed
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_s=-0.1, max_s=1.0),
+        dict(base_s=0.1, max_s=-1.0),
+    ])
+    def test_negative_delays_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            backoff_delay("k", 0, **kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ReproError):
+            backoff_delay("k", -1, base_s=0.1, max_s=1.0)
+
+
+class TestHelpers:
+    def test_jittered_range(self):
+        for attempt in range(32):
+            value = jittered(2.0, "key", attempt)
+            assert 1.0 <= value < 3.0
+
+    def test_next_delays_matches_pointwise(self):
+        schedule = next_delays("cell", 5, base_s=0.05, max_s=2.0)
+        assert schedule == [backoff_delay("cell", n, base_s=0.05, max_s=2.0)
+                            for n in range(5)]
+
+
+class TestRunnerCompatibility:
+    def test_scheduler_delegates_to_shared_helper(self):
+        """The runner's retry spacing is the shared formula, unchanged."""
+        from repro.faults import stable_fraction
+        from repro.runner import ExecutionPolicy
+        from repro.runner.scheduler import _backoff_delay
+
+        policy = ExecutionPolicy(retries=5, backoff_s=0.1, backoff_max_s=1.0)
+        for attempt in range(5):
+            legacy = (min(policy.backoff_max_s, policy.backoff_s * 2 ** attempt)
+                      * (0.5 + stable_fraction("backoff", "somekey", attempt)))
+            assert _backoff_delay(policy, "somekey", attempt) == legacy
