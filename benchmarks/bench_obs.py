@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Observability overhead harness: spans-on vs. obs-off, same grid.
+
+Spans promise to *observe without perturbing*: turning tracing on must
+not change results and must not meaningfully slow the runner.  This
+harness runs one fig11-style sweep twice over identical warm in-process
+state — telemetry fully off, then telemetry on at info level with span
+tracing — and gates on three contracts:
+
+* **overhead** — the spans-on pass may cost at most ``--max-overhead``
+  (default 5%) over the obs-off pass, best-of-``--repeats`` wall
+  clock on both sides so scheduler noise cancels;
+* **bit identity** — both passes must produce identical payload lists
+  (the instrumented==uninstrumented regression gate);
+* **forest soundness** — the traced pass must leave a well-formed span
+  forest: every cell span under the run span, no orphans, no
+  duplicate ids, exactly one root per trace
+  (:func:`repro.obs.trace.validate_forest`).
+
+Results go to a JSON report (``BENCH_PR7.json``); the exit status is
+non-zero if any gate fails, so CI can run this directly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --jobs 2 --n 20000 --out BENCH_PR7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from repro import obs
+from repro.experiments.common import ExperimentOptions
+from repro.experiments.fig11_degree1 import build_cells
+from repro.obs.trace import validate_forest
+from repro.runner import ExecutionPolicy, run_cells
+
+
+def _timed_pass(cells: Any, options: ExperimentOptions,
+                policy: ExecutionPolicy) -> tuple[float, list]:
+    started = time.perf_counter()
+    payloads, manifest = run_cells(cells, options, policy)
+    elapsed = time.perf_counter() - started
+    if manifest.failed:
+        raise SystemExit(f"benchmark pass had {manifest.failed} failed cells")
+    return elapsed, payloads
+
+
+def run_benchmark(args: argparse.Namespace) -> dict[str, Any]:
+    options = ExperimentOptions(n_accesses=args.n,
+                                workloads=tuple(args.workloads), seed=7)
+    cells = build_cells(options, degree=args.degree)
+    policy = ExecutionPolicy(jobs=args.jobs, use_cache=False)
+
+    # Warmup: memoise generated traces so neither timed pass pays the
+    # one-off generation cost (forked workers inherit the memos).
+    obs.disable()
+    run_cells(cells, options, policy)
+
+    off_times: list[float] = []
+    on_times: list[float] = []
+    off_payloads: list | None = None
+    on_payloads: list | None = None
+    spans: list[dict[str, Any]] = []
+    span_problems: list[str] = []
+    # Alternate the two modes so drift (thermal, page cache, CI
+    # neighbours) hits both evenly instead of biasing one side.
+    for _ in range(args.repeats):
+        obs.disable()
+        elapsed, off_payloads = _timed_pass(cells, options, policy)
+        off_times.append(elapsed)
+
+        state = obs.configure(level=obs.parse_level("info"))
+        try:
+            elapsed, on_payloads = _timed_pass(cells, options, policy)
+            on_times.append(elapsed)
+            spans = state.spans.spans()
+            span_problems = validate_forest(spans)
+        finally:
+            obs.disable()
+
+    best_off, best_on = min(off_times), min(on_times)
+    overhead = (best_on - best_off) / best_off
+    span_names = sorted({s.get("name", "?") for s in spans})
+    report = {
+        "benchmark": "obs_overhead",
+        "grid": {"cells": len(cells), "workloads": list(options.workloads),
+                 "n_accesses": options.n_accesses, "degree": args.degree,
+                 "jobs": args.jobs, "repeats": args.repeats},
+        "obs_off_s": {"best": round(best_off, 4),
+                      "all": [round(t, 4) for t in off_times]},
+        "spans_on_s": {"best": round(best_on, 4),
+                       "all": [round(t, 4) for t in on_times]},
+        "overhead_frac": round(overhead, 4),
+        "max_overhead_frac": args.max_overhead,
+        "payloads_identical": off_payloads == on_payloads,
+        "spans": {"count": len(spans), "names": span_names,
+                  "traces": len({s.get("trace") for s in spans}),
+                  "problems": span_problems},
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=20_000,
+                        help="accesses per cell (default 20000)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="runner worker processes (default 2)")
+    parser.add_argument("--degree", type=int, default=1)
+    parser.add_argument("--workloads", nargs="+", default=["oltp"])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per mode, best-of wins")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="gate: max (on-off)/off fraction (default .05)")
+    parser.add_argument("--out", default="BENCH_PR7.json")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    failures = []
+    if report["overhead_frac"] > args.max_overhead:
+        failures.append(
+            f"overhead {report['overhead_frac']:.1%} exceeds the "
+            f"{args.max_overhead:.0%} gate")
+    if not report["payloads_identical"]:
+        failures.append("spans-on payloads differ from obs-off payloads")
+    if report["spans"]["count"] == 0:
+        failures.append("traced pass recorded no spans")
+    if report["spans"]["problems"]:
+        failures.append(f"span forest problems: {report['spans']['problems']}")
+    if "runner.run" not in report["spans"]["names"] \
+            or "runner.cell" not in report["spans"]["names"]:
+        failures.append(f"span names missing: {report['spans']['names']}")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,13 @@
 #                     and drains cleanly on SIGTERM (exit 0).
 #   2. equivalence  — a job fetched through the wire is bit-identical
 #                     to the same spec computed by run_cells in-process.
-#   3. telemetry    — every event the server traced uses a registered
-#                     obs name, and `obs summary` parses the trace
-#                     (doubling as a trace-integrity check).
-#   4. store warm   — serving populated the artifact store (the batch
+#   3. stats plane  — the status frame and the Prometheus metrics
+#                     frame expose registered-name metrics only.
+#   4. telemetry    — every event the server traced uses a registered
+#                     obs name and the span forest is well-formed, all
+#                     asserted over `obs summary --format json` (no
+#                     text grepping — the tables may change shape).
+#   5. store warm   — serving populated the artifact store (the batch
 #                     path would hit, not recompute).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,7 +24,7 @@ SOCK="$WORK/serve.sock"
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== gate 1: server lifecycle under load =="
-python -m repro.cli serve --socket "$SOCK" --slots 2 \
+python -m repro.cli serve --socket "$SOCK" --slots 4 \
   --cache-dir "$WORK/cache" --trace-events "$WORK/trace.jsonl" \
   > "$WORK/server.log" 2>&1 &
 SERVER_PID=$!
@@ -68,6 +71,37 @@ assert served.payloads == batch, "served payloads differ from batch"
 print(f"{len(batch)} cells bit-identical through the wire")
 EOF
 
+echo "== gate 3: stats plane exposes registered names only =="
+python - "$SOCK" <<'EOF'
+import asyncio, sys
+from repro.obs.names import METRIC_NAMES
+from repro.serve import ServeClient
+
+async def probe():
+    async with await ServeClient.connect(f"unix:{sys.argv[1]}",
+                                         "smoke") as client:
+        return await client.status(), await client.metrics()
+
+stats, metrics = asyncio.run(probe())
+assert stats["uptime_s"] >= 0 and "tenants" in stats, stats
+for kind in ("counters", "gauges"):
+    for name in stats["metrics"][kind]:
+        leaf = name.rpartition(".")[2]
+        assert leaf in METRIC_NAMES, f"unregistered metric in stats: {name}"
+assert stats["metrics"]["counters"].get("serve.server.jobs_admitted"), \
+    "stats frame is missing the admission counters"
+
+text = metrics["text"]
+assert metrics["content_type"].startswith("text/plain"), metrics
+series = [l for l in text.splitlines() if l and not l.startswith("#")]
+assert series, "empty Prometheus exposition"
+for line in series:
+    assert line.startswith("domino_"), f"rogue series: {line}"
+assert any(l.startswith("domino_serve_server_uptime_s") for l in series)
+assert any('tenant="' in l for l in series), "no tenant-labelled series"
+print(f"stats frame + {len(series)} Prometheus series, all registered")
+EOF
+
 # Clean shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
@@ -75,27 +109,32 @@ grep -q "drained; bye" "$WORK/server.log" \
   || { echo "no clean-drain message"; cat "$WORK/server.log"; exit 1; }
 echo "drained cleanly on SIGTERM"
 
-echo "== gate 3: zero unregistered obs names in the trace =="
-python - "$WORK/trace.jsonl" <<'EOF'
-import sys
-from repro.obs import read_jsonl
+echo "== gate 4: registered names + sound span forest (summary json) =="
+python -m repro.cli obs summary "$WORK/trace.jsonl" --format json \
+  > "$WORK/summary.json"
+python - "$WORK/summary.json" <<'EOF'
+import json, sys
 from repro.obs.names import EVENT_NAMES
 
-events = read_jsonl(sys.argv[1])
-assert events, "server wrote an empty trace"
-names = {str(e.get("event", "")) for e in events}
+summary = json.load(open(sys.argv[1]))
+assert summary["events"] > 0, "server wrote an empty trace"
+names = {row["event"] for row in summary["event_counts"]}
 rogue = sorted(names - EVENT_NAMES)
 assert not rogue, f"unregistered event names in trace: {rogue}"
-served = [n for n in names if any(
-    e.get("event") == n and str(e.get("component", "")).startswith("serve.")
-    for e in events)]
-assert served, "trace has no serve-tier events"
-print(f"{len(events)} events, {len(names)} names, all registered")
-EOF
-python -m repro.cli obs summary "$WORK/trace.jsonl" --top 5 > /dev/null
-echo "obs summary parses the trace"
+assert any(row["component"].startswith("serve.")
+           for row in summary["event_counts"]), "no serve-tier events"
 
-echo "== gate 4: serving warmed the artifact store =="
+spans = summary["spans"]
+assert spans["problems"] == [], f"malformed span forest: {spans['problems']}"
+assert spans["count"] > 0, "traced serve run produced no spans"
+for name in ("serve.connection", "serve.job", "serve.cell", "runner.cell"):
+    assert spans["by_name"].get(name), f"no {name} spans in forest"
+assert spans["traces"] >= 2, "expected one trace per loadgen connection"
+print(f"{summary['events']} events / {spans['count']} spans in "
+      f"{spans['traces']} traces, all registered, forest sound")
+EOF
+
+echo "== gate 5: serving warmed the artifact store =="
 python -m repro.cli cache stats --cache-dir "$WORK/cache" | tee "$WORK/stats.txt"
 grep -vq " 0 artifacts" "$WORK/stats.txt" || true
 python - "$WORK/cache" <<'EOF'

@@ -395,6 +395,135 @@ class RegisteredObsNames(Rule):
 
 
 # ---------------------------------------------------------------------------
+# OBS002 — spans use registered names, context-manager form only
+
+
+@register
+class RegisteredSpanSites(Rule):
+    """``span(...)`` sites must use registered names, via ``with``."""
+
+    code = "OBS002"
+    title = "unregistered span name or bare span() call"
+    severity = "error"
+    rationale = ("The span forest is only analysable (critical path, "
+                 "chrome trace, cross-process reparenting) if span names "
+                 "come from repro.obs.names.SPAN_NAMES and every span is "
+                 "opened as `with span(...)` — a bare call leaks an "
+                 "unclosed span that corrupts the tree on export.")
+    scope = ("",)
+    #: trace.py itself constructs spans from caller names, and the
+    #: analyzer quotes names in messages; both are exempt (same split
+    #: as OBS001).
+    _EXEMPT = ("obs/", "analyze/")
+
+    def applies_to(self, scope_key: str) -> bool:
+        if any(scope_key.startswith(prefix) for prefix in self._EXEMPT):
+            return False
+        return super().applies_to(scope_key)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        span_callables, module_aliases = self._span_bindings(ctx.tree)
+        if not span_callables and not module_aliases:
+            return
+        with_items = self._with_context_exprs(ctx.tree)
+        names_aliases, imported_constants = \
+            RegisteredObsNames._names_imports(ctx.tree)
+        for call in _walk_calls(ctx.tree):
+            if not self._is_span_call(call, span_callables, module_aliases):
+                continue
+            if id(call) not in with_items:
+                yield self.finding(
+                    ctx, call,
+                    "bare span() call never records; open spans as "
+                    "`with span(...):` so the context manager closes and "
+                    "records them")
+            if not call.args:
+                yield self.finding(
+                    ctx, call, "span() call without a name argument")
+                continue
+            problem = self._validate_name(call.args[0], names_aliases,
+                                          imported_constants)
+            if problem is not None:
+                yield self.finding(
+                    ctx, call.args[0],
+                    f"span name {problem}; register it as a SPAN_ constant "
+                    "in repro.obs.names and reference it")
+
+    @staticmethod
+    def _validate_name(arg: ast.expr, names_aliases: set[str],
+                       imported_constants: set[str]) -> str | None:
+        """None when valid, else a description of what is wrong."""
+        registry = obs_names.SPAN_NAMES
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value in registry:
+                return None
+            return f"{arg.value!r} is not registered in repro.obs.names"
+        if isinstance(arg, ast.Attribute) and isinstance(arg.value, ast.Name) \
+                and arg.value.id in names_aliases:
+            value = getattr(obs_names, arg.attr, None)
+            if isinstance(value, str) and value in registry:
+                return None
+            return f"names.{arg.attr} does not exist (or is not a SPAN_ name)"
+        if isinstance(arg, ast.Name) and arg.id in imported_constants:
+            value = getattr(obs_names, arg.id, None)
+            if isinstance(value, str) and value in registry:
+                return None
+            return f"{arg.id} is not a SPAN_ name in repro.obs.names"
+        return "is not a string constant"
+
+    @staticmethod
+    def _span_bindings(tree: ast.AST) -> tuple[set[str], set[str]]:
+        """(names bound to trace.span, aliases of obs / obs.trace).
+
+        The first set covers ``from ..obs.trace import span [as X]``;
+        the second covers module imports whose ``.span`` attribute is
+        the same callable (``from repro import obs``, ``from ..obs
+        import trace``, ``import repro.obs.trace as T``).
+        """
+        callables: set[str] = set()
+        modules: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                from_obs_pkg = module.endswith("obs") or module == "repro.obs"
+                from_trace = module.endswith("obs.trace") or module == "trace"
+                for alias in node.names:
+                    if alias.name == "span" and (from_obs_pkg or from_trace):
+                        callables.add(alias.asname or alias.name)
+                    elif alias.name == "obs" and (module.endswith("repro")
+                                                  or module == ""):
+                        modules.add(alias.asname or alias.name)
+                    elif alias.name == "trace" and from_obs_pkg:
+                        modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.endswith("obs.trace") \
+                            or alias.name.endswith("repro.obs"):
+                        modules.add(alias.asname or alias.name.split(".")[0])
+        return callables, modules
+
+    @staticmethod
+    def _is_span_call(call: ast.Call, span_callables: set[str],
+                      module_aliases: set[str]) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in span_callables
+        return (isinstance(func, ast.Attribute) and func.attr == "span"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases)
+
+    @staticmethod
+    def _with_context_exprs(tree: ast.AST) -> set[int]:
+        """ids of Call nodes used as `with` context expressions."""
+        exprs: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    exprs.add(id(item.context_expr))
+        return exprs
+
+
+# ---------------------------------------------------------------------------
 # IO001 — durable writes must fsync
 
 

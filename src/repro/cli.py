@@ -125,17 +125,22 @@ def _configure_obs(args: argparse.Namespace) -> bool:
 
 
 def _write_trace(path: str) -> None:
-    """Serialise the collected telemetry (events + snapshot) to JSONL."""
+    """Serialise the collected telemetry (events + spans + snapshot) to
+    JSONL.  Reads the base state explicitly: a capture still open on
+    some other context must not leak into the run's trace file."""
     from . import obs
 
-    st = obs.state()
+    st = obs.base_state()
     if st is None:  # pragma: no cover - guarded by caller
         return
     records = st.trace.events()
+    spans = st.spans.spans()
+    records.extend(spans)
     records.append({"level": "info", "component": "obs",
                     "event": obs_names.EVT_TRACE_INFO,
                     "events": len(records), "dropped": st.trace.dropped,
-                    "sampled_out": st.trace.sampled_out})
+                    "sampled_out": st.trace.sampled_out,
+                    "spans": len(spans), "spans_dropped": st.spans.dropped})
     records.append({"level": "info", "component": "obs",
                     "event": obs_names.EVT_METRICS_SNAPSHOT,
                     "metrics": st.registry.snapshot()})
@@ -147,6 +152,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from . import obs
     from .errors import CheckpointError, ConfigError
     from .faults import parse_fault_spec
+    from .obs.trace import span
     from .runner import ExecutionPolicy, set_policy
     from .stats.reporting import bar_chart, render_manifest, to_csv, to_markdown
 
@@ -187,7 +193,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for experiment_id in ids:
             start = time.time()
             run_scope.info(obs_names.EVT_EXPERIMENT_START, experiment=experiment_id)
-            with obs.timed(f"experiment.{experiment_id}", emit=False):
+            with span(obs_names.SPAN_EXPERIMENT, experiment=experiment_id), \
+                    obs.timed(f"experiment.{experiment_id}", emit=False):
                 result = run_experiment(experiment_id, options)
             if args.format == "md":
                 print(to_markdown(result.headers, result.rows, title=result.title))
@@ -257,21 +264,79 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
-    from .obs import read_jsonl, render_summary
+def _read_trace_or_fail(path: str) -> list[dict] | None:
+    from .obs import read_jsonl
 
     try:
-        events = read_jsonl(args.trace)
+        events = read_jsonl(path)
     except OSError as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
-        return 1
+        return None
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return None
     if not events:
-        print(f"error: {args.trace} is empty (no events)", file=sys.stderr)
+        print(f"error: {path} is empty (no events)", file=sys.stderr)
+        return None
+    return events
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_summary
+    from .obs.summary import summary_json
+
+    events = _read_trace_or_fail(args.trace)
+    if events is None:
         return 1
-    print(render_summary(events, top=args.top))
+    if args.obs_command == "spans":
+        return _cmd_obs_spans(args, events)
+    if args.format == "json":
+        print(json.dumps(summary_json(events, top=args.top),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_summary(events, top=args.top))
+    return 0
+
+
+def _cmd_obs_spans(args: argparse.Namespace, events: list[dict]) -> int:
+    import json
+
+    from .obs.trace import (chrome_trace, critical_path, read_spans,
+                            render_span_tree, validate_forest)
+
+    spans = read_spans(events)
+    if not spans:
+        print(f"error: {args.trace} carries no span records "
+              "(was the run traced with this repo version?)", file=sys.stderr)
+        return 1
+    problems = validate_forest(spans)
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(spans), fh, indent=1)
+        print(f"[obs] wrote {len(spans)} spans to {args.chrome_trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    elif args.critical_path:
+        for chain in critical_path(spans)[:args.top]:
+            root = chain[0]
+            total = (float(root.get("end_s", 0.0))
+                     - float(root.get("start_s", 0.0)))
+            print(f"trace {root.get('trace')}  {total * 1e3:.3f} ms")
+            for record in chain:
+                dur = (float(record.get("end_s", 0.0))
+                       - float(record.get("start_s", 0.0)))
+                share = dur / total if total > 0 else 0.0
+                print(f"  {record.get('name'):<20} {dur * 1e3:9.3f} ms "
+                      f"({share:5.1%})")
+    else:
+        print(render_span_tree(spans, top=args.top))
+    if problems:
+        print(f"warning: span forest has {len(problems)} problem(s):",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -581,6 +646,19 @@ def build_parser() -> argparse.ArgumentParser:
     summary_p.add_argument("trace", help="JSONL trace written by run --trace-events")
     summary_p.add_argument("--top", type=_positive_int, default=10, metavar="N",
                            help="rows per ranking table (default 10)")
+    summary_p.add_argument("--format", choices=["text", "json"], default="text",
+                           help="text tables or one machine-readable JSON "
+                                "document (default text)")
+    spans_p = obs_sub.add_parser(
+        "spans", help="render the causal span forest of a traced run")
+    spans_p.add_argument("trace", help="JSONL trace written by --trace-events")
+    spans_p.add_argument("--top", type=_positive_int, default=20, metavar="N",
+                         help="traces rendered / chains printed (default 20)")
+    spans_p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                         help="write Chrome traceEvents JSON to PATH instead "
+                              "(chrome://tracing, ui.perfetto.dev)")
+    spans_p.add_argument("--critical-path", action="store_true",
+                         help="print the slowest root-to-leaf chain per trace")
 
     return parser
 
@@ -592,7 +670,14 @@ def main(argv: list[str] | None = None) -> int:
                 "cache": _cmd_cache, "obs": _cmd_obs,
                 "analyze": _cmd_analyze, "serve": _cmd_serve,
                 "loadgen": _cmd_loadgen}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (`obs spans t.jsonl | head`); exit
+        # quietly instead of tracebacking, pointing stdout at devnull so
+        # the interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ same stream-end detection heuristic as STMS — all per Section IV-D.
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..obs import DEBUG
 from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 from ..prefetchers.base import Candidate
@@ -63,14 +64,18 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
         super_entry = self.eit.lookup(block)
         self._record(block)
         if _OBS.enabled:
+            emit_debug = _OBS.enabled_for(DEBUG)
             if super_entry is None:
                 _OBS.counter(obs_names.MET_EIT_ONE_ADDR_MISS).inc()
-                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr", block=block,
-                           hit=False)
+                if emit_debug:
+                    _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr",
+                               block=block, hit=False)
             else:
                 _OBS.counter(obs_names.MET_EIT_ONE_ADDR_HIT).inc()
-                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr", block=block,
-                           hit=True, entries=len(super_entry))
+                if emit_debug:
+                    _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="one_addr",
+                               block=block, hit=True,
+                               entries=len(super_entry))
         if super_entry is None:
             return candidates
         stream, victim = self.streams.allocate()
@@ -119,14 +124,18 @@ class DominoPrefetcher(GlobalHistoryPrefetcher):
                 pointer = ptr
                 break
         if _OBS.enabled:
+            emit_debug = _OBS.enabled_for(DEBUG)
             if pointer is None:
                 _OBS.counter(obs_names.MET_EIT_TWO_ADDR_DISCARD).inc()
-                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr", block=event_block,
-                           matched=False, stream=sid)
+                if emit_debug:
+                    _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr",
+                               block=event_block, matched=False, stream=sid)
             else:
                 _OBS.counter(obs_names.MET_EIT_TWO_ADDR_MATCH).inc()
-                _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr", block=event_block,
-                           matched=True, stream=sid, pointer=pointer)
+                if emit_debug:
+                    _OBS.debug(obs_names.EVT_EIT_LOOKUP, mode="two_addr",
+                               block=event_block, matched=True, stream=sid,
+                               pointer=pointer)
         if pointer is None:
             # The two-address lookup failed: discard the stream state but
             # leave its speculative first prefetch in the buffer — under

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs import DEBUG
 from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 
@@ -144,8 +145,9 @@ class EnhancedIndexTable:
                 self.stats.super_entry_evictions += 1
                 if _OBS.enabled:
                     _OBS.counter(obs_names.MET_SUPER_ENTRY_EVICTIONS).inc()
-                    _OBS.debug(obs_names.EVT_REPLACEMENT, kind="super_entry", tag=tag,
-                               victim=victim_tag, row=row_idx)
+                    if _OBS.enabled_for(DEBUG):
+                        _OBS.debug(obs_names.EVT_REPLACEMENT, kind="super_entry",
+                                   tag=tag, victim=victim_tag, row=row_idx)
             super_entry = SuperEntry(tag=tag, max_entries=self.entries_per_super)
             row[tag] = super_entry
         else:
@@ -154,8 +156,9 @@ class EnhancedIndexTable:
             self.stats.entry_evictions += 1
             if _OBS.enabled:
                 _OBS.counter(obs_names.MET_ENTRY_EVICTIONS).inc()
-                _OBS.debug(obs_names.EVT_REPLACEMENT, kind="entry", tag=tag,
-                           address=address)
+                if _OBS.enabled_for(DEBUG):
+                    _OBS.debug(obs_names.EVT_REPLACEMENT, kind="entry", tag=tag,
+                               address=address)
 
     def resident_tags(self) -> int:
         """Total super-entries resident (test/diagnostic helper)."""

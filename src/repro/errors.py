@@ -60,6 +60,11 @@ class CheckpointError(RunnerError):
     """A checkpoint journal is missing, unreadable, or inconsistent."""
 
 
+class ObsError(ReproError):
+    """The telemetry layer was used incorrectly (unregistered span name,
+    malformed span record, or an export over an inconsistent trace)."""
+
+
 class ServeError(ReproError):
     """The experiment server was misconfigured or reached a bad state."""
 

@@ -9,7 +9,10 @@ The observability backbone of the repo, in three pieces:
   :class:`Scope` loggers, deterministic sampling, a bounded ring
   buffer, and JSONL serialisation;
 * **phase timers and profiling** (:mod:`repro.obs.timers`) — section
-  timing histograms and an opt-in per-cell cProfile hook.
+  timing histograms and an opt-in per-cell cProfile hook;
+* **causal span tracing** (:mod:`repro.obs.trace`) — hierarchical
+  timed regions with context-local propagation, cross-process
+  re-parenting, Chrome-trace export, and critical-path extraction.
 
 Everything defaults *off*: until :func:`configure` runs, scopes are
 disabled and instrumented code pays one global read per guarded event.
@@ -24,11 +27,14 @@ from .events import (DEBUG, ERROR, INFO, WARNING, EventTrace, level_name,
                      parse_level, read_jsonl, write_jsonl)
 from .registry import (TIME_BUCKETS_S, Counter, Gauge, Histogram,
                        NullRegistry, Registry)
-from .runtime import (ObsConfig, ObsState, Scope, absorb, capture, configure,
-                      current_config, disable, get_registry, is_enabled,
-                      scope, state)
+from .runtime import (ObsConfig, ObsState, Scope, absorb, base_state, capture,
+                      configure, current_config, disable, get_registry,
+                      is_enabled, scope, state)
 from .summary import render_summary
 from .timers import profile_call, timed
+from .trace import (Span, SpanSink, chrome_trace, critical_path, current_span,
+                    read_spans, render_span_tree, reparent, span,
+                    validate_forest)
 
 __all__ = [
     "DEBUG",
@@ -45,10 +51,16 @@ __all__ = [
     "ObsState",
     "Registry",
     "Scope",
+    "Span",
+    "SpanSink",
     "absorb",
+    "base_state",
     "capture",
+    "chrome_trace",
     "configure",
+    "critical_path",
     "current_config",
+    "current_span",
     "disable",
     "get_registry",
     "is_enabled",
@@ -56,9 +68,14 @@ __all__ = [
     "parse_level",
     "profile_call",
     "read_jsonl",
+    "read_spans",
+    "render_span_tree",
     "render_summary",
+    "reparent",
     "scope",
+    "span",
     "state",
     "timed",
+    "validate_forest",
     "write_jsonl",
 ]

@@ -20,6 +20,7 @@ Volume control, both deterministic:
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from pathlib import Path
 from typing import Any
@@ -61,6 +62,12 @@ class EventTrace:
         self._events: deque[dict[str, Any]] = deque(maxlen=ring)
         self._seen: dict[tuple[str, str], int] = {}
         self._seq = 0
+        #: Serialises the absorption paths (:meth:`extend` / :meth:`drain`)
+        #: — several serve slots may fold worker telemetry into one shared
+        #: trace concurrently.  :meth:`emit` stays lock-free: the hot
+        #: emit path always runs inside the single-owner context (a
+        #: capture or the configuring thread).
+        self._lock = threading.Lock()
         #: Events evicted by the ring (oldest-first) — distinct from
         #: events thinned by sampling, which were never materialised.
         self.dropped = 0
@@ -85,19 +92,26 @@ class EventTrace:
         self._events.append(record)
 
     def extend(self, records: list[dict[str, Any]]) -> None:
-        """Absorb already-formed records (e.g. shipped from a worker)."""
-        for record in records:
-            if len(self._events) == self.ring:
-                self.dropped += 1
-            self._events.append(record)
+        """Absorb already-formed records (e.g. shipped from a worker).
+
+        Thread-safe: drop accounting under concurrent absorbers is
+        exact (see the lock note in ``__init__``).
+        """
+        with self._lock:
+            for record in records:
+                if len(self._events) == self.ring:
+                    self.dropped += 1
+                self._events.append(record)
 
     def events(self) -> list[dict[str, Any]]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def drain(self) -> list[dict[str, Any]]:
-        out = list(self._events)
-        self._events.clear()
-        return out
+        with self._lock:
+            out = list(self._events)
+            self._events.clear()
+            return out
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,23 +1,28 @@
-"""Central registry of event and metric names used at emit sites.
+"""Central registry of event, metric, and span names used at emit sites.
 
 Every event name passed to a :class:`repro.obs.Scope` emitter
-(``.debug``/``.info``/``.warning``/``.error``/``.emit``) and every
-counter/histogram name passed to ``Scope.counter``/``Scope.histogram``
-must come from this module.  That keeps three things from drifting
-apart: the emit sites themselves, the ``obs summary`` renderer that
-groups and explains events, and the taxonomy tables in
+(``.debug``/``.info``/``.warning``/``.error``/``.emit``), every
+counter/histogram name passed to ``Scope.counter``/``Scope.histogram``,
+and every span name passed to :func:`repro.obs.trace.span` must come
+from this module.  That keeps three things from drifting apart: the
+emit sites themselves, the ``obs summary``/``obs spans`` renderers that
+group and explain records, and the taxonomy tables in
 ``docs/OBSERVABILITY.md``.
 
 The invariant is machine-enforced: rule **OBS001** of
 :mod:`repro.analyze` rejects any emit site whose name is not a string
 constant defined here (either the literal value or a ``names.X``
-reference).  Adding a new event is therefore a two-line change — define
-the constant here, use it at the emit site — and the analyzer, the
-summary tool, and the docs all agree by construction.
+reference), and rule **OBS002** does the same for ``span(...)`` sites
+(additionally requiring the context-manager form, so every started
+span is closed on all paths).  Adding a new event is therefore a
+two-line change — define the constant here, use it at the emit site —
+and the analyzer, the summary tool, and the docs all agree by
+construction.
 
 Constants are grouped by the component scope that emits them.  The
-``EVENT_NAMES`` / ``METRIC_NAMES`` frozensets at the bottom are derived
-from the constants and are what OBS001 validates against.
+``EVENT_NAMES`` / ``METRIC_NAMES`` / ``SPAN_NAMES`` frozensets at the
+bottom are derived from the constants and are what OBS001/OBS002
+validate against.
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ EVT_MANIFEST = "manifest"                  # run manifest embedded in the trace
 EVT_SECTION_END = "section_end"            # obs.timed() debug record
 EVT_TRACE_INFO = "trace_info"              # trailer: event/drop accounting
 EVT_METRICS_SNAPSHOT = "metrics_snapshot"  # trailer: embedded registry snapshot
+EVT_SPAN = "span"                          # one finished causal span record
 
 # -- sim.engine counters ----------------------------------------------------
 MET_TRIGGER_MISS = "trigger_miss"
@@ -115,6 +121,26 @@ MET_QUEUE_DEPTH = "queue_depth"            # histogram, sampled per admission de
 MET_JOB_WAIT_S = "job_wait_s"              # histogram, admission -> worker pickup
 MET_JOB_SERVICE_S = "job_service_s"        # histogram, worker pickup -> served
 
+# -- serve live stats plane (gauges synthesised per stats/metrics frame) ----
+MET_QUEUE_DEPTH_NOW = "queue_depth_now"    # gauge, point-in-time queued jobs
+MET_IN_FLIGHT_NOW = "in_flight_now"        # gauge, point-in-time running jobs
+MET_TENANT_VTIME = "vtime"                 # gauge, per-tenant WFQ virtual time
+MET_UPTIME_S = "uptime_s"                  # gauge, seconds since server start
+
+# -- spans (causal timing tree; validated by OBS002) ------------------------
+# Names are "<layer>.<region>"; the tree a traced request produces is
+#   serve.connection > serve.job > serve.cell > runner.run > runner.cell
+#   > sim.simulate / fastpath.build, and a batch run's is
+#   cli.experiment > runner.run > runner.cell > ... (same tail).
+SPAN_EXPERIMENT = "cli.experiment"         # one CLI experiment invocation
+SPAN_RUN_CELLS = "runner.run"              # one run_cells() call
+SPAN_CELL = "runner.cell"                  # one cell execution (worker root)
+SPAN_SIMULATE = "sim.simulate"             # one engine run (full or replay)
+SPAN_FASTPATH_BUILD = "fastpath.build"     # one L1 filter build
+SPAN_CONNECTION = "serve.connection"       # one client connection lifetime
+SPAN_JOB = "serve.job"                     # one admitted job, pickup -> done
+SPAN_SERVE_CELL = "serve.cell"             # one served cell inside a job
+
 
 def _collect(prefix: str) -> frozenset[str]:
     return frozenset(value for name, value in globals().items()
@@ -126,3 +152,6 @@ EVENT_NAMES = _collect("EVT_")
 
 #: Every counter/histogram name an emit site may use (validated by OBS001).
 METRIC_NAMES = _collect("MET_")
+
+#: Every span name a ``with span(...)`` site may use (validated by OBS002).
+SPAN_NAMES = _collect("SPAN_")

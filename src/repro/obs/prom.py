@@ -1,0 +1,148 @@
+"""Prometheus text exposition of a registry snapshot.
+
+:func:`render_prometheus` turns the JSON snapshot a
+:class:`~repro.obs.registry.Registry` produces into the Prometheus
+`text exposition format`_ (version 0.0.4) — what a scrape endpoint or
+the serve tier's ``metrics`` protocol frame returns.  No client library
+and no HTTP server: the renderer is pure string building, the transport
+is whoever calls it.
+
+Two invariants, both enforced here rather than at the emit site:
+
+* **Registered names only.**  A metric whose final dotted segment is
+  not in :data:`repro.obs.names.METRIC_NAMES` is silently dropped —
+  the exposition can never leak an ad-hoc name past the OBS001
+  contract, even if one somehow reached a registry snapshot.
+* **Tenant names become labels, not metric names.**  Per-tenant
+  metrics (``serve.tenant.<tenant>.<metric>``) collapse into one
+  metric family with a ``tenant`` label, so a thousand tenants are a
+  thousand series of one family instead of a thousand families.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from . import names as obs_names
+
+#: The scrape response content type for this format version.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix of every exported metric family.
+_PREFIX = "domino"
+
+#: Dotted prefix of per-tenant metrics; the segment after it is the
+#: tenant name, which becomes a label value.
+_TENANT_PREFIX = "serve.tenant."
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _family(dotted: str) -> str:
+    """``serve.server.jobs_admitted`` -> ``domino_serve_server_jobs_admitted``."""
+    return f"{_PREFIX}_{_INVALID_CHARS.sub('_', dotted)}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _split(name: str) -> tuple[str, str, str] | None:
+    """``(family_dotted, leaf, tenant)`` for a registered name, else None.
+
+    The leaf (final dotted segment) must be a registered metric name;
+    anything else is dropped from the exposition.
+    """
+    leaf = name.rpartition(".")[2]
+    if leaf not in obs_names.METRIC_NAMES:
+        return None
+    if name.startswith(_TENANT_PREFIX):
+        tenant = name[len(_TENANT_PREFIX):].rpartition(".")[0]
+        if tenant:
+            return f"{_TENANT_PREFIX.rstrip('.')}.{leaf}", leaf, tenant
+    return name, leaf, ""
+
+
+def _series_name(dotted: str, tenant: str) -> str:
+    base = _family(dotted)
+    if tenant:
+        return f'{base}{{tenant="{_escape_label(tenant)}"}}'
+    return base
+
+
+def _bucket_series(dotted: str, tenant: str, le: str) -> str:
+    labels = [f'le="{le}"']
+    if tenant:
+        labels.insert(0, f'tenant="{_escape_label(tenant)}"')
+    return f"{_family(dotted)}_bucket{{{','.join(labels)}}}"
+
+
+def render_prometheus(snapshot: dict[str, Any],
+                      extra_gauges: dict[str, float] | None = None) -> str:
+    """The exposition document for one registry snapshot.
+
+    ``extra_gauges`` lets a caller add synthesised point-in-time values
+    (live queue depth, uptime) that never lived in a registry; they
+    pass through the same registered-name filter as everything else.
+    Families are emitted sorted, one ``# TYPE`` line each, so the
+    output is deterministic and diffable.
+    """
+    counters: dict[tuple[str, str], float] = {}
+    gauges: dict[tuple[str, str], float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        parts = _split(name)
+        if parts is not None:
+            counters[(parts[0], parts[2])] = float(value)
+    merged_gauges = dict(snapshot.get("gauges", {}))
+    merged_gauges.update(extra_gauges or {})
+    for name, value in merged_gauges.items():
+        parts = _split(name)
+        if parts is not None:
+            gauges[(parts[0], parts[2])] = float(value)
+
+    lines: list[str] = []
+    for kind, series in (("counter", counters), ("gauge", gauges)):
+        by_family: dict[str, list[tuple[str, float]]] = {}
+        for (dotted, tenant), value in series.items():
+            by_family.setdefault(dotted, []).append((tenant, value))
+        for dotted in sorted(by_family):
+            lines.append(f"# TYPE {_family(dotted)} {kind}")
+            for tenant, value in sorted(by_family[dotted]):
+                lines.append(
+                    f"{_series_name(dotted, tenant)} {_format_value(value)}")
+
+    by_family_h: dict[str, list[tuple[str, dict[str, Any]]]] = {}
+    for name, dump in snapshot.get("histograms", {}).items():
+        parts = _split(name)
+        if parts is not None:
+            by_family_h.setdefault(parts[0], []).append((parts[2], dump))
+    for dotted in sorted(by_family_h):
+        lines.append(f"# TYPE {_family(dotted)} histogram")
+        for tenant, dump in sorted(by_family_h[dotted],
+                                   key=lambda item: item[0]):
+            cumulative = 0
+            for bound, count in zip(dump["buckets"], dump["counts"]):
+                cumulative += int(count)
+                lines.append(f"{_bucket_series(dotted, tenant, _format_value(float(bound)))}"
+                             f" {cumulative}")
+            lines.append(f"{_bucket_series(dotted, tenant, '+Inf')}"
+                         f" {int(dump['count'])}")
+            suffix = f'{{tenant="{_escape_label(tenant)}"}}' if tenant else ""
+            lines.append(f"{_family(dotted)}_sum{suffix} "
+                         f"{_format_value(float(dump['total']))}")
+            lines.append(f"{_family(dotted)}_count{suffix} {int(dump['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -18,6 +18,7 @@ simulate time" questions, and mergeable across processes).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any
@@ -120,6 +121,12 @@ class Registry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: Serialises snapshot/merge (several serve slots may merge
+        #: worker snapshots into one shared registry concurrently —
+        #: counter += is a read-modify-write and would lose increments
+        #: without it).  Individual metric ops stay lock-free: the hot
+        #: observe path runs inside a single-owner capture context.
+        self._lock = threading.Lock()
 
     # -- creation-or-lookup ---------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -143,13 +150,14 @@ class Registry:
 
     # -- snapshot / merge -----------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """JSON-serialisable dump of every metric."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {n: h.to_dict()
-                           for n, h in sorted(self._histograms.items())},
-        }
+        """JSON-serialisable dump of every metric (thread-safe)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {n: h.to_dict()
+                               for n, h in sorted(self._histograms.items())},
+            }
 
     def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold a worker's snapshot into this registry.
@@ -157,25 +165,31 @@ class Registry:
         Counters and histogram buckets add; gauges take the incoming
         value (last writer wins).  Histograms merge only when bucket
         layouts agree — a mismatch raises, since silently summing
-        misaligned buckets would corrupt percentiles.
+        misaligned buckets would corrupt percentiles.  Thread-safe, and
+        atomic per call: a mismatched histogram is rejected *before*
+        any of its buckets are touched, so a failed merge never leaves
+        a half-summed histogram behind.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(value)
-        for name, dump in snapshot.get("histograms", {}).items():
-            incoming_buckets = tuple(dump["buckets"])
-            hist = self.histogram(name, incoming_buckets)
-            if hist.buckets != incoming_buckets:
-                raise ValueError(
-                    f"histogram {name!r}: bucket layout mismatch on merge")
-            for i, n in enumerate(dump["counts"]):
-                hist.counts[i] += int(n)
-            hist.count += int(dump["count"])
-            hist.total += float(dump["total"])
-            if dump["count"]:
-                hist.min = min(hist.min, float(dump["min"]))
-                hist.max = max(hist.max, float(dump["max"]))
+        with self._lock:
+            for name, dump in snapshot.get("histograms", {}).items():
+                incoming_buckets = tuple(dump["buckets"])
+                existing = self._histograms.get(name)
+                if existing is not None and existing.buckets != incoming_buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket layout mismatch on merge")
+            for name, value in snapshot.get("counters", {}).items():
+                self.counter(name).inc(int(value))
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(name).set(value)
+            for name, dump in snapshot.get("histograms", {}).items():
+                hist = self.histogram(name, tuple(dump["buckets"]))
+                for i, n in enumerate(dump["counts"]):
+                    hist.counts[i] += int(n)
+                hist.count += int(dump["count"])
+                hist.total += float(dump["total"])
+                if dump["count"]:
+                    hist.min = min(hist.min, float(dump["min"]))
+                    hist.max = max(hist.max, float(dump["max"]))
 
     def reset(self) -> None:
         self._counters.clear()

@@ -8,8 +8,14 @@ slow cells, worker utilization, timing-histogram percentiles), and
 *what did the prefetcher see* (EIT lookup outcome counters, engine
 trigger/overprediction counts from the metrics snapshot).
 
-All rendering is pure string building over the parsed events, so tests
-can assert on it without a filesystem.
+Two output shapes over the same aggregation: :func:`render_summary`
+builds the human tables, :func:`summary_json` the machine-readable dict
+behind ``obs summary --format json`` (what ``scripts/serve_smoke.sh``
+and the CI gates consume — grepping the text tables is how smoke
+scripts used to rot).
+
+All rendering is pure string/dict building over the parsed events, so
+tests can assert on it without a filesystem.
 """
 
 from __future__ import annotations
@@ -81,6 +87,50 @@ def _histogram_table(snapshot: dict[str, Any]) -> str | None:
     return format_table(headers, rows, title="timing histograms (seconds)")
 
 
+def summary_json(events: list[dict[str, Any]], top: int = 10) -> dict[str, Any]:
+    """The machine-readable ``obs summary --format json`` document.
+
+    Everything in it is derived from the parsed trace — no registry or
+    process state — so the same trace always summarises identically.
+    """
+    from .trace import read_spans, validate_forest
+
+    counts = event_counts(events)
+    cells = cell_timings(events)
+    cached = sum(1 for e in events if e.get("event") == "cell_cached")
+    run_summary = next((dict(e) for e in reversed(events)
+                        if e.get("event") == "run_summary"), None)
+    trace_info = next((dict(e) for e in reversed(events)
+                       if e.get("event") == "trace_info"), None)
+    spans = read_spans(events)
+    span_names: TallyCounter = TallyCounter(s.get("name", "?") for s in spans)
+    doc: dict[str, Any] = {
+        "events": len(events),
+        "event_counts": [{"component": c, "event": e, "count": n}
+                         for c, e, n in counts],
+        "cells": {
+            "executed": len(cells),
+            "cached": cached,
+            "slowest": [{"cell": e.get("cell", "?"),
+                         "wall_s": float(e.get("wall_s", 0.0)),
+                         "cpu_s": float(e.get("cpu_s", 0.0))}
+                        for e in cells[:top]],
+        },
+        "run_summary": run_summary,
+        "trace_info": trace_info,
+        "metrics": metrics_snapshot(events),
+        "spans": {
+            "count": len(spans),
+            "traces": len({s.get("trace") for s in spans}),
+            "by_name": dict(sorted(span_names.items())),
+            "problems": validate_forest(spans),
+        },
+        "profile": [{"func": func, "cum_s": t, "ncalls": n}
+                    for func, t, n in profile_rows(events, top=top)],
+    }
+    return doc
+
+
 def render_summary(events: list[dict[str, Any]], top: int = 10) -> str:
     """The full ``obs summary`` report for one parsed trace."""
     if not events:
@@ -123,6 +173,12 @@ def render_summary(events: list[dict[str, Any]], top: int = 10) -> str:
         hist_table = _histogram_table(snapshot)
         if hist_table:
             parts.append(hist_table)
+
+    from .trace import read_spans, render_span_tree
+
+    spans = read_spans(events)
+    if spans:
+        parts.append(render_span_tree(spans, top=3))
 
     profiled = profile_rows(events, top=top)
     if profiled:

@@ -23,6 +23,7 @@ from .. import obs
 from ..config import SystemConfig
 from ..errors import RunnerError, SimulationError
 from ..obs import names as obs_names
+from ..obs.trace import span
 from ..prefetchers.registry import make_prefetcher
 from ..sequitur.analysis import analyze_sequence
 from ..sim import fastpath
@@ -227,6 +228,9 @@ class CellTelemetry:
     dropped: int = 0
     #: Top cProfile rows, when per-cell profiling was requested.
     profile: list[dict[str, Any]] = field(default_factory=list)
+    #: Finished span records captured inside the (worker) process; the
+    #: scheduler grafts them under its own span tree on absorption.
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
 
 def execute_timed(
@@ -257,14 +261,16 @@ def execute_timed(
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
     with obs.capture(obs_config) as cap:
-        if obs_config is not None and obs_config.profile:
-            payload, profile_rows = obs.profile_call(
-                execute_cell, cell, options, top=obs_config.profile_top)
-        else:
-            payload = execute_cell(cell, options)
-            profile_rows = []
+        with span(obs_names.SPAN_CELL, cell=cell.label, attempt=attempt):
+            if obs_config is not None and obs_config.profile:
+                payload, profile_rows = obs.profile_call(
+                    execute_cell, cell, options, top=obs_config.profile_top)
+            else:
+                payload = execute_cell(cell, options)
+                profile_rows = []
     telemetry = CellTelemetry(wall_s=time.perf_counter() - wall0,
                               cpu_s=time.process_time() - cpu0,
                               events=cap.events, metrics=cap.metrics,
-                              dropped=cap.dropped, profile=profile_rows)
+                              dropped=cap.dropped, profile=profile_rows,
+                              spans=cap.spans)
     return index, key, payload, telemetry

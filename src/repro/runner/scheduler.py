@@ -43,6 +43,7 @@ from typing import Any
 from .. import obs
 from ..backoff import backoff_delay
 from ..obs import names as obs_names
+from ..obs.trace import current_span, span
 from ..errors import CellFailedError, CheckpointError, RunnerTimeoutError
 from ..faults import FaultPlan, corrupt_artifact
 from .cells import Cell, cell_key
@@ -216,8 +217,11 @@ def _finish(outcome: _Outcome, results: list[dict[str, Any] | None],
                              status=outcome.status,
                              attempts=outcome.attempts)
     if _OBS.enabled:
+        # Worker spans graft under this context's open span (the
+        # runner.run span), joining its trace id.
         obs.absorb(telemetry.events, telemetry.metrics,
-                   tag={"cell": outcome.label})
+                   tag={"cell": outcome.label},
+                   spans=telemetry.spans, parent=current_span())
         _OBS.info(obs_names.EVT_CELL_EXECUTED, cell=outcome.label, key=outcome.key[:12],
                   status=outcome.status, attempts=outcome.attempts,
                   wall_s=round(telemetry.wall_s, 6),
@@ -486,8 +490,19 @@ def run_cells(cells: Sequence[Cell], options: Any,
     parameters (``n_accesses``/``warmup_frac``/``seed``/``degree``);
     see :func:`repro.runner.cells.cell_key` for what enters the cache
     key.
+
+    When tracing is on, the whole call is one ``runner.run`` span and
+    every executed cell hangs a ``runner.cell`` subtree off it —
+    including cells that ran in pool workers, whose spans are shipped
+    back and re-parented on absorption.
     """
     policy = policy if policy is not None else _POLICY
+    with span(obs_names.SPAN_RUN_CELLS, cells=len(cells), jobs=policy.jobs):
+        return _run_cells(cells, options, policy)
+
+
+def _run_cells(cells: Sequence[Cell], options: Any, policy: ExecutionPolicy,
+               ) -> tuple[list[dict[str, Any] | None], RunManifest]:
     store = ResultStore(policy.cache_dir) if policy.use_cache else None
     journal: CheckpointJournal | None = None
     completed_keys: set[str] = set()

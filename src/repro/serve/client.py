@@ -184,6 +184,14 @@ class ServeClient:
             raise ProtocolError(f"unexpected status reply {reply['type']!r}")
         return reply
 
+    async def metrics(self) -> dict[str, Any]:
+        """The server's Prometheus exposition (``text`` + ``content_type``)."""
+        await self.send({"type": protocol.METRICS})
+        reply = await self.recv()
+        if reply["type"] != protocol.METRICS:
+            raise ProtocolError(f"unexpected metrics reply {reply['type']!r}")
+        return reply
+
     async def shutdown(self) -> None:
         """Ask the server to drain and exit (admin clients only)."""
         await self.send({"type": protocol.SHUTDOWN})

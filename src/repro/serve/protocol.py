@@ -10,11 +10,12 @@ connection (one malformed request must not kill a tenant's healthy
 jobs).
 
 Client -> server: ``hello`` (handshake: tenant + protocol version),
-``submit`` (a :class:`JobSpec`), ``status``, ``bye``, ``shutdown``
+``submit`` (a :class:`JobSpec`), ``status``, ``metrics`` (Prometheus
+text exposition of the server's live registry), ``bye``, ``shutdown``
 (drain and exit — admin).  Server -> client: ``welcome``, ``accepted``
 / ``shed`` (admission decision; a shed carries ``retry_after_s``),
 ``cell`` (one streamed cell payload), ``done`` (job complete),
-``stats``, ``error``, ``stopping``.
+``stats``, ``metrics``, ``error``, ``stopping``.
 
 A :class:`JobSpec` is the service-tier twin of one batch CLI
 invocation: it validates against the same workload/prefetcher
@@ -58,13 +59,14 @@ CELL = "cell"
 DONE = "done"
 STATUS = "status"
 STATS = "stats"
+METRICS = "metrics"
 ERROR = "error"
 BYE = "bye"
 SHUTDOWN = "shutdown"
 STOPPING = "stopping"
 
 #: Types a client may send (anything else is a protocol error).
-CLIENT_TYPES = frozenset({HELLO, SUBMIT, STATUS, BYE, SHUTDOWN})
+CLIENT_TYPES = frozenset({HELLO, SUBMIT, STATUS, METRICS, BYE, SHUTDOWN})
 
 #: Tenant names are path/metric-safe tokens.
 _TENANT_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]{0,63}$")
@@ -325,6 +327,11 @@ def done(request_id: str, job_id: str, status: str, n_ok: int, n_failed: int,
 
 def stats(body: dict[str, Any]) -> dict[str, Any]:
     return {"type": STATS, **body}
+
+
+def metrics(text: str, content_type: str) -> dict[str, Any]:
+    """Prometheus text exposition, framed; ``text`` is the document."""
+    return {"type": METRICS, "content_type": content_type, "text": text}
 
 
 def error(message: str, request_id: str | None = None) -> dict[str, Any]:

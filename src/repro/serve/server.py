@@ -25,11 +25,15 @@ dead worker.  With ``use_cache`` on (the default) served jobs read and
 write the same content-addressed artifact store as batch runs — a job
 the batch path already computed is served from cache, bit-identically.
 
-Telemetry note: per-cell event capture (``repro.obs.capture``) swaps
-process-global state and is not thread-safe; with ``--trace-events``
-and ``slots > 1``, concurrently executing cells can interleave their
-captures and drop events.  Counters and results are unaffected.  Run
-one slot when a full-fidelity trace matters.
+Telemetry is fully concurrent-safe: each job runs under a
+context-local :class:`repro.obs.capture` (a :mod:`contextvars`
+override that travels into ``asyncio.to_thread``), so any number of
+slots can execute traced cells at once without interleaving a single
+event — every absorbed record is tagged with its tenant and job, and
+each job's span subtree hangs off the connection span that admitted
+it.  The ``status``/``metrics`` frames expose the live stats plane:
+queue depths, per-tenant virtual time, the in-flight job table, and a
+Prometheus text exposition of the registry.
 """
 
 from __future__ import annotations
@@ -43,6 +47,8 @@ from typing import Any
 from .. import __version__, obs
 from ..errors import ProtocolError, ServeError
 from ..obs import names as obs_names
+from ..obs.prom import CONTENT_TYPE, render_prometheus
+from ..obs.trace import Span, span
 from ..runner import ExecutionPolicy, run_cells
 from . import protocol
 from .scheduler import AdmissionConfig, FairScheduler, Job
@@ -110,6 +116,10 @@ class _Connection:
         self.writer = writer
         self.tenant = ""
         self.closed = False
+        #: The connection's open span; jobs admitted on this link hang
+        #: their span subtrees off it (the job runs in a worker task,
+        #: so the parent must travel explicitly, not via context).
+        self.span: Span | None = None
         self._lock = asyncio.Lock()
 
     async def send(self, message: dict[str, Any]) -> bool:
@@ -147,6 +157,9 @@ class ExperimentServer:
         self._stop_workers = False
         self._workers: list[asyncio.Task[None]] = []
         self._job_conns: dict[str, _Connection] = {}
+        #: Live view of running jobs (job_id -> row), for the stats
+        #: frame; single event loop, so plain dict updates suffice.
+        self._active_jobs: dict[str, dict[str, Any]] = {}
         self._job_counter = 0
         self._started_at = 0.0
 
@@ -236,29 +249,31 @@ class ExperimentServer:
                 return
             _OBS.info(obs_names.EVT_CLIENT_CONNECT, tenant=conn.tenant)
             await conn.send(protocol.welcome(__version__))
-            while True:
-                try:
-                    frame = await reader.readline()
-                except ValueError:
-                    # Overlong line: the stream is desynchronised and
-                    # cannot be safely re-framed — drop the client.
-                    await conn.send(protocol.error("frame too long"))
-                    break
-                if not frame:
-                    break  # EOF
-                try:
-                    message = protocol.decode_line(frame)
-                    keep_open = await self._dispatch(conn, message)
-                except ProtocolError as exc:
-                    malformed += 1
-                    self._note_malformed(conn, exc)
-                    await conn.send(protocol.error(
-                        str(exc), request_id=self._request_id_of(frame)))
-                    if malformed >= MAX_MALFORMED_PER_CONN:
+            with span(obs_names.SPAN_CONNECTION, tenant=conn.tenant) as conn_span:
+                conn.span = conn_span
+                while True:
+                    try:
+                        frame = await reader.readline()
+                    except ValueError:
+                        # Overlong line: the stream is desynchronised and
+                        # cannot be safely re-framed — drop the client.
+                        await conn.send(protocol.error("frame too long"))
                         break
-                    continue
-                if not keep_open:
-                    break
+                    if not frame:
+                        break  # EOF
+                    try:
+                        message = protocol.decode_line(frame)
+                        keep_open = await self._dispatch(conn, message)
+                    except ProtocolError as exc:
+                        malformed += 1
+                        self._note_malformed(conn, exc)
+                        await conn.send(protocol.error(
+                            str(exc), request_id=self._request_id_of(frame)))
+                        if malformed >= MAX_MALFORMED_PER_CONN:
+                            break
+                        continue
+                    if not keep_open:
+                        break
         finally:
             await conn.close()
             _OBS.info(obs_names.EVT_CLIENT_DISCONNECT, tenant=conn.tenant,
@@ -292,10 +307,11 @@ class ExperimentServer:
         if kind == protocol.BYE:
             return False
         if kind == protocol.STATUS:
-            body = self.scheduler.stats()
-            body["address"] = self.address
-            body["uptime_s"] = round(time.monotonic() - self._started_at, 3)
-            await conn.send(protocol.stats(body))
+            await conn.send(protocol.stats(self._stats_body()))
+            return True
+        if kind == protocol.METRICS:
+            await conn.send(protocol.metrics(self._render_metrics(),
+                                             CONTENT_TYPE))
             return True
         if kind == protocol.SHUTDOWN:
             if not self.config.allow_remote_shutdown:
@@ -305,6 +321,50 @@ class ExperimentServer:
             return True
         await self._submit(conn, message)
         return True
+
+    def _stats_body(self) -> dict[str, Any]:
+        """The live stats plane: scheduler view + in-flight job table +
+        registered-name registry metrics (counters and gauges only —
+        histograms travel on the ``metrics`` frame, where cumulative
+        buckets have a standard wire form)."""
+        now = time.monotonic()
+        body = self.scheduler.stats()
+        body["address"] = self.address
+        body["uptime_s"] = round(now - self._started_at, 3)
+        body["in_flight_jobs"] = [
+            {"job": job_id, "tenant": row["tenant"], "slot": row["slot"],
+             "cells": row["cells"],
+             "running_s": round(now - row["started_at"], 3)}
+            for job_id, row in sorted(self._active_jobs.items())]
+        st = obs.base_state()
+        if st is not None:
+            snapshot = st.registry.snapshot()
+            registered = obs_names.METRIC_NAMES
+            body["metrics"] = {
+                kind: {name: value
+                       for name, value in snapshot.get(kind, {}).items()
+                       if name.rpartition(".")[2] in registered}
+                for kind in ("counters", "gauges")}
+        return body
+
+    def _render_metrics(self) -> str:
+        """The Prometheus exposition: registry snapshot (when telemetry
+        is on) plus live gauges synthesised from the scheduler — the
+        latter exist even on an untraced server."""
+        st = obs.base_state()
+        snapshot = st.registry.snapshot() if st is not None else {}
+        live: dict[str, float] = {
+            f"serve.server.{obs_names.MET_QUEUE_DEPTH_NOW}":
+                float(self.scheduler.queue_depth),
+            f"serve.server.{obs_names.MET_IN_FLIGHT_NOW}":
+                float(self.scheduler.in_flight),
+            f"serve.server.{obs_names.MET_UPTIME_S}":
+                round(time.monotonic() - self._started_at, 3),
+        }
+        for name, row in self.scheduler.stats()["tenants"].items():
+            live[f"serve.tenant.{name}.{obs_names.MET_TENANT_VTIME}"] = \
+                float(row["vtime"])
+        return render_prometheus(snapshot, extra_gauges=live)
 
     async def _submit(self, conn: _Connection,
                       message: dict[str, Any]) -> None:
@@ -365,31 +425,32 @@ class ExperimentServer:
                 self._cond.notify_all()
 
     async def _run_job(self, job: Job, slot: int) -> None:
+        """Execute one admitted job on this worker slot.
+
+        The whole job runs under a context-local :class:`obs.capture`,
+        so concurrent slots record into isolated buffers; the capture's
+        events, metrics, and spans are folded back into the server's
+        base state afterwards, tagged with the tenant and job.  The
+        job span hangs off the admitting connection's span (an explicit
+        parent — the connection lives in a different task), and each
+        cell's subtree — including the runner spans recorded inside
+        ``asyncio.to_thread`` — nests under a ``serve.cell`` span.
+        """
         job.started_at = time.monotonic()
         wait_s = job.started_at - job.enqueued_at
         conn = self._job_conns.pop(job.job_id, None)
-        _OBS.info(obs_names.EVT_JOB_STARTED, tenant=job.tenant,
-                  job=job.job_id, slot=slot, wait_s=round(wait_s, 6))
-        n_ok = n_failed = 0
-        for seq, cell in enumerate(job.cells):
-            try:
-                payloads, _ = await asyncio.to_thread(
-                    run_cells, [cell], job.options, self._policy)
-                payload = payloads[0]
-            except Exception as exc:  # runner bug or misconfiguration
-                payload = None
-                _OBS.error(obs_names.EVT_JOB_FAILED, tenant=job.tenant,
-                           job=job.job_id, cell=cell.label,
-                           error=f"{type(exc).__name__}: {exc}")
-            status = "ok" if payload is not None else "failed"
-            if payload is not None:
-                n_ok += 1
-            else:
-                n_failed += 1
-            if conn is not None:
-                await conn.send(protocol.cell_result(
-                    job.request_id, job.job_id, seq, len(job.cells),
-                    cell.label, status, payload))
+        self._active_jobs[job.job_id] = {
+            "tenant": job.tenant, "slot": slot, "cells": len(job.cells),
+            "started_at": job.started_at}
+        try:
+            with obs.capture(obs.current_config()) as cap:
+                n_ok, n_failed = await self._execute_job(job, slot, conn,
+                                                         wait_s)
+            obs.absorb(cap.events, cap.metrics,
+                       tag={"tenant": job.tenant, "job": job.job_id},
+                       spans=cap.spans)
+        finally:
+            self._active_jobs.pop(job.job_id, None)
         service_s = time.monotonic() - job.started_at
         ok = n_failed == 0
         self.scheduler.finish(job, service_s, wait_s=wait_s, ok=ok)
@@ -413,3 +474,35 @@ class ExperimentServer:
             await conn.send(protocol.done(
                 job.request_id, job.job_id, "ok" if ok else "failed",
                 n_ok, n_failed, wait_s, service_s))
+
+    async def _execute_job(self, job: Job, slot: int,
+                           conn: _Connection | None,
+                           wait_s: float) -> tuple[int, int]:
+        """The captured body of one job: cell loop + streaming."""
+        _OBS.info(obs_names.EVT_JOB_STARTED, tenant=job.tenant,
+                  job=job.job_id, slot=slot, wait_s=round(wait_s, 6))
+        n_ok = n_failed = 0
+        parent = conn.span if conn is not None else None
+        with span(obs_names.SPAN_JOB, parent=parent, tenant=job.tenant,
+                  job=job.job_id, slot=slot):
+            for seq, cell in enumerate(job.cells):
+                try:
+                    with span(obs_names.SPAN_SERVE_CELL, cell=cell.label):
+                        payloads, _ = await asyncio.to_thread(
+                            run_cells, [cell], job.options, self._policy)
+                    payload = payloads[0]
+                except Exception as exc:  # runner bug or misconfiguration
+                    payload = None
+                    _OBS.error(obs_names.EVT_JOB_FAILED, tenant=job.tenant,
+                               job=job.job_id, cell=cell.label,
+                               error=f"{type(exc).__name__}: {exc}")
+                status = "ok" if payload is not None else "failed"
+                if payload is not None:
+                    n_ok += 1
+                else:
+                    n_failed += 1
+                if conn is not None:
+                    await conn.send(protocol.cell_result(
+                        job.request_id, job.job_id, seq, len(job.cells),
+                        cell.label, status, payload))
+        return n_ok, n_failed

@@ -30,15 +30,18 @@ from ..errors import SimulationError
 from ..memory.cache import Cache
 from ..memory.metadata import MetadataTraffic
 from ..memory.prefetch_buffer import PrefetchBuffer
+from ..obs import DEBUG
 from ..obs import names as obs_names
 from ..obs import scope as obs_scope
 from ..obs import timed
+from ..obs.trace import span as trace_span
 from ..prefetchers.base import NullPrefetcher, Prefetcher
 from ..stats.metrics import CoverageMetrics
 from ..stats.streamstats import StreamLengthStats
 from .trace import MemoryTrace
 
 if TYPE_CHECKING:
+    from ..obs.runtime import Scope
     from .fastpath import L1Filter
 
 #: Engine telemetry scope.  Disabled (one global read per guard) until
@@ -126,14 +129,19 @@ class TraceSimulator:
         streams_seen = self._streams_seen
         tel = _OBS
         tracing = tel.enabled
-        if tracing:
-            c_miss = tel.counter(obs_names.MET_TRIGGER_MISS)
-            c_phit = tel.counter(obs_names.MET_TRIGGER_PREFETCH_HIT)
-            c_issued = tel.counter(obs_names.MET_PREFETCH_ISSUED)
-            c_evict = tel.counter(obs_names.MET_EVICTION_USED)
-            c_over = tel.counter(obs_names.MET_OVERPREDICTION)
+        # Hoisted out of the hot loop: per-access debug events are the
+        # single most expensive emit path, and at info level and above
+        # every one of them would be filtered out after the call anyway.
+        emit_debug = tracing and tel.enabled_for(DEBUG)
+        # Trigger/prefetch tallies accumulate in locals and flush to the
+        # registry once per run: one integer add per access instead of a
+        # Counter.inc() call, which is what keeps spans-on overhead
+        # inside the bench_obs.py budget.
+        n_miss = n_phit = n_issued = n_evict = n_over = 0
 
-        with timed("simulate", emit=False):
+        with trace_span(obs_names.SPAN_SIMULATE, trace=trace.name,
+                        accesses=len(blocks)), \
+                timed("simulate", emit=False):
             for i in range(len(blocks)):
                 if i == warmup and warmup > 0:
                     self._reset_counters()
@@ -149,17 +157,20 @@ class TraceSimulator:
                     metrics.prefetch_hits += 1
                     stream_useful[entry.stream_id] += 1
                     if tracing:
-                        c_phit.inc()
-                        tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i, pc=pc,
-                                  block=block, stream=entry.stream_id)
+                        n_phit += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i,
+                                      pc=pc, block=block, stream=entry.stream_id)
                     candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
                 else:
                     metrics.misses += 1
                     if self.collect_misses:
                         self._miss_stream.append((pc, block))
                     if tracing:
-                        c_miss.inc()
-                        tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i, pc=pc, block=block)
+                        n_miss += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i,
+                                      pc=pc, block=block)
                     candidates = prefetcher.on_miss(pc, block)
 
                 killed = prefetcher.take_killed_streams()
@@ -172,22 +183,31 @@ class TraceSimulator:
                     metrics.prefetches_issued += 1
                     streams_seen.add(sid)
                     if tracing:
-                        c_issued.inc()
-                        tel.debug(obs_names.EVT_PREFETCH, block=cand_block, stream=sid)
+                        n_issued += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_PREFETCH, block=cand_block,
+                                      stream=sid)
                     victim = buffer.insert(cand_block, sid)
                     if victim is not None:
                         if tracing:
                             if victim.used:
-                                c_evict.inc()
-                                tel.debug(obs_names.EVT_EVICTION, block=victim.block,
-                                          stream=victim.stream_id)
+                                n_evict += 1
+                                if emit_debug:
+                                    tel.debug(obs_names.EVT_EVICTION,
+                                              block=victim.block,
+                                              stream=victim.stream_id)
                             else:
-                                c_over.inc()
-                                tel.debug(obs_names.EVT_OVERPREDICTION, block=victim.block,
-                                          stream=victim.stream_id)
+                                n_over += 1
+                                if emit_debug:
+                                    tel.debug(obs_names.EVT_OVERPREDICTION,
+                                              block=victim.block,
+                                              stream=victim.stream_id)
                         prefetcher.on_buffer_eviction(
                             victim.block, victim.stream_id, victim.used)
 
+        if tracing:
+            self._flush_tallies(tel, n_miss, n_phit, n_issued, n_evict,
+                                n_over)
         return self._emit_result(self._finalise(trace.name))
 
     def run_filtered(self, filt: "L1Filter", warmup: int = 0) -> SimulationResult:
@@ -213,13 +233,11 @@ class TraceSimulator:
         streams_seen = self._streams_seen
         tel = _OBS
         tracing = tel.enabled
+        emit_debug = tracing and tel.enabled_for(DEBUG)
         if tracing:
             tel.counter(obs_names.MET_FASTPATH_REPLAYS).inc()
-            c_miss = tel.counter(obs_names.MET_TRIGGER_MISS)
-            c_phit = tel.counter(obs_names.MET_TRIGGER_PREFETCH_HIT)
-            c_issued = tel.counter(obs_names.MET_PREFETCH_ISSUED)
-            c_evict = tel.counter(obs_names.MET_EVICTION_USED)
-            c_over = tel.counter(obs_names.MET_OVERPREDICTION)
+        # Local tallies, flushed once after the loop (see run()).
+        n_miss = n_phit = n_issued = n_evict = n_over = 0
 
         indices = filt.indices.tolist()
         pcs = filt.pcs.tolist()
@@ -228,7 +246,9 @@ class TraceSimulator:
         resident: set[int] = set()
         reset_done = warmup == 0
 
-        with timed("simulate", emit=False):
+        with trace_span(obs_names.SPAN_SIMULATE, trace=filt.trace_name,
+                        accesses=n_accesses, mode="replay"), \
+                timed("simulate", emit=False):
             for j in range(len(indices)):
                 i = indices[j]
                 if not reset_done and i >= warmup:
@@ -246,17 +266,20 @@ class TraceSimulator:
                     metrics.prefetch_hits += 1
                     stream_useful[entry.stream_id] += 1
                     if tracing:
-                        c_phit.inc()
-                        tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i, pc=pc,
-                                  block=block, stream=entry.stream_id)
+                        n_phit += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_TRIGGER, kind="prefetch_hit", i=i,
+                                      pc=pc, block=block, stream=entry.stream_id)
                     candidates = prefetcher.on_prefetch_hit(pc, block, entry.stream_id)
                 else:
                     metrics.misses += 1
                     if self.collect_misses:
                         self._miss_stream.append((pc, block))
                     if tracing:
-                        c_miss.inc()
-                        tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i, pc=pc, block=block)
+                        n_miss += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_TRIGGER, kind="miss", i=i,
+                                      pc=pc, block=block)
                     candidates = prefetcher.on_miss(pc, block)
 
                 killed = prefetcher.take_killed_streams()
@@ -269,19 +292,25 @@ class TraceSimulator:
                     metrics.prefetches_issued += 1
                     streams_seen.add(sid)
                     if tracing:
-                        c_issued.inc()
-                        tel.debug(obs_names.EVT_PREFETCH, block=cand_block, stream=sid)
+                        n_issued += 1
+                        if emit_debug:
+                            tel.debug(obs_names.EVT_PREFETCH, block=cand_block,
+                                      stream=sid)
                     victim = buffer.insert(cand_block, sid)
                     if victim is not None:
                         if tracing:
                             if victim.used:
-                                c_evict.inc()
-                                tel.debug(obs_names.EVT_EVICTION, block=victim.block,
-                                          stream=victim.stream_id)
+                                n_evict += 1
+                                if emit_debug:
+                                    tel.debug(obs_names.EVT_EVICTION,
+                                              block=victim.block,
+                                              stream=victim.stream_id)
                             else:
-                                c_over.inc()
-                                tel.debug(obs_names.EVT_OVERPREDICTION, block=victim.block,
-                                          stream=victim.stream_id)
+                                n_over += 1
+                                if emit_debug:
+                                    tel.debug(obs_names.EVT_OVERPREDICTION,
+                                              block=victim.block,
+                                              stream=victim.stream_id)
                         prefetcher.on_buffer_eviction(
                             victim.block, victim.stream_id, victim.used)
 
@@ -295,7 +324,25 @@ class TraceSimulator:
         measured = n_accesses - warmup
         metrics.accesses = measured
         metrics.l1_hits = measured - (metrics.misses + metrics.prefetch_hits)
+        if tracing:
+            self._flush_tallies(tel, n_miss, n_phit, n_issued, n_evict,
+                                n_over)
         return self._emit_result(self._finalise(filt.trace_name))
+
+    @staticmethod
+    def _flush_tallies(tel: "Scope", n_miss: int, n_phit: int, n_issued: int,
+                       n_evict: int, n_over: int) -> None:
+        """Flush the hot loop's local trigger tallies to the registry."""
+        if n_miss:
+            tel.counter(obs_names.MET_TRIGGER_MISS).inc(n_miss)
+        if n_phit:
+            tel.counter(obs_names.MET_TRIGGER_PREFETCH_HIT).inc(n_phit)
+        if n_issued:
+            tel.counter(obs_names.MET_PREFETCH_ISSUED).inc(n_issued)
+        if n_evict:
+            tel.counter(obs_names.MET_EVICTION_USED).inc(n_evict)
+        if n_over:
+            tel.counter(obs_names.MET_OVERPREDICTION).inc(n_over)
 
     def _emit_result(self, result: SimulationResult) -> SimulationResult:
         tel = _OBS

@@ -50,6 +50,7 @@ from ..errors import SimulationError
 from ..memory.cache import Cache
 from ..obs import names as obs_names
 from ..obs import scope as obs_scope
+from ..obs.trace import span as trace_span
 from .trace import MemoryTrace
 
 #: Bump when the filter semantics or payload layout change (rides next
@@ -124,37 +125,39 @@ def build_l1_filter(trace: MemoryTrace, config: SystemConfig) -> L1Filter:
     recorded hit/miss split and eviction sequence are exactly what
     every prefetcher cell would observe.
     """
-    wall0 = time.perf_counter()
-    l1 = Cache(config.l1d)
-    access = l1.access_traced
-    pcs_list, blocks_list, _, _ = trace.as_lists()
-    indices: list[int] = []
-    miss_pcs: list[int] = []
-    miss_blocks: list[int] = []
-    evicted: list[int] = []
-    for i, block in enumerate(blocks_list):
-        hit, victim = access(block)
-        if hit:
-            continue
-        indices.append(i)
-        miss_pcs.append(pcs_list[i])
-        miss_blocks.append(block)
-        evicted.append(victim if victim is not None else -1)
-    filt = L1Filter(
-        trace_name=trace.name,
-        n_accesses=len(trace),
-        indices=np.asarray(indices, dtype=np.int64),
-        pcs=np.asarray(miss_pcs, dtype=np.int64),
-        blocks=np.asarray(miss_blocks, dtype=np.int64),
-        evicted=np.asarray(evicted, dtype=np.int64),
-    )
-    if _OBS.enabled:
-        _OBS.counter(obs_names.MET_FASTPATH_BUILDS).inc()
-        _OBS.info(obs_names.EVT_FASTPATH_BUILD, trace=trace.name,
-                  accesses=len(trace), misses=filt.n_misses,
-                  miss_rate=round(filt.miss_rate, 6),
-                  wall_s=round(time.perf_counter() - wall0, 6))
-    return filt
+    with trace_span(obs_names.SPAN_FASTPATH_BUILD, trace=trace.name,
+                    accesses=len(trace)):
+        wall0 = time.perf_counter()
+        l1 = Cache(config.l1d)
+        access = l1.access_traced
+        pcs_list, blocks_list, _, _ = trace.as_lists()
+        indices: list[int] = []
+        miss_pcs: list[int] = []
+        miss_blocks: list[int] = []
+        evicted: list[int] = []
+        for i, block in enumerate(blocks_list):
+            hit, victim = access(block)
+            if hit:
+                continue
+            indices.append(i)
+            miss_pcs.append(pcs_list[i])
+            miss_blocks.append(block)
+            evicted.append(victim if victim is not None else -1)
+        filt = L1Filter(
+            trace_name=trace.name,
+            n_accesses=len(trace),
+            indices=np.asarray(indices, dtype=np.int64),
+            pcs=np.asarray(miss_pcs, dtype=np.int64),
+            blocks=np.asarray(miss_blocks, dtype=np.int64),
+            evicted=np.asarray(evicted, dtype=np.int64),
+        )
+        if _OBS.enabled:
+            _OBS.counter(obs_names.MET_FASTPATH_BUILDS).inc()
+            _OBS.info(obs_names.EVT_FASTPATH_BUILD, trace=trace.name,
+                      accesses=len(trace), misses=filt.n_misses,
+                      miss_rate=round(filt.miss_rate, 6),
+                      wall_s=round(time.perf_counter() - wall0, 6))
+        return filt
 
 
 # -- payload codec ----------------------------------------------------------

@@ -1,0 +1,36 @@
+"""OBS002 fixture: every idiomatic span form the rule must accept."""
+from repro.obs import names
+from repro.obs.names import SPAN_CELL
+from repro.obs.trace import span
+from repro.obs.trace import span as trace_span
+
+
+def literal_name():
+    with span("runner.cell"):
+        pass
+
+
+def names_attr():
+    with span(names.SPAN_RUN_CELLS, cells=3):
+        pass
+
+
+def imported_constant():
+    with span(SPAN_CELL, cell="a"):
+        pass
+
+
+def aliased_callable():
+    with trace_span(names.SPAN_SIMULATE, trace="t"):
+        pass
+
+
+def captured_handle():
+    with span(names.SPAN_CONNECTION, tenant="t") as handle:
+        return handle
+
+
+def unrelated_span_variable(row):
+    # A plain variable called span is not the trace callable.
+    length = row.span(3)
+    return length

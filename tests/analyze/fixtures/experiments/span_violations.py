@@ -1,0 +1,34 @@
+"""OBS002 fixture: bare span calls and unregistered span names."""
+from repro.obs import names
+from repro.obs.trace import span
+from repro.obs.trace import span as trace_span
+
+
+def unregistered_literal():
+    with span("not.a.registered.span"):
+        pass
+
+
+def event_name_is_not_a_span_name():
+    # Registered as an *event*, but spans draw from SPAN_NAMES.
+    with span("cell.finished"):
+        pass
+
+
+def bare_call():
+    span(names.SPAN_CELL)
+
+
+def bare_aliased_call():
+    handle = trace_span(names.SPAN_SIMULATE)
+    return handle
+
+
+def computed_name(kind):
+    with span(f"runner.{kind}"):
+        pass
+
+
+def bad_names_attr():
+    with span(names.SPAN_DOES_NOT_EXIST):
+        pass

@@ -95,6 +95,43 @@ class TestObs001:
         assert findings == []
 
 
+class TestObs002:
+    def test_flags_bare_calls_and_unregistered_names(self):
+        findings = Analyzer().check_paths(
+            [FIXTURES / "experiments" / "span_violations.py"])
+        assert [f.code for f in findings] == ["OBS002"] * 6
+        messages = "\n".join(f.message for f in findings)
+        assert "not registered" in messages
+        assert "bare span() call" in messages
+        assert "not a string constant" in messages  # the f-string
+        assert "SPAN_DOES_NOT_EXIST" in messages
+        # An event name is not a span name.
+        assert "'cell.finished' is not registered" in messages
+
+    def test_suppressed(self):
+        assert codes_for("experiments/span_suppressed.py") == []
+
+    def test_clean(self):
+        assert codes_for("experiments/span_clean.py") == []
+
+    def test_obs_package_itself_exempt(self):
+        src = ("from repro.obs.trace import span\n"
+               "def f(name):\n    return span(name)\n")
+        findings = Analyzer().check_source(src, "src/repro/obs/summary.py")
+        assert findings == []
+
+    def test_attribute_form_resolves_module_aliases(self):
+        src = ("from repro import obs\n"
+               "def f():\n    obs.span('bogus.span')\n")
+        findings = Analyzer().check_source(src, "src/repro/serve/whatever.py")
+        assert [f.code for f in findings] == ["OBS002"] * 2  # bare + name
+
+    def test_files_without_span_imports_skip_cheaply(self):
+        src = "def span(x):\n    return x\ndef f():\n    return span(1)\n"
+        findings = Analyzer().check_source(src, "src/repro/sim/whatever.py")
+        assert all(f.code != "OBS002" for f in findings)
+
+
 class TestIo001:
     def test_flags_fsyncless_write_only(self):
         findings = Analyzer().check_paths([FIXTURES / "runner" / "store.py"])
@@ -110,7 +147,7 @@ class TestIo001:
 class TestRegistry:
     def test_expected_rule_set(self):
         assert set(all_rules()) == {"DET001", "PICKLE001", "ERR001",
-                                    "OBS001", "IO001"}
+                                    "OBS001", "OBS002", "IO001"}
 
     def test_rules_carry_metadata(self):
         for cls in all_rules().values():

@@ -1,0 +1,154 @@
+"""Telemetry stores under concurrent writers (threads and processes).
+
+The serve tier absorbs worker telemetry from several slots at once and
+the runner ships registry snapshots across the process boundary; these
+tests pin down that EventTrace drop accounting and
+``Registry.merge_snapshot`` stay exact under that concurrency — and
+that a malformed (bucket-mismatched) snapshot is rejected atomically.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.obs.events import EventTrace
+from repro.obs.registry import Registry
+
+N_THREADS = 8
+PER_WRITER = 500
+
+
+class TestEventTraceConcurrency:
+    def test_concurrent_absorption_drop_accounting_is_exact(self):
+        """kept + dropped == shipped under concurrent extend() calls.
+
+        emit() is the recording context's own lock-free hot path;
+        extend() is the cross-thread absorption path (serve slots,
+        runner workers) and is the one that must account exactly.
+        """
+        ring = 1000
+        shared = EventTrace(ring=ring)
+        barrier = threading.Barrier(N_THREADS)
+
+        def shipper(tag):
+            # Each context records into its own trace (the capture
+            # model), then ships the batch into the shared trace.
+            local = EventTrace(ring=PER_WRITER)
+            for i in range(PER_WRITER):
+                local.emit("c", "x", tag=tag, i=i)
+            barrier.wait(timeout=5)
+            shared.extend(local.events())
+
+        threads = [threading.Thread(target=shipper, args=(t,))
+                   for t in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = N_THREADS * PER_WRITER
+        assert len(shared) == ring
+        assert shared.dropped == total - ring
+
+    def test_concurrent_extend_interleaves_without_loss(self):
+        trace = EventTrace(ring=N_THREADS * PER_WRITER)
+
+        def shipper(tag):
+            trace.extend([{"component": "c", "event": "x", "tag": tag}
+                          for _ in range(PER_WRITER)])
+
+        threads = [threading.Thread(target=shipper, args=(t,))
+                   for t in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.events()) == N_THREADS * PER_WRITER
+        assert trace.dropped == 0
+
+
+def _worker_snapshot(tag: int) -> dict:
+    """One worker process's registry, as its JSON snapshot."""
+    registry = Registry()
+    registry.counter("runner.cells_executed").inc(PER_WRITER)
+    for i in range(PER_WRITER):
+        registry.histogram("runner.cell_s", (0.1, 1.0, 10.0)).observe(
+            (tag + i) % 12)
+    registry.gauge("runner.last_tag").set(float(tag))
+    return registry.snapshot()
+
+
+class TestRegistryMergeConcurrency:
+    def test_threaded_merges_into_shared_registry_add_up(self):
+        shared = Registry()
+        barrier = threading.Barrier(N_THREADS)
+
+        def merger(tag):
+            snapshot = _worker_snapshot(tag)
+            barrier.wait(timeout=5)
+            shared.merge_snapshot(snapshot)
+
+        threads = [threading.Thread(target=merger, args=(t,))
+                   for t in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = N_THREADS * PER_WRITER
+        assert shared.counter("runner.cells_executed").value == total
+        assert shared.histogram("runner.cell_s", (0.1, 1.0, 10.0)).count \
+            == total
+
+    def test_merges_racing_direct_writers(self):
+        """Snapshot merges interleaved with live inc() lose nothing."""
+        shared = Registry()
+        barrier = threading.Barrier(2 * N_THREADS)
+
+        def merger(tag):
+            snapshot = _worker_snapshot(tag)
+            barrier.wait(timeout=5)
+            shared.merge_snapshot(snapshot)
+
+        def incrementer(_tag):
+            counter = shared.counter("runner.cells_executed")
+            barrier.wait(timeout=5)
+            for _ in range(PER_WRITER):
+                counter.inc()
+
+        threads = ([threading.Thread(target=merger, args=(t,))
+                    for t in range(N_THREADS)]
+                   + [threading.Thread(target=incrementer, args=(t,))
+                      for t in range(N_THREADS)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert shared.counter("runner.cells_executed").value \
+            == 2 * N_THREADS * PER_WRITER
+
+    def test_process_snapshots_merge_exactly(self):
+        """Snapshots made in real worker processes merge losslessly."""
+        shared = Registry()
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            for snapshot in pool.map(_worker_snapshot, range(4)):
+                shared.merge_snapshot(snapshot)
+        assert shared.counter("runner.cells_executed").value \
+            == 4 * PER_WRITER
+        merged = shared.histogram("runner.cell_s", (0.1, 1.0, 10.0))
+        assert merged.count == 4 * PER_WRITER
+
+    def test_bucket_mismatch_rejected_atomically(self):
+        """A bad snapshot mutates nothing — not even its valid parts."""
+        shared = Registry()
+        shared.histogram("runner.cell_s", (0.1, 1.0)).observe(0.05)
+        shared.counter("runner.cells_executed").inc()
+
+        bad = Registry()
+        bad.counter("runner.cells_executed").inc(100)
+        bad.histogram("runner.other_s", (1.0,)).observe(0.5)     # valid part
+        bad.histogram("runner.cell_s", (5.0,)).observe(0.5)      # mismatch
+        with pytest.raises(ValueError, match="bucket layout mismatch"):
+            shared.merge_snapshot(bad.snapshot())
+        assert shared.counter("runner.cells_executed").value == 1
+        assert shared.snapshot()["histograms"].get("runner.other_s") is None
+        assert shared.histogram("runner.cell_s", (0.1, 1.0)).count == 1

@@ -1,0 +1,85 @@
+"""Prometheus exposition: name filtering, tenant labels, histograms."""
+
+from repro.obs.prom import CONTENT_TYPE, render_prometheus
+from repro.obs.registry import Registry
+
+
+def test_content_type_is_version_0_0_4():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestFiltering:
+    def test_unregistered_names_never_exported(self):
+        snapshot = {"counters": {"serve.server.jobs_admitted": 3,
+                                 "totally.adhoc.name": 9},
+                    "gauges": {"another.fake": 1.0},
+                    "histograms": {}}
+        text = render_prometheus(snapshot)
+        assert "domino_serve_server_jobs_admitted 3" in text
+        assert "adhoc" not in text
+        assert "fake" not in text
+
+    def test_extra_gauges_pass_same_filter(self):
+        text = render_prometheus(
+            {"counters": {}, "gauges": {}, "histograms": {}},
+            extra_gauges={"serve.server.queue_depth_now": 2.0,
+                          "sneaky.unregistered": 7.0})
+        assert "domino_serve_server_queue_depth_now 2" in text
+        assert "sneaky" not in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"counters": {}, "gauges": {},
+                                  "histograms": {}}) == ""
+
+
+class TestTenantLabels:
+    def test_tenant_metrics_collapse_into_one_family(self):
+        snapshot = {"counters": {"serve.tenant.alice.jobs_admitted": 2,
+                                 "serve.tenant.bob.jobs_admitted": 5},
+                    "gauges": {}, "histograms": {}}
+        text = render_prometheus(snapshot)
+        assert text.count("# TYPE domino_serve_tenant_jobs_admitted") == 1
+        assert ('domino_serve_tenant_jobs_admitted{tenant="alice"} 2'
+                in text)
+        assert ('domino_serve_tenant_jobs_admitted{tenant="bob"} 5'
+                in text)
+
+    def test_label_values_escaped(self):
+        snapshot = {"counters": {'serve.tenant.a"b.jobs_admitted': 1},
+                    "gauges": {}, "histograms": {}}
+        text = render_prometheus(snapshot)
+        assert 'tenant="a\\"b"' in text
+
+
+class TestHistograms:
+    def test_cumulative_buckets_sum_count(self):
+        registry = Registry()
+        h = registry.histogram("serve.server.job_wait_s", (0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE domino_serve_server_job_wait_s histogram" in text
+        assert 'domino_serve_server_job_wait_s_bucket{le="0.1"} 1' in text
+        assert 'domino_serve_server_job_wait_s_bucket{le="1"} 3' in text
+        assert 'domino_serve_server_job_wait_s_bucket{le="+Inf"} 4' in text
+        assert "domino_serve_server_job_wait_s_count 4" in text
+        assert "domino_serve_server_job_wait_s_sum" in text
+
+    def test_tenant_histograms_carry_both_labels(self):
+        registry = Registry()
+        registry.histogram("serve.tenant.alice.job_service_s", (1.0,)).observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert ('domino_serve_tenant_job_service_s_bucket'
+                '{tenant="alice",le="1"} 1') in text
+        assert 'domino_serve_tenant_job_service_s_count{tenant="alice"} 1' in text
+
+
+def test_output_is_deterministic():
+    snapshot = {"counters": {"serve.server.jobs_admitted": 1,
+                             "serve.server.jobs_shed": 2},
+                "gauges": {"serve.server.uptime_s": 3.5},
+                "histograms": {}}
+    assert render_prometheus(snapshot) == render_prometheus(snapshot)
+    lines = render_prometheus(snapshot).splitlines()
+    type_lines = [l for l in lines if l.startswith("# TYPE")]
+    assert type_lines == sorted(type_lines)

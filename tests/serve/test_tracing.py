@@ -1,0 +1,161 @@
+"""Concurrent serving under full tracing: isolation, spans, stats.
+
+PR 6 shipped the server with a caveat: telemetry was process-global,
+so ``--slots`` beyond one could interleave tenants' events.  These
+tests pin the retirement of that caveat — four slots, four tenants,
+tracing on, and every absorbed event/span attributable to exactly one
+tenant — plus the live stats plane (``status`` body and the Prometheus
+``metrics`` frame).
+"""
+
+import asyncio
+
+from repro import obs
+from repro.obs.names import METRIC_NAMES
+from repro.obs.trace import read_spans, validate_forest
+from repro.runner import ExecutionPolicy, run_cells
+from repro.serve import JobSpec, ServeClient
+
+from .conftest import TINY_SPEC, serving
+
+TENANTS = ("alice", "bob", "carol", "dave")
+
+
+def tenant_spec(i: int) -> dict:
+    """A spec distinguishable per tenant (different degree sweep)."""
+    return {**TINY_SPEC, "degrees": [i + 1]}
+
+
+async def _serve_four_concurrent(server):
+    """All four tenants submit at once; returns tenant -> JobResult."""
+    async def one(i, tenant):
+        async with await ServeClient.connect(server.address,
+                                             tenant) as client:
+            return tenant, await client.run_job(tenant_spec(i), f"r-{tenant}")
+
+    pairs = await asyncio.gather(*(one(i, t) for i, t in enumerate(TENANTS)))
+    return dict(pairs)
+
+
+class TestConcurrentTracingIsolation:
+    def test_four_slots_traced_no_cross_tenant_leakage(self):
+        obs.configure(level=obs.parse_level("debug"))
+        try:
+            async def scenario():
+                async with serving(slots=4) as server:
+                    return await _serve_four_concurrent(server)
+
+            results = asyncio.run(scenario())
+            assert all(r.status == "ok" for r in results.values())
+            job_owner = {r.job_id: tenant
+                         for tenant, r in results.items()}
+
+            state = obs.state()
+            events = state.trace.events()
+            # Every absorbed event that names a job names its owner's
+            # tenant — zero cross-tenant leakage.
+            tagged = [e for e in events if "job" in e and "tenant" in e]
+            assert tagged, "no tenant-tagged events absorbed"
+            for event in tagged:
+                assert job_owner[event["job"]] == event["tenant"], event
+            # Every tenant's work actually produced events.
+            assert {e["tenant"] for e in tagged} == set(TENANTS)
+
+            # The span forest is sound: one trace per connection, each
+            # tenant's cells under its own job span.
+            spans = state.spans.spans()
+            assert validate_forest(spans) == []
+            conn_spans = [s for s in spans if s["name"] == "serve.connection"]
+            assert len(conn_spans) == len(TENANTS)
+            assert len({s["trace"] for s in conn_spans}) == len(TENANTS)
+            by_id = {s["span"]: s for s in spans}
+
+            def owning_trace_tenant(record):
+                node = record
+                while node.get("parent") is not None:
+                    node = by_id[node["parent"]]
+                return node["attrs"]["tenant"]
+
+            for cell_span in (s for s in spans if s["name"] == "serve.cell"):
+                job = by_id[cell_span["parent"]]
+                assert job["name"] == "serve.job"
+                assert owning_trace_tenant(cell_span) \
+                    == job["attrs"]["tenant"]
+            # Worker-side spans were reparented into the tenants' traces.
+            cell_spans = [s for s in spans if s["name"] == "runner.cell"]
+            assert cell_spans
+            assert {owning_trace_tenant(s) for s in cell_spans} \
+                == set(TENANTS)
+        finally:
+            obs.disable()
+
+    def test_traced_results_bit_identical_to_untraced_batch(self):
+        obs.configure(level=obs.parse_level("info"))
+        try:
+            async def scenario():
+                async with serving(slots=4) as server:
+                    return await _serve_four_concurrent(server)
+
+            results = asyncio.run(scenario())
+        finally:
+            obs.disable()
+        policy = ExecutionPolicy(jobs=1, use_cache=False)
+        for i, tenant in enumerate(TENANTS):
+            cells, options = JobSpec.from_dict(tenant_spec(i)).compile()
+            batch_payloads, manifest = run_cells(cells, options, policy)
+            assert manifest.failed == 0
+            assert results[tenant].payloads == batch_payloads, tenant
+
+
+class TestStatsPlane:
+    def test_status_body_and_metrics_frame(self):
+        obs.configure(level=obs.parse_level("info"))
+        try:
+            async def scenario():
+                async with serving(slots=2) as server:
+                    client = await ServeClient.connect(server.address,
+                                                       "alice")
+                    await client.run_job(TINY_SPEC, "r1")
+                    stats = await client.status()
+                    metrics = await client.metrics()
+                    await client.close()
+                    return stats, metrics
+
+            stats, metrics = asyncio.run(scenario())
+        finally:
+            obs.disable()
+
+        assert stats["uptime_s"] >= 0
+        assert stats["in_flight_jobs"] == []
+        assert "alice" in stats["tenants"]
+        # Registry metrics ride along, registered names only.
+        for kind in ("counters", "gauges"):
+            for name in stats["metrics"][kind]:
+                assert name.rpartition(".")[2] in METRIC_NAMES, name
+        assert stats["metrics"]["counters"]["serve.server.jobs_admitted"] == 1
+
+        assert metrics["content_type"].startswith("text/plain")
+        text = metrics["text"]
+        assert "# TYPE domino_serve_server_jobs_admitted counter" in text
+        assert "domino_serve_server_uptime_s" in text
+        assert 'domino_serve_tenant_vtime{tenant="alice"}' in text
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert line.startswith("domino_"), line
+
+    def test_metrics_frame_works_untraced(self):
+        """The exposition degrades gracefully with telemetry off:
+        live scheduler gauges only, no registry families."""
+        async def scenario():
+            async with serving(slots=1) as server:
+                client = await ServeClient.connect(server.address, "alice")
+                metrics = await client.metrics()
+                await client.close()
+                return metrics
+
+        metrics = asyncio.run(scenario())
+        text = metrics["text"]
+        assert "domino_serve_server_queue_depth_now 0" in text
+        assert "domino_serve_server_in_flight_now 0" in text
+        assert "jobs_admitted" not in text
