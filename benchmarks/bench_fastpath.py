@@ -18,7 +18,11 @@ exists for: the filters are shared by every cell of the grid, by
 after the first grid they are always already on disk.
 
 Alongside the timing the harness re-checks the fastpath contract: the
-two passes must produce *identical* payload lists.  Results go to a
+two passes must produce *identical* payload lists.  A third probe
+attaches an uncancelled :class:`~repro.cancel.CancelToken` to a
+serial, cache-free pass and gates its checkpoint overhead (default
+<= 2%) and payload equivalence, so lifecycle instrumentation can
+never quietly tax or perturb the engine loop.  Results go to a
 JSON report (``BENCH_PR5.json``) and the exit status is non-zero if
 the speedup falls below ``--min-speedup`` or the equivalence check
 fails, so CI can gate on it.
@@ -39,6 +43,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.cancel import CancelToken
 from repro.config import SystemConfig
 from repro.experiments.common import ExperimentOptions
 from repro.experiments.fig11_degree1 import build_cells
@@ -95,6 +100,53 @@ def _run_pass(cells, options: ExperimentOptions, cache_dir: Path,
     return wall, payloads
 
 
+def _measure_cancel_overhead(options: ExperimentOptions,
+                             repeats: int = 2) -> dict:
+    """Wall-clock cost of cancellation checkpoints in the engine loop.
+
+    Cancel tokens are only consulted on the serial path (the pool
+    polls the token between results instead of shipping it), so the
+    probe is a serial, cache-free full simulation of one workload's
+    trace cells — the densest checkpoint exposure the runner has.
+    Each variant runs ``repeats`` times and keeps its best wall so a
+    single scheduler hiccup cannot fake a regression.
+    """
+    probe = ExperimentOptions(
+        n_accesses=options.n_accesses, seed=options.seed,
+        workloads=options.workloads[:1])
+    cells = [c for c in build_cells(probe, degree=1) if c.kind == "trace"]
+    policy = ExecutionPolicy(jobs=1, use_cache=False)
+
+    def best_of(make_token):
+        wall, payloads, token = float("inf"), None, None
+        for _ in range(repeats):
+            os.environ["DOMINO_FASTPATH"] = "0"
+            _reset_process_caches()
+            token = make_token()
+            started = time.perf_counter()
+            payloads, manifest = run_cells(cells, probe, policy, cancel=token)
+            wall = min(wall, time.perf_counter() - started)
+            if manifest.failed:
+                raise RuntimeError("cancel-overhead probe cell failed")
+        return wall, payloads, token
+
+    plain_s, plain_payloads, _ = best_of(lambda: None)
+    metered_s, metered_payloads, token = best_of(CancelToken)
+    expected = len(cells) * probe.n_accesses
+    if token.progress != expected:
+        raise RuntimeError(
+            f"metered pass published {token.progress} accesses, "
+            f"expected {expected}")
+    overhead_pct = (metered_s / plain_s - 1.0) * 100.0 if plain_s else 0.0
+    return {
+        "cells": len(cells),
+        "plain_s": round(plain_s, 4),
+        "metered_s": round(metered_s, 4),
+        "overhead_pct": round(overhead_pct, 4),
+        "equivalent": plain_payloads == metered_payloads,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workloads",
@@ -111,6 +163,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="JSON report path")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail below this off/on wall-clock ratio")
+    parser.add_argument("--max-cancel-overhead", type=float, default=2.0,
+                        help="fail if an uncancelled token slows the "
+                             "serial engine loop by more than this "
+                             "percentage")
     parser.add_argument("--cache-dir", default=None,
                         help="scratch root for the two passes "
                              "(default: a fresh temp dir)")
@@ -141,9 +197,16 @@ def main(argv: list[str] | None = None) -> int:
                                      args.jobs, fastpath=True)
     print(f"fastpath on:  {on_wall:.2f}s (warm filter store)")
 
+    cancel = _measure_cancel_overhead(options)
+    print(f"cancel checkpoints: plain {cancel['plain_s']:.2f}s, "
+          f"metered {cancel['metered_s']:.2f}s "
+          f"({cancel['overhead_pct']:+.2f}%)")
+
     equivalent = off_payloads == on_payloads
     speedup = off_wall / on_wall if on_wall else float("inf")
-    ok = equivalent and speedup >= args.min_speedup
+    cancel_ok = (cancel["equivalent"]
+                 and cancel["overhead_pct"] <= args.max_cancel_overhead)
+    ok = equivalent and speedup >= args.min_speedup and cancel_ok
 
     report = {
         "benchmark": "fastpath_fig11_grid",
@@ -159,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 4),
         "min_speedup": args.min_speedup,
         "equivalent": equivalent,
+        "cancel_overhead": cancel,
+        "max_cancel_overhead_pct": args.max_cancel_overhead,
         "pass": ok,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
@@ -168,6 +233,13 @@ def main(argv: list[str] | None = None) -> int:
     if not equivalent:
         print("FAIL: fastpath-on payloads differ from fastpath-off",
               file=sys.stderr)
+    elif not cancel["equivalent"]:
+        print("FAIL: metered payloads differ from unmetered",
+              file=sys.stderr)
+    elif cancel["overhead_pct"] > args.max_cancel_overhead:
+        print(f"FAIL: cancel-checkpoint overhead "
+              f"{cancel['overhead_pct']:.2f}% above "
+              f"{args.max_cancel_overhead:g}%", file=sys.stderr)
     elif not ok:
         print(f"FAIL: speedup {speedup:.2f}x below "
               f"{args.min_speedup:g}x", file=sys.stderr)

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Serve smoke: boot the experiment server for real and prove the
-# serving path end to end.  Four gates:
+# serving path end to end.  Six gates:
 #
 #   1. lifecycle    — server starts on a unix socket, serves a small
 #                     multi-tenant loadgen scenario with zero errors,
@@ -15,13 +15,19 @@
 #                     text grepping — the tables may change shape).
 #   5. store warm   — serving populated the artifact store (the batch
 #                     path would hit, not recompute).
+#   6. partition chaos — with one tenant fully partitioned at the write
+#                     boundary, its job is reaped (cancel-on-disconnect),
+#                     healthy tenants stay bit-identical to batch, and
+#                     the server drains with nothing orphaned in flight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 WORK=$(mktemp -d)
 SOCK="$WORK/serve.sock"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+SERVER_PID=""
+CHAOS_PID=""
+trap 'kill "$SERVER_PID" "$CHAOS_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 echo "== gate 1: server lifecycle under load =="
 python -m repro.cli serve --socket "$SOCK" --slots 4 \
@@ -145,5 +151,96 @@ assert stats.n_entries > 0, "serving left the store empty"
 assert stats.n_quarantined == 0, "serving quarantined artifacts"
 print(f"store holds {stats.n_entries} artifacts, none quarantined")
 EOF
+
+echo "== gate 6: partition chaos — victim reaped, healthy bit-identical =="
+CHAOS_SOCK="$WORK/chaos.sock"
+python -m repro.cli serve --socket "$CHAOS_SOCK" --slots 2 \
+  --cache-dir "$WORK/chaos-cache" --cancel-on-disconnect --cancel-check 1024 \
+  --inject-net-faults "partition:1.0,net_tenants:victim" \
+  > "$WORK/chaos.log" 2>&1 &
+CHAOS_PID=$!
+
+for _ in $(seq 100); do
+  [ -S "$CHAOS_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$CHAOS_SOCK" ] || { echo "chaos server never bound $CHAOS_SOCK"; cat "$WORK/chaos.log"; exit 1; }
+
+python - "$CHAOS_SOCK" <<'EOF'
+import asyncio, sys
+from repro.errors import ProtocolError
+from repro.runner import ExecutionPolicy, run_cells
+from repro.serve import JobSpec, ServeClient, protocol
+
+ADDR = f"unix:{sys.argv[1]}"
+HEALTHY_SPEC = {"workload": "oltp", "prefetcher": "domino", "kind": "trace",
+                "degrees": [1, 2], "n_accesses": 2000, "seed": 77}
+LONG_SPEC = {**HEALTHY_SPEC, "degrees": [1], "n_accesses": 200_000}
+
+async def victim():
+    # The partition fires after the accepted frame; every later read
+    # dies with the connection.
+    client = await ServeClient.connect(ADDR, "victim")
+    try:
+        await client.submit(LONG_SPEC, "v1")
+        accepted = await client.recv()
+        assert accepted["type"] == protocol.ACCEPTED, accepted
+        try:
+            while True:
+                await client.recv()
+        except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+    finally:
+        await client.close(polite=False)
+
+async def healthy(tenant, results):
+    for i in range(3):
+        async with await ServeClient.connect(ADDR, tenant) as client:
+            results[tenant].append(
+                await client.run_job(HEALTHY_SPEC, f"{tenant}-{i}"))
+
+async def drill():
+    results = {t: [] for t in ("t0", "t1")}
+    tasks = [asyncio.create_task(victim())]
+    tasks += [asyncio.create_task(healthy(t, results)) for t in results]
+    await asyncio.wait_for(asyncio.gather(*tasks), timeout=120)
+    # The watchdog reaps the partitioned job; wait for the server to
+    # report nothing left in flight.
+    async with await ServeClient.connect(ADDR, "probe") as client:
+        for _ in range(500):
+            stats = await client.status()
+            if stats["cancelled"] and not stats["in_flight"] \
+                    and not stats["queue_depth"]:
+                break
+            await asyncio.sleep(0.02)
+    return results, stats
+
+results, stats = asyncio.run(drill())
+
+assert stats["tenants"]["victim"]["cancelled"] == 1, stats["tenants"]
+assert stats["tenants"]["victim"]["completed"] == 0, stats["tenants"]
+assert stats["in_flight"] == 0 and stats["queue_depth"] == 0, \
+    "orphaned jobs left in flight after the partition"
+assert stats["in_flight_jobs"] == [], stats["in_flight_jobs"]
+
+cells, options = JobSpec.from_dict(HEALTHY_SPEC).compile()
+batch, manifest = run_cells(cells, options,
+                            ExecutionPolicy(jobs=1, use_cache=False))
+assert manifest.failed == 0
+for tenant, jobs in results.items():
+    assert [r.status for r in jobs] == ["ok"] * 3, (tenant, jobs)
+    for r in jobs:
+        assert r.payloads == batch, \
+            f"cross-tenant divergence: {tenant} payloads differ from batch"
+print(f"victim reaped, {sum(len(j) for j in results.values())} healthy "
+      "jobs bit-identical, nothing orphaned")
+EOF
+
+# The chaos server must still drain cleanly after the partition drill.
+kill -TERM "$CHAOS_PID"
+wait "$CHAOS_PID"
+grep -q "drained; bye" "$WORK/chaos.log" \
+  || { echo "chaos server failed to drain"; cat "$WORK/chaos.log"; exit 1; }
+echo "chaos server drained cleanly after the drill"
 
 echo "serve smoke: all gates passed"

@@ -92,6 +92,20 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
 def _options_from_args(args: argparse.Namespace) -> ExperimentOptions:
     options = ExperimentOptions.quick() if args.quick else ExperimentOptions()
     overrides = {}
@@ -393,9 +407,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .errors import ReproError
+    from .faults import FaultPlan, parse_fault_spec
     from .serve import AdmissionConfig, ExperimentServer, ServeConfig
 
     try:
+        faults = (parse_fault_spec(args.inject_net_faults)
+                  if args.inject_net_faults else None)
         config = ServeConfig(
             host=args.host, port=args.port, path=args.socket,
             slots=args.slots, retries=args.retries, timeout_s=args.timeout_s,
@@ -403,10 +420,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             admission=AdmissionConfig(
                 max_queued_total=args.max_queued,
                 max_queued_per_tenant=args.max_queued_per_tenant,
-                max_in_flight_per_tenant=args.max_in_flight),
+                max_in_flight_per_tenant=args.max_in_flight,
+                quota_accesses=args.quota_accesses,
+                quota_window_s=args.quota_window_s),
             weights=args.weights,
             max_cells_per_job=args.max_cells,
-            allow_remote_shutdown=not args.no_remote_shutdown)
+            allow_remote_shutdown=not args.no_remote_shutdown,
+            default_deadline_s=args.deadline_s,
+            cancel_on_disconnect=args.cancel_on_disconnect,
+            cancel_check_every=args.cancel_check,
+            faults=faults)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -416,12 +439,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def _serve() -> None:
         await server.start()
         loop = asyncio.get_running_loop()
+        drains = 0
+
+        def _on_signal() -> None:
+            # First signal drains gracefully; a second one cancels all
+            # in-flight jobs (terminal `cancelled`/server_shutdown
+            # frames) and exits as soon as the slots notice.
+            nonlocal drains
+            drains += 1
+            if drains == 1:
+                loop.create_task(server.request_shutdown())
+            else:
+                loop.create_task(server.shutdown_now())
+
         for sig in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError):
-                loop.add_signal_handler(
-                    sig, lambda: loop.create_task(server.request_shutdown()))
+                loop.add_signal_handler(sig, _on_signal)
         print(f"serving on {server.address} "
-              f"({config.slots} slots; ctrl-c drains)", flush=True)
+              f"({config.slots} slots; ctrl-c drains, twice cancels)",
+              flush=True)
         await server.serve_forever()
 
     try:
@@ -458,7 +494,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             address=args.address, tenants=args.tenants,
             jobs_per_tenant=args.jobs_per_tenant, rate_hz=args.rate,
             spec=spec, seed=args.seed if args.seed is not None else 1234,
-            faults=faults, job_timeout_s=args.job_timeout_s)
+            faults=faults, job_timeout_s=args.job_timeout_s,
+            cancel_p=args.cancel_p, cancel_after_s=args.cancel_after_s,
+            deadline_p=args.deadline_p, deadline_s=args.deadline_s)
         report = run_loadgen(config)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -600,6 +638,24 @@ def build_parser() -> argparse.ArgumentParser:
                                                  "weights (default: equal)")
     serve_p.add_argument("--max-cells", type=_positive_int, default=16,
                          metavar="N", help="largest job (in cells) accepted")
+    serve_p.add_argument("--deadline-s", type=_positive_float, default=None,
+                         metavar="S", help="default per-job deadline applied "
+                         "to submits that carry none")
+    serve_p.add_argument("--cancel-on-disconnect", action="store_true",
+                         help="cancel a tenant's jobs when its submitting "
+                         "connection drops (submits may override)")
+    serve_p.add_argument("--cancel-check", type=_positive_int, default=4096,
+                         metavar="N", help="engine checks its cancel token "
+                         "every N simulated accesses")
+    serve_p.add_argument("--quota-accesses", type=_nonnegative_int, default=0,
+                         metavar="N", help="per-tenant quota in simulated "
+                         "accesses per window (0 disables)")
+    serve_p.add_argument("--quota-window-s", type=_positive_float,
+                         default=60.0, metavar="S",
+                         help="quota refill window in seconds")
+    serve_p.add_argument("--inject-net-faults", default=None, metavar="SPEC",
+                         help="seeded network chaos at the server's write "
+                         "boundary, e.g. 'partition:0.5,net_tenants:t0'")
     serve_p.add_argument("--no-remote-shutdown", action="store_true",
                          help="ignore client shutdown requests")
     serve_p.add_argument("--trace-events", default=None, metavar="PATH",
@@ -633,6 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="comma-separated degrees per job (default 1)")
     loadgen_p.add_argument("--job-timeout-s", type=_positive_float,
                            default=120.0, metavar="S")
+    loadgen_p.add_argument("--cancel-p", type=_fraction, default=0.0,
+                           metavar="P", help="fraction of accepted jobs the "
+                           "client cancels mid-stream")
+    loadgen_p.add_argument("--cancel-after-s", type=_nonnegative_float,
+                           default=0.05, metavar="S",
+                           help="delay before the cancel frame goes out")
+    loadgen_p.add_argument("--deadline-p", type=_fraction, default=0.0,
+                           metavar="P", help="fraction of jobs submitted "
+                           "with a server-side deadline")
+    loadgen_p.add_argument("--deadline-s", type=_positive_float, default=0.05,
+                           metavar="S", help="deadline attached to those jobs")
     loadgen_p.add_argument("--inject-faults", default=None, metavar="SPEC",
                            help=argparse.SUPPRESS)  # chaos clients; repro.faults
     loadgen_p.add_argument("--out", default=None, metavar="PATH",

@@ -60,6 +60,24 @@ class CheckpointError(RunnerError):
     """A checkpoint journal is missing, unreadable, or inconsistent."""
 
 
+class JobCancelled(ReproError):
+    """A job was cooperatively cancelled mid-run.
+
+    Raised from a :class:`repro.cancel.CancelToken` checkpoint inside
+    the simulation engine (or the runner's retry loop) when a cancel
+    frame, deadline, quota, or shutdown asked the job to stop.  Not a
+    failure: carries the structured ``reason`` and the ``progress``
+    (simulated accesses completed) at the moment work stopped, so the
+    serve tier can bill only the work actually done.
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled",
+                 progress: int = 0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.progress = progress
+
+
 class ObsError(ReproError):
     """The telemetry layer was used incorrectly (unregistered span name,
     malformed span record, or an export over an inconsistent trace)."""

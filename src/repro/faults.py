@@ -53,9 +53,39 @@ property under test is that the server contains it:
 Serve rolls are keyed by ``(tenant, job index)`` instead of
 ``(cell key, attempt)`` — same :func:`stable_fraction` determinism.
 
+Four **network fault modes** are applied by the *server* at its
+read/write boundary (a plan handed to
+:class:`~repro.serve.server.ServeConfig`), modelling the transport
+failing underneath an otherwise well-behaved client.  Each connection's
+fate is rolled once, per ``(tenant, connection index)``, in the fixed
+order ``reset > partition > blackhole > slow_write`` so overlapping
+probabilities stay deterministic:
+
+``reset``
+    The server closes the transport before its second write — the
+    client sees the welcome, then EOF mid-handshake-response.
+``partition``
+    The transport delivers up to ``net_after_writes`` frames (welcome +
+    accepted by default), then the connection drops — the classic
+    network partition after a job is underway; exercises
+    cancel-on-disconnect and watchdog cleanup.
+``blackhole``
+    After ``net_after_writes`` frames, writes silently vanish: the
+    connection never errors, the client never hears back — only
+    deadlines/quotas can reap the work.
+``slow_write``
+    Every server write stalls ``slow_write_s`` first — a congested,
+    lossy-but-alive path; exercises per-connection write isolation
+    from the server side.
+
+``net_tenants`` narrows net faults to named tenants, which is how the
+partition chaos test makes one tenant the victim while proving the
+others unaffected.
+
 Specs are parsed from the hidden ``--inject-faults`` CLI flag, e.g.
 ``crash:0.3``, ``crash@2,hang:0.1,seed:7``, ``hang:1,hang_s:5``,
-``slow_client:0.2,disconnect:0.1,malformed:0.1``.
+``slow_client:0.2,disconnect:0.1,malformed:0.1``,
+``partition:1,net_tenants:t0``.
 """
 
 from __future__ import annotations
@@ -118,11 +148,26 @@ class FaultPlan:
     malformed_p: float = 0.0
     #: How long a slow client stalls before draining replies.
     slow_client_s: float = 0.5
+    #: Network faults, rolled once per (tenant, connection index) and
+    #: applied by the server at its read/write boundary (see module
+    #: docstring for the fixed precedence order).
+    reset_p: float = 0.0
+    partition_p: float = 0.0
+    blackhole_p: float = 0.0
+    slow_write_p: float = 0.0
+    #: Frames delivered before a partition/blackhole takes effect
+    #: (2 = welcome + accepted: the job is underway when the net dies).
+    net_after_writes: int = 2
+    #: Per-write stall of a slow_write connection.
+    slow_write_s: float = 0.05
+    #: Restrict net faults to these tenants ("" = all tenants).
+    net_tenants: tuple[str, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in ("crash_p", "hang_p", "exit_p", "corrupt_p",
-                     "slow_client_p", "disconnect_p", "malformed_p"):
+                     "slow_client_p", "disconnect_p", "malformed_p",
+                     "reset_p", "partition_p", "blackhole_p", "slow_write_p"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"fault probability {name}={p!r} not in [0, 1]")
@@ -132,6 +177,10 @@ class FaultPlan:
             raise ConfigError("hang_s must be >= 0")
         if self.slow_client_s < 0:
             raise ConfigError("slow_client_s must be >= 0")
+        if self.net_after_writes < 1:
+            raise ConfigError("net_after_writes must be >= 1")
+        if self.slow_write_s < 0:
+            raise ConfigError("slow_write_s must be >= 0")
 
     # -- decisions ------------------------------------------------------
     @property
@@ -172,6 +221,27 @@ class FaultPlan:
     def should_malform(self, tenant: str, job_index: int) -> bool:
         return self._roll("malformed", tenant, job_index, self.malformed_p)
 
+    # -- server-side network faults (rolled per tenant connection) ------
+    @property
+    def net_active(self) -> bool:
+        return bool(self.reset_p or self.partition_p or self.blackhole_p
+                    or self.slow_write_p)
+
+    def net_fate(self, tenant: str, conn_index: int) -> str:
+        """This connection's network fate: one of ``"reset"``,
+        ``"partition"``, ``"blackhole"``, ``"slow_write"``, or ``""``
+        (healthy).  Rolled once, in fixed precedence order, so a plan
+        with several probabilities set stays deterministic."""
+        if self.net_tenants and tenant not in self.net_tenants:
+            return ""
+        for mode, p in (("reset", self.reset_p),
+                        ("partition", self.partition_p),
+                        ("blackhole", self.blackhole_p),
+                        ("slow_write", self.slow_write_p)):
+            if self._roll(mode, tenant, conn_index, p):
+                return mode
+        return ""
+
     # -- application ----------------------------------------------------
     def apply(self, key: str, attempt: int) -> None:
         """Inject the planned execution faults for one cell attempt.
@@ -211,7 +281,9 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 
     Grammar: comma-separated tokens, each one of
     ``crash:P | crash@N | hang:P | exit:P | corrupt:P | seed:N | hang_s:S
-    | slow_client:P | disconnect:P | malformed:P | slow_client_s:S``.
+    | slow_client:P | disconnect:P | malformed:P | slow_client_s:S
+    | reset:P | partition:P | blackhole:P | slow_write:P | slow_write_s:S
+    | net_after_writes:N | net_tenants:T+U+...``.
     """
     plan = FaultPlan()
     for token in spec.split(","):
@@ -237,16 +309,28 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         try:
             if mode == "seed":
                 plan = replace(plan, seed=int(value))
-            elif mode in ("hang_s", "slow_client_s"):
+            elif mode == "net_after_writes":
+                plan = replace(plan, net_after_writes=int(value))
+            elif mode == "net_tenants":
+                tenants = tuple(t for t in value.split("+") if t)
+                if not tenants:
+                    raise ConfigError(
+                        f"fault token {token!r}: expected tenant names "
+                        "joined by '+'")
+                plan = replace(plan, net_tenants=tenants)
+            elif mode in ("hang_s", "slow_client_s", "slow_write_s"):
                 plan = replace(plan, **{mode: float(value)})
             elif mode in ("crash", "hang", "exit", "corrupt",
-                          "slow_client", "disconnect", "malformed"):
+                          "slow_client", "disconnect", "malformed",
+                          "reset", "partition", "blackhole", "slow_write"):
                 plan = replace(plan, **{f"{mode}_p": float(value)})
             else:
                 raise ConfigError(
                     f"unknown fault mode {mode!r}; "
                     "known: crash, hang, exit, corrupt, slow_client, "
-                    "disconnect, malformed, seed, hang_s, slow_client_s")
+                    "disconnect, malformed, reset, partition, blackhole, "
+                    "slow_write, seed, hang_s, slow_client_s, slow_write_s, "
+                    "net_after_writes, net_tenants")
         except ValueError:
             raise ConfigError(
                 f"fault token {token!r}: value {value!r} is not a number") from None

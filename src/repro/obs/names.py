@@ -72,6 +72,8 @@ EVT_JOB_SHED = "job_shed"                  # admission refused (retry-after sent
 EVT_JOB_STARTED = "job_started"            # worker slot picked the job up
 EVT_JOB_COMPLETED = "job_completed"        # all cells served back
 EVT_JOB_FAILED = "job_failed"              # a cell failed after retries
+EVT_JOB_CANCELLED = "job_cancelled"        # terminal cancel/deadline/quota/shutdown
+EVT_NET_FAULT = "net_fault_injected"       # chaos harness hit the read/write boundary
 
 # -- cli.run events ---------------------------------------------------------
 EVT_EXPERIMENT_START = "experiment_start"
@@ -116,10 +118,16 @@ MET_JOBS_ADMITTED = "jobs_admitted"
 MET_JOBS_SHED = "jobs_shed"
 MET_JOBS_COMPLETED = "jobs_completed"
 MET_JOBS_FAILED = "jobs_failed"
+MET_JOBS_CANCELLED = "jobs_cancelled"      # client cancel / disconnect / shutdown
+MET_JOBS_DEADLINE_EXCEEDED = "jobs_deadline_exceeded"
+MET_JOBS_QUOTA_EXHAUSTED = "jobs_quota_exhausted"  # sheds + mid-run quota cancels
 MET_REQUESTS_MALFORMED = "requests_malformed"
+MET_NET_FAULTS = "net_faults_injected"     # chaos write/read boundary hits
+MET_ACCESSES_CHARGED = "accesses_charged"  # simulated accesses billed to quotas
 MET_QUEUE_DEPTH = "queue_depth"            # histogram, sampled per admission decision
 MET_JOB_WAIT_S = "job_wait_s"              # histogram, admission -> worker pickup
 MET_JOB_SERVICE_S = "job_service_s"        # histogram, worker pickup -> served
+MET_CANCEL_LATENCY_S = "cancel_latency_s"  # histogram, cancel request -> work stopped
 
 # -- serve live stats plane (gauges synthesised per stats/metrics frame) ----
 MET_QUEUE_DEPTH_NOW = "queue_depth_now"    # gauge, point-in-time queued jobs
@@ -140,6 +148,7 @@ SPAN_FASTPATH_BUILD = "fastpath.build"     # one L1 filter build
 SPAN_CONNECTION = "serve.connection"       # one client connection lifetime
 SPAN_JOB = "serve.job"                     # one admitted job, pickup -> done
 SPAN_SERVE_CELL = "serve.cell"             # one served cell inside a job
+SPAN_WATCHDOG = "serve.watchdog"           # one job's lifecycle watchdog
 
 
 def _collect(prefix: str) -> frozenset[str]:

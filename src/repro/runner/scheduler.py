@@ -42,9 +42,11 @@ from typing import Any
 
 from .. import obs
 from ..backoff import backoff_delay
+from ..cancel import CancelToken, cancel_scope
 from ..obs import names as obs_names
 from ..obs.trace import current_span, span
-from ..errors import CellFailedError, CheckpointError, RunnerTimeoutError
+from ..errors import (CellFailedError, CheckpointError, JobCancelled,
+                      RunnerTimeoutError)
 from ..faults import FaultPlan, corrupt_artifact
 from .cells import Cell, cell_key
 from .checkpoint import CheckpointJournal
@@ -259,28 +261,41 @@ def _persist(key: str, payload: dict[str, Any], status: str,
 def _run_serial(pending: list[tuple[int, str, Cell]], options: Any,
                 results: list[dict[str, Any] | None], store: ResultStore | None,
                 manifest: RunManifest, policy: ExecutionPolicy,
-                journal: CheckpointJournal | None) -> None:
+                journal: CheckpointJournal | None,
+                cancel: CancelToken | None = None) -> None:
     obs_config = obs.current_config()
     fastpath_root = str(store.base) if store is not None else None
     for index, key, cell in pending:
         attempt = 0
         while True:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             started = time.monotonic()
             try:
-                _, _, payload, telemetry = execute_timed(
-                    (index, key, cell, options, obs_config,
-                     policy.faults, attempt, fastpath_root))
+                # The scope makes the token visible to the engine's
+                # checkpoint inside this thread's call stack.
+                with cancel_scope(cancel):
+                    _, _, payload, telemetry = execute_timed(
+                        (index, key, cell, options, obs_config,
+                         policy.faults, attempt, fastpath_root))
                 elapsed = time.monotonic() - started
                 if (policy.timeout_s is not None
                         and elapsed > policy.timeout_s):
                     raise RunnerTimeoutError(
                         f"cell {cell.label} took {elapsed:.3f}s "
                         f"(budget {policy.timeout_s:g}s)")
+            except JobCancelled:
+                # Cancellation is a run-level verdict, not a cell
+                # failure: never retried, never degraded by keep_going.
+                raise
             except Exception as exc:
                 action, delay = _attempt_failed(exc, key, cell.label,
                                                 attempt, policy)
                 if action == "retry":
-                    time.sleep(delay)
+                    if cancel is None:
+                        time.sleep(delay)
+                    elif cancel.wait(delay):
+                        cancel.raise_if_cancelled()
                     attempt += 1
                     continue
                 outcome = _Outcome(index=index, key=key, label=cell.label,
@@ -335,13 +350,19 @@ def _make_pool(processes: int) -> multiprocessing.pool.Pool | None:
 def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
               results: list[dict[str, Any] | None], store: ResultStore | None,
               manifest: RunManifest, policy: ExecutionPolicy,
-              journal: CheckpointJournal | None) -> bool:
+              journal: CheckpointJournal | None,
+              cancel: CancelToken | None = None) -> bool:
     """Fan pending cells across a worker pool with async collection.
 
     Returns False if no pool could be created (caller falls back to
     serial execution).  On any error — including KeyboardInterrupt —
     the pool is ``terminate()``d, never ``close()``+``join()``ed, so a
     still-running or hung worker cannot wedge the shutdown.
+
+    A :class:`~repro.cancel.CancelToken` is never shipped to workers
+    (it is not picklable); instead the collection loop polls it each
+    iteration, so a cancel lands within one poll interval and tears the
+    whole pool down — already-persisted payloads stay in the store.
     """
     obs_config = obs.current_config()
     fastpath_root = str(store.base) if store is not None else None
@@ -381,6 +402,10 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
 
     try:
         while collect_pos < len(pending):
+            if cancel is not None:
+                # Raises JobCancelled; the except-BaseException arm
+                # below terminates the pool on the way out.
+                cancel.raise_if_cancelled()
             now = time.monotonic()
             # -- dispatch: fill free worker slots with eligible attempts
             eligible = sorted((q for q in queued if q.eligible_at <= now),
@@ -480,6 +505,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
 
 def run_cells(cells: Sequence[Cell], options: Any,
               policy: ExecutionPolicy | None = None,
+              cancel: CancelToken | None = None,
               ) -> tuple[list[dict[str, Any] | None], RunManifest]:
     """Execute ``cells`` under ``policy`` (default: the global policy).
 
@@ -491,6 +517,13 @@ def run_cells(cells: Sequence[Cell], options: Any,
     see :func:`repro.runner.cells.cell_key` for what enters the cache
     key.
 
+    ``cancel`` attaches a :class:`~repro.cancel.CancelToken`: the
+    engine checkpoints it every ``check_every`` simulated accesses (and
+    publishes progress through it), and a cancel/deadline surfaces as
+    :class:`~repro.errors.JobCancelled` from this call — regardless of
+    ``keep_going``, because a cancelled run's remaining cells must not
+    execute.  Cells persisted before the cancel stay in the store.
+
     When tracing is on, the whole call is one ``runner.run`` span and
     every executed cell hangs a ``runner.cell`` subtree off it —
     including cells that ran in pool workers, whose spans are shipped
@@ -498,10 +531,11 @@ def run_cells(cells: Sequence[Cell], options: Any,
     """
     policy = policy if policy is not None else _POLICY
     with span(obs_names.SPAN_RUN_CELLS, cells=len(cells), jobs=policy.jobs):
-        return _run_cells(cells, options, policy)
+        return _run_cells(cells, options, policy, cancel)
 
 
 def _run_cells(cells: Sequence[Cell], options: Any, policy: ExecutionPolicy,
+               cancel: CancelToken | None = None,
                ) -> tuple[list[dict[str, Any] | None], RunManifest]:
     store = ResultStore(policy.cache_dir) if policy.use_cache else None
     journal: CheckpointJournal | None = None
@@ -546,15 +580,15 @@ def _run_cells(cells: Sequence[Cell], options: Any, policy: ExecutionPolicy,
         if pending:
             if policy.jobs > 1 and len(pending) > 1:
                 if _run_pool(pending, options, results, store, manifest,
-                             policy, journal):
+                             policy, journal, cancel):
                     manifest.mode = "pool"
                 else:
                     _run_serial(pending, options, results, store, manifest,
-                                policy, journal)
+                                policy, journal, cancel)
                     manifest.mode = "serial-fallback"
             else:
                 _run_serial(pending, options, results, store, manifest,
-                            policy, journal)
+                            policy, journal, cancel)
     finally:
         if journal is not None:
             journal.close()

@@ -29,14 +29,20 @@ incrementally over the wire:
   Jain fairness index), so overload behaviour is itself a measured,
   regression-gated scenario (``benchmarks/bench_serve.py``).
 
-See ``docs/SERVING.md`` for the wire protocol and the fairness and
-admission semantics.
+Jobs have a full lifecycle: clients can cancel them mid-run
+(``cancel`` frames), attach per-job deadlines, poll progress
+(``job_status``), and opt into cancel-on-disconnect; tenants can be
+metered by simulated-access quotas; and the server's read/write
+boundary can be wrapped in seeded network chaos
+(:mod:`repro.faults`).  See ``docs/SERVING.md`` for the wire protocol,
+the job-lifecycle state machine, and the fairness and admission
+semantics, and ``docs/ROBUSTNESS.md`` for the partition-chaos drills.
 """
 
-from .protocol import PROTO_VERSION, JobSpec
+from .protocol import PROTO_VERSION, TERMINAL_STATUSES, JobSpec
 from .scheduler import Admission, AdmissionConfig, FairScheduler, Job
 from .server import ExperimentServer, ServeConfig
-from .client import ServeClient
+from .client import JobResult, ServeClient, parse_address
 from .loadgen import LoadGenConfig, jain_index, run_loadgen
 
 __all__ = [
@@ -45,11 +51,14 @@ __all__ = [
     "ExperimentServer",
     "FairScheduler",
     "Job",
+    "JobResult",
     "JobSpec",
     "LoadGenConfig",
     "PROTO_VERSION",
     "ServeClient",
     "ServeConfig",
+    "TERMINAL_STATUSES",
     "jain_index",
+    "parse_address",
     "run_loadgen",
 ]

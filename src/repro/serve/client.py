@@ -59,20 +59,42 @@ class JobResult:
 
 
 def parse_address(address: str) -> tuple[str | None, str, int]:
-    """``unix:<path>`` or ``host:port`` -> (unix_path, host, port)."""
+    """``unix:<path>``, ``host:port``, or ``[v6]:port`` -> (unix_path, host, port).
+
+    IPv6 literals must be bracketed (``[::1]:9000``) — a bare ``::1:9000``
+    is ambiguous, since every colon is a candidate separator.  The port
+    is required and must be a decimal number in ``1..65535``.
+    """
     if address.startswith("unix:"):
         path = address[len("unix:"):]
         if not path:
             raise ProtocolError("empty unix socket path")
         return path, "", 0
-    host, sep, port_text = address.rpartition(":")
-    if not sep or not host:
-        raise ProtocolError(
-            f"address {address!r} is neither unix:<path> nor host:port")
-    try:
-        port = int(port_text)
-    except ValueError as exc:
-        raise ProtocolError(f"bad port in address {address!r}") from exc
+    if address.startswith("["):
+        end = address.find("]")
+        if end < 0:
+            raise ProtocolError(
+                f"unterminated IPv6 literal in address {address!r}")
+        host = address[1:end]
+        rest = address[end + 1:]
+        if not host or not rest.startswith(":"):
+            raise ProtocolError(
+                f"address {address!r} is not of the form [host]:port")
+        port_text = rest[1:]
+    else:
+        host, sep, port_text = address.rpartition(":")
+        if not sep or not host:
+            raise ProtocolError(
+                f"address {address!r} is neither unix:<path> nor host:port")
+        if ":" in host:
+            raise ProtocolError(
+                f"IPv6 literal in address {address!r} must be bracketed, "
+                f"e.g. [::1]:9000")
+    if not port_text.isdigit():
+        raise ProtocolError(f"bad port in address {address!r}")
+    port = int(port_text)
+    if not 0 < port < 65536:
+        raise ProtocolError(f"port out of range in address {address!r}")
     return None, host, port
 
 
@@ -125,9 +147,12 @@ class ServeClient:
 
     # -- high-level calls -----------------------------------------------
     async def submit(self, spec: protocol.JobSpec | dict[str, Any],
-                     request_id: str) -> None:
+                     request_id: str, deadline_s: float | None = None,
+                     cancel_on_disconnect: bool | None = None) -> None:
         """Send one submit frame (pair with :meth:`collect`)."""
-        await self.send(protocol.submit(request_id, spec))
+        await self.send(protocol.submit(
+            request_id, spec, deadline_s=deadline_s,
+            cancel_on_disconnect=cancel_on_disconnect))
 
     async def run_job(self, spec: protocol.JobSpec | dict[str, Any],
                       request_id: str) -> JobResult:
@@ -166,15 +191,50 @@ class ServeClient:
                     payload=frame.get("payload")))
             elif kind == protocol.DONE:
                 result.status = str(frame.get("status", ""))
+                result.reason = str(frame.get("reason", ""))
                 result.wait_s = float(frame.get("wait_s", 0.0))
                 result.service_s = float(frame.get("service_s", 0.0))
                 return result
+            elif kind == protocol.CANCELLING:
+                # Ack of a cancel sent mid-stream; the terminal state
+                # still arrives as a done frame.
+                result.reason = str(frame.get("reason", ""))
+            elif kind == protocol.JOB_STATUS:
+                # Interleaved poll reply (a cancel-minded caller may
+                # check progress mid-stream); not a terminal frame.
+                continue
             elif kind == protocol.ERROR:
                 result.status = "error"
                 result.reason = str(frame.get("error", ""))
                 return result
             else:
                 raise ProtocolError(f"unexpected stream frame {kind!r}")
+
+    async def cancel(self, job_id: str,
+                     request_id: str | None = None) -> None:
+        """Request cancellation of an in-flight job (fire-and-forget).
+
+        The ``cancelling`` ack and the terminal ``done`` frame arrive
+        on the job's reply stream; :meth:`stream` tolerates both.
+        """
+        await self.send(protocol.cancel(job_id, request_id))
+
+    async def job_status(self, job_id: str) -> dict[str, Any]:
+        """Poll one job's lifecycle state and progress.
+
+        Only valid when no job stream is being drained on this
+        connection — poll from a second connection (same tenant)
+        while a submit streams on the first.
+        """
+        await self.send(protocol.job_status_request(job_id))
+        reply = await self.recv()
+        if reply["type"] == protocol.ERROR:
+            raise ProtocolError(
+                f"job_status refused: {reply.get('error', '')}")
+        if reply["type"] != protocol.JOB_STATUS:
+            raise ProtocolError(
+                f"unexpected job_status reply {reply['type']!r}")
+        return reply
 
     async def status(self) -> dict[str, Any]:
         """The server's scheduler/stats snapshot."""

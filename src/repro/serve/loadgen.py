@@ -24,15 +24,16 @@ serve-smoke job, which gate on it.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import ProtocolError
-from ..faults import FaultPlan
+from ..faults import FaultPlan, stable_fraction
 from . import protocol
-from .client import ServeClient
+from .client import JobResult, ServeClient
 
 #: Default job: the smallest spec admission allows — service time is
 #: dominated by a real (tiny) simulation, not by protocol overhead.
@@ -83,12 +84,35 @@ class LoadGenConfig:
     faults: FaultPlan = field(default_factory=FaultPlan)
     #: Client-side guard: a job stuck longer than this counts as error.
     job_timeout_s: float = 120.0
+    #: Fraction of accepted jobs the client cancels mid-stream
+    #: (seed-deterministic pick, like the fault rolls).
+    cancel_p: float = 0.0
+    #: How long a cancelling client lets the job run before the cancel
+    #: frame goes out.
+    cancel_after_s: float = 0.05
+    #: Fraction of jobs submitted with a server-side deadline attached.
+    deadline_p: float = 0.0
+    deadline_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.tenants < 1 or self.jobs_per_tenant < 1:
             raise ProtocolError("loadgen needs >= 1 tenant and >= 1 job each")
         if self.rate_hz <= 0:
             raise ProtocolError("loadgen rate_hz must be > 0")
+        for name in ("cancel_p", "deadline_p"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ProtocolError(f"loadgen {name} must be in [0, 1]")
+        if self.cancel_after_s < 0 or self.deadline_s <= 0:
+            raise ProtocolError(
+                "loadgen cancel_after_s must be >= 0 and deadline_s > 0")
+
+    def should_cancel(self, tenant: str, job_index: int) -> bool:
+        return stable_fraction("loadgen-cancel", self.seed, tenant,
+                               job_index) < self.cancel_p
+
+    def should_deadline(self, tenant: str, job_index: int) -> bool:
+        return stable_fraction("loadgen-deadline", self.seed, tenant,
+                               job_index) < self.deadline_p
 
     def tenant_names(self) -> list[str]:
         return [f"{self.tenant_prefix}{i}" for i in range(self.tenants)]
@@ -134,12 +158,20 @@ async def _one_job(config: LoadGenConfig, tenant: str, tenant_index: int,
                                 else "shed")
             await client.close(polite=False)
             return
+        deadline_s = (config.deadline_s
+                      if config.should_deadline(tenant, job_index) else None)
+        if deadline_s is not None:
+            record["deadline_sent"] = True
         await client.submit(config.job_spec(tenant_index, job_index),
-                            request_id)
+                            request_id, deadline_s=deadline_s)
         if faults.should_slow_client(tenant, job_index):
             record["slow"] = True
             await asyncio.sleep(faults.slow_client_s)
-        result = await client.collect(request_id)
+        if config.should_cancel(tenant, job_index):
+            result = await _collect_with_cancel(client, config, record,
+                                                request_id)
+        else:
+            result = await client.collect(request_id)
         record["status"] = result.status
         record["reason"] = result.reason
         record["retry_after_s"] = result.retry_after_s
@@ -148,6 +180,38 @@ async def _one_job(config: LoadGenConfig, tenant: str, tenant_index: int,
         record["reason"] = str(exc)
     finally:
         await client.close()
+
+
+async def _collect_with_cancel(client: ServeClient, config: LoadGenConfig,
+                               record: dict[str, Any],
+                               request_id: str) -> JobResult:
+    """Drain an accepted job while a sibling task cancels it mid-stream."""
+    reply = await client.recv()
+    kind = reply["type"]
+    if kind == protocol.SHED:
+        return JobResult(request_id=request_id, accepted=False, status="shed",
+                         reason=str(reply.get("reason", "")),
+                         retry_after_s=float(reply.get("retry_after_s", 0.0)))
+    if kind != protocol.ACCEPTED:
+        return JobResult(request_id=request_id, accepted=False, status="error",
+                         reason=str(reply.get("error",
+                                              f"unexpected reply {kind!r}")))
+    record["cancel_sent"] = True
+    job_id = str(reply.get("job", ""))
+
+    async def _cancel_later() -> None:
+        await asyncio.sleep(config.cancel_after_s)
+        with contextlib.suppress(ProtocolError, OSError):
+            await client.cancel(job_id)
+
+    canceller = asyncio.create_task(_cancel_later(),
+                                    name=f"loadgen-cancel-{job_id}")
+    try:
+        return await client.stream(request_id, job_id)
+    finally:
+        canceller.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await canceller
 
 
 async def _tenant_source(config: LoadGenConfig, tenant_index: int,
@@ -221,6 +285,9 @@ def _report(config: LoadGenConfig, records: list[dict[str, Any]],
         "completed": len(completed),
         "shed": shed,
         "failed": by_status.get("failed", 0),
+        "cancelled": by_status.get(protocol.STATUS_CANCELLED, 0),
+        "deadline_exceeded": by_status.get(protocol.STATUS_DEADLINE, 0),
+        "quota_exhausted": by_status.get(protocol.STATUS_QUOTA, 0),
         "errors": by_status.get("error", 0) + timeouts,
         "throughput_jobs_per_s": (round(len(completed) / wall_s, 4)
                                   if wall_s > 0 else 0.0),

@@ -10,12 +10,19 @@ connection (one malformed request must not kill a tenant's healthy
 jobs).
 
 Client -> server: ``hello`` (handshake: tenant + protocol version),
-``submit`` (a :class:`JobSpec`), ``status``, ``metrics`` (Prometheus
-text exposition of the server's live registry), ``bye``, ``shutdown``
-(drain and exit — admin).  Server -> client: ``welcome``, ``accepted``
-/ ``shed`` (admission decision; a shed carries ``retry_after_s``),
-``cell`` (one streamed cell payload), ``done`` (job complete),
-``stats``, ``metrics``, ``error``, ``stopping``.
+``submit`` (a :class:`JobSpec`, optionally with a ``deadline_s`` and a
+``cancel_on_disconnect`` policy), ``cancel`` (stop a submitted job),
+``job_status`` (poll one job's live progress), ``status``, ``metrics``
+(Prometheus text exposition of the server's live registry), ``bye``,
+``shutdown`` (drain and exit — admin).  Server -> client: ``welcome``,
+``accepted`` / ``shed`` (admission decision; a shed carries
+``retry_after_s``), ``cancelling`` (cancel acknowledged; the terminal
+verdict still arrives as ``done``), ``job_status`` (progress reply:
+accesses simulated / cells done), ``cell`` (one streamed cell
+payload), ``done`` (job complete — terminal ``status`` is one of
+:data:`TERMINAL_STATUSES`, with a structured ``reason`` when the job
+did not run to completion), ``stats``, ``metrics``, ``error``,
+``stopping``.
 
 A :class:`JobSpec` is the service-tier twin of one batch CLI
 invocation: it validates against the same workload/prefetcher
@@ -55,6 +62,9 @@ WELCOME = "welcome"
 SUBMIT = "submit"
 ACCEPTED = "accepted"
 SHED = "shed"
+CANCEL = "cancel"
+CANCELLING = "cancelling"
+JOB_STATUS = "job_status"
 CELL = "cell"
 DONE = "done"
 STATUS = "status"
@@ -66,7 +76,29 @@ SHUTDOWN = "shutdown"
 STOPPING = "stopping"
 
 #: Types a client may send (anything else is a protocol error).
-CLIENT_TYPES = frozenset({HELLO, SUBMIT, STATUS, METRICS, BYE, SHUTDOWN})
+CLIENT_TYPES = frozenset({HELLO, SUBMIT, CANCEL, JOB_STATUS, STATUS,
+                          METRICS, BYE, SHUTDOWN})
+
+# -- job lifecycle ----------------------------------------------------------
+# queued -> running -> {ok, failed, cancelled, deadline_exceeded,
+# quota_exhausted}; see docs/SERVING.md for the full state machine.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_CANCELLED = "cancelled"
+STATUS_DEADLINE = "deadline_exceeded"
+STATUS_QUOTA = "quota_exhausted"
+
+#: Every status a ``done`` frame may carry.
+TERMINAL_STATUSES = frozenset({STATUS_OK, STATUS_FAILED, STATUS_CANCELLED,
+                               STATUS_DEADLINE, STATUS_QUOTA})
+
+#: Structured reasons a cancellation can carry (``done.reason`` /
+#: ``cancelling.reason``).
+REASON_CLIENT_CANCEL = "client_cancel"
+REASON_DISCONNECTED = "disconnected"
+REASON_SERVER_SHUTDOWN = "server_shutdown"
 
 #: Tenant names are path/metric-safe tokens.
 _TENANT_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]{0,63}$")
@@ -252,6 +284,17 @@ class JobSpec:
             "overrides": dict(self.overrides),
         }
 
+    @property
+    def estimated_accesses(self) -> int:
+        """Simulated accesses this job will meter if run to completion.
+
+        The admission-time quota reservation: one engine pass of
+        ``n_accesses`` per simulating cell.  An upper-bound heuristic,
+        reconciled against the token's actual progress at finish.
+        """
+        n_cells = len(self.degrees) if self.kind == "trace" else 1
+        return n_cells * self.n_accesses
+
     # -- lowering -------------------------------------------------------
     def compile(self) -> tuple[list[Cell], ExperimentOptions]:
         """Lower to the exact cells + options the batch path would run.
@@ -294,9 +337,39 @@ def welcome(version: str) -> dict[str, Any]:
     return {"type": WELCOME, "proto": PROTO_VERSION, "server": version}
 
 
-def submit(request_id: str, spec: JobSpec | dict[str, Any]) -> dict[str, Any]:
+def submit(request_id: str, spec: JobSpec | dict[str, Any],
+           deadline_s: float | None = None,
+           cancel_on_disconnect: bool | None = None) -> dict[str, Any]:
     body = spec.to_dict() if isinstance(spec, JobSpec) else spec
-    return {"type": SUBMIT, "id": request_id, "spec": body}
+    message: dict[str, Any] = {"type": SUBMIT, "id": request_id, "spec": body}
+    if deadline_s is not None:
+        message["deadline_s"] = deadline_s
+    if cancel_on_disconnect is not None:
+        message["cancel_on_disconnect"] = cancel_on_disconnect
+    return message
+
+
+def parse_submit_deadline(message: dict[str, Any]) -> float | None:
+    """Validate the optional per-job ``deadline_s`` of a submit."""
+    deadline_s = message.get("deadline_s")
+    if deadline_s is None:
+        return None
+    if (not isinstance(deadline_s, (int, float)) or isinstance(deadline_s, bool)
+            or deadline_s <= 0):
+        raise ProtocolError(
+            f"submit deadline_s={deadline_s!r} must be a positive number")
+    return float(deadline_s)
+
+
+def parse_submit_cancel_on_disconnect(message: dict[str, Any]) -> bool | None:
+    """Validate the optional ``cancel_on_disconnect`` of a submit."""
+    flag = message.get("cancel_on_disconnect")
+    if flag is None:
+        return None
+    if not isinstance(flag, bool):
+        raise ProtocolError(
+            f"submit cancel_on_disconnect={flag!r} must be a boolean")
+    return flag
 
 
 def accepted(request_id: str, job_id: str, queue_depth: int,
@@ -319,10 +392,49 @@ def cell_result(request_id: str, job_id: str, seq: int, n_cells: int,
 
 
 def done(request_id: str, job_id: str, status: str, n_ok: int, n_failed: int,
-         wait_s: float, service_s: float) -> dict[str, Any]:
-    return {"type": DONE, "id": request_id, "job": job_id, "status": status,
-            "ok": n_ok, "failed": n_failed,
-            "wait_s": round(wait_s, 6), "service_s": round(service_s, 6)}
+         wait_s: float, service_s: float, reason: str = "") -> dict[str, Any]:
+    message = {"type": DONE, "id": request_id, "job": job_id, "status": status,
+               "ok": n_ok, "failed": n_failed,
+               "wait_s": round(wait_s, 6), "service_s": round(service_s, 6)}
+    if reason:
+        message["reason"] = reason
+    return message
+
+
+def cancel(job_id: str, request_id: str | None = None) -> dict[str, Any]:
+    """Client request: stop ``job_id`` (queued or running)."""
+    message: dict[str, Any] = {"type": CANCEL, "job": job_id}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
+def cancelling(job_id: str, reason: str,
+               request_id: str | None = None) -> dict[str, Any]:
+    """Server ack: cancellation of ``job_id`` is underway; the terminal
+    verdict still arrives as the job's ``done`` frame."""
+    message: dict[str, Any] = {"type": CANCELLING, "job": job_id,
+                               "reason": reason}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
+
+
+def job_status_request(job_id: str) -> dict[str, Any]:
+    """Client request: poll one job's live progress."""
+    return {"type": JOB_STATUS, "job": job_id}
+
+
+def job_status(job_id: str, state: str, accesses_done: int, cells_done: int,
+               n_cells: int, request_id: str | None = None) -> dict[str, Any]:
+    """Server reply: where ``job_id`` is in its lifecycle right now."""
+    message: dict[str, Any] = {"type": JOB_STATUS, "job": job_id,
+                               "state": state,
+                               "accesses_done": accesses_done,
+                               "cells_done": cells_done, "of": n_cells}
+    if request_id is not None:
+        message["id"] = request_id
+    return message
 
 
 def stats(body: dict[str, Any]) -> dict[str, Any]:

@@ -13,9 +13,30 @@ One process, one event loop, three kinds of task:
   and execute each cell through :func:`repro.runner.run_cells` inside
   ``asyncio.to_thread``, so the event loop keeps serving other tenants
   while a simulation runs.  Results stream back per cell as they
-  complete; a client that disconnected mid-job simply stops receiving
-  — the job still runs to completion and its artifacts stay in the
-  store (shedding happens at admission, never mid-run).
+  complete.
+
+Every job carries a :class:`~repro.cancel.CancelToken` from pickup to
+terminal frame, and a per-job **watchdog task** polls the things only
+the event loop can see: the admitting connection's liveness (for the
+opt-in ``cancel_on_disconnect`` policy) and the tenant's access quota
+against the token's live progress counter.  Deadlines ride on the
+token itself — every engine checkpoint doubles as a deadline check —
+so a ``cancel`` frame, a ``deadline_s``, an exhausted quota, or a
+:meth:`ExperimentServer.shutdown_now` stops the *simulation*, not just
+the asyncio wrapper, within ``cancel_check_every`` simulated accesses.
+The job then ends with a structured terminal ``done`` frame
+(``cancelled`` / ``deadline_exceeded`` / ``quota_exhausted``, with a
+``reason``), its tenant billed only for the accesses actually
+simulated.  A client that disconnected mid-job without the policy
+simply stops receiving — the job still runs to completion and its
+artifacts stay in the store.
+
+For chaos testing, a :class:`~repro.faults.FaultPlan` with network
+modes (``reset`` / ``partition`` / ``blackhole`` / ``slow_write``)
+makes the server's own write boundary fail deterministically per
+``(tenant, connection index)`` — the fixture for proving that a
+partitioned tenant's jobs are reaped while other tenants' results
+stay bit-identical.
 
 Execution reuses the runner's whole fault-tolerance stack: the per-job
 :class:`~repro.runner.ExecutionPolicy` carries the server's retry
@@ -45,7 +66,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .. import __version__, obs
-from ..errors import ProtocolError, ServeError
+from ..cancel import DEFAULT_CHECK_EVERY, CancelToken
+from ..errors import JobCancelled, ProtocolError, ServeError
+from ..faults import FaultPlan
 from ..obs import names as obs_names
 from ..obs.prom import CONTENT_TYPE, render_prometheus
 from ..obs.trace import Span, span
@@ -90,6 +113,17 @@ class ServeConfig:
     max_cells_per_job: int = 16
     #: Whether a client ``shutdown`` message may drain-stop the server.
     allow_remote_shutdown: bool = True
+    #: Server-wide deadline applied to submits that carry none
+    #: (None = unlimited).  Measured from worker pickup, not admission.
+    default_deadline_s: float | None = None
+    #: Default cancel-on-disconnect policy for submits that carry none.
+    cancel_on_disconnect: bool = False
+    #: Engine cancellation staleness bound, in simulated accesses.
+    cancel_check_every: int = DEFAULT_CHECK_EVERY
+    #: Watchdog poll interval for disconnect/quota checks.
+    watchdog_poll_s: float = 0.05
+    #: Chaos-only network fault plan applied at the write boundary.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.slots < 1:
@@ -98,6 +132,12 @@ class ServeConfig:
             raise ServeError("jobs_per_run must be >= 1")
         if self.max_cells_per_job < 1:
             raise ServeError("max_cells_per_job must be >= 1")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServeError("default_deadline_s must be positive (or None)")
+        if self.cancel_check_every < 1:
+            raise ServeError("cancel_check_every must be >= 1")
+        if self.watchdog_poll_s <= 0:
+            raise ServeError("watchdog_poll_s must be positive")
 
     def policy(self) -> ExecutionPolicy:
         """The execution policy every served job runs under."""
@@ -110,7 +150,17 @@ class ServeConfig:
 
 
 class _Connection:
-    """One client link: serialised writes + liveness tracking."""
+    """One client link: serialised writes + liveness tracking.
+
+    The chaos plan can assign the link a network ``fate`` (rolled once
+    per tenant connection by the server): ``reset`` closes before the
+    second write, ``partition`` closes right after the
+    ``net_after_writes``-th delivered frame, ``blackhole`` silently
+    swallows every write past that point while reporting success, and
+    ``slow_write`` stalls each write.  All of it happens here, at the
+    write boundary, so the rest of the server exercises its real
+    dead/dark-connection paths.
+    """
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
@@ -120,20 +170,37 @@ class _Connection:
         #: their span subtrees off it (the job runs in a worker task,
         #: so the parent must travel explicitly, not via context).
         self.span: Span | None = None
+        #: Injected network fate ("" = healthy); see class docstring.
+        self.fate = ""
+        self.net_after_writes = 2
+        self.slow_write_s = 0.0
+        self._writes = 0
         self._lock = asyncio.Lock()
 
     async def send(self, message: dict[str, Any]) -> bool:
         """Write one frame; False (never raises) on a dead connection."""
         if self.closed:
             return False
+        if self.fate == "reset" and self._writes >= 1:
+            await self.close()
+            return False
+        if self.fate == "blackhole" and self._writes >= self.net_after_writes:
+            self._writes += 1
+            return True  # the void reports success
         frame = protocol.encode_message(message)
         try:
             async with self._lock:
+                if self.fate == "slow_write" and self.slow_write_s > 0:
+                    await asyncio.sleep(self.slow_write_s)
                 self.writer.write(frame)
                 await self.writer.drain()
         except (ConnectionError, OSError):
             self.closed = True
             return False
+        self._writes += 1
+        if self.fate == "partition" and self._writes >= self.net_after_writes:
+            # Delivered, then the network went dark under the client.
+            await self.close()
         return True
 
     async def close(self) -> None:
@@ -141,6 +208,24 @@ class _Connection:
         with contextlib.suppress(ConnectionError, OSError):
             self.writer.close()
             await self.writer.wait_closed()
+
+
+@dataclass
+class _JobRecord:
+    """One job's live lifecycle state, admission to terminal frame."""
+
+    job: Job
+    conn: _Connection | None
+    state: str = protocol.STATE_QUEUED
+    token: CancelToken | None = None
+    slot: int = -1
+    started_at: float = 0.0
+    cells_done: int = 0
+    watchdog: asyncio.Task[None] | None = None
+
+    @property
+    def accesses_done(self) -> int:
+        return self.token.progress if self.token is not None else 0
 
 
 class ExperimentServer:
@@ -156,11 +241,12 @@ class ExperimentServer:
         self._done: asyncio.Event = asyncio.Event()
         self._stop_workers = False
         self._workers: list[asyncio.Task[None]] = []
-        self._job_conns: dict[str, _Connection] = {}
-        #: Live view of running jobs (job_id -> row), for the stats
-        #: frame; single event loop, so plain dict updates suffice.
-        self._active_jobs: dict[str, dict[str, Any]] = {}
+        #: Every queued or running job (job_id -> record); single event
+        #: loop, so plain dict updates suffice.  Terminal jobs leave.
+        self._jobs: dict[str, _JobRecord] = {}
         self._job_counter = 0
+        #: Connections accepted per tenant — the net-fault roll index.
+        self._conn_counts: dict[str, int] = {}
         self._started_at = 0.0
 
     # -- lifecycle ------------------------------------------------------
@@ -213,6 +299,36 @@ class ExperimentServer:
             self._maybe_finish_drain()
             self._cond.notify_all()
 
+    async def shutdown_now(self) -> None:
+        """Hard drain: stop admitted work instead of finishing it.
+
+        Queued jobs leave the queue with a terminal ``cancelled``
+        (reason ``server_shutdown``) frame; running jobs get their
+        token cancelled and send the same terminal frame as they
+        unwind — no client is left holding a silently dropped
+        connection.  The server still exits through the normal drain
+        path once the interrupted jobs have stopped.
+        """
+        self.scheduler.draining = True
+        for record in list(self._jobs.values()):
+            if record.state == protocol.STATE_QUEUED:
+                if self.scheduler.cancel_queued(record.job.job_id) is None:
+                    continue  # pragma: no cover - racing a worker pickup
+                self._jobs.pop(record.job.job_id, None)
+                self._note_cancel(record, protocol.REASON_SERVER_SHUTDOWN,
+                                  protocol.STATUS_CANCELLED)
+                if record.conn is not None:
+                    wait_s = time.monotonic() - record.job.enqueued_at
+                    await record.conn.send(protocol.done(
+                        record.job.request_id, record.job.job_id,
+                        protocol.STATUS_CANCELLED, 0, 0, wait_s, 0.0,
+                        reason=protocol.REASON_SERVER_SHUTDOWN))
+            elif record.token is not None:
+                record.token.cancel(protocol.REASON_SERVER_SHUTDOWN)
+        async with self._cond:
+            self._maybe_finish_drain()
+            self._cond.notify_all()
+
     async def aclose(self) -> None:
         """Drain-stop and wait for the workers and listener to exit."""
         await self.request_shutdown()
@@ -247,6 +363,7 @@ class ExperimentServer:
             except (ProtocolError, ValueError) as exc:
                 await conn.send(protocol.error(str(exc)))
                 return
+            self._roll_net_fate(conn)
             _OBS.info(obs_names.EVT_CLIENT_CONNECT, tenant=conn.tenant)
             await conn.send(protocol.welcome(__version__))
             with span(obs_names.SPAN_CONNECTION, tenant=conn.tenant) as conn_span:
@@ -276,8 +393,50 @@ class ExperimentServer:
                         break
         finally:
             await conn.close()
+            await self._reap_disconnected(conn)
             _OBS.info(obs_names.EVT_CLIENT_DISCONNECT, tenant=conn.tenant,
                       malformed=malformed)
+
+    def _roll_net_fate(self, conn: _Connection) -> None:
+        """Assign this connection its chaos-plan network fate (if any)."""
+        plan = self.config.faults
+        if plan is None or not plan.net_active:
+            return
+        index = self._conn_counts.get(conn.tenant, 0)
+        self._conn_counts[conn.tenant] = index + 1
+        fate = plan.net_fate(conn.tenant, index)
+        if not fate:
+            return
+        conn.fate = fate
+        conn.net_after_writes = plan.net_after_writes
+        conn.slow_write_s = plan.slow_write_s
+        if _OBS.enabled:
+            _OBS.warning(obs_names.EVT_NET_FAULT, tenant=conn.tenant,
+                         conn_index=index, mode=fate)
+            _OBS.counter(obs_names.MET_NET_FAULTS).inc()
+
+    async def _reap_disconnected(self, conn: _Connection) -> None:
+        """Apply each job's cancel-on-disconnect policy when its
+        admitting connection dies.  Queued jobs leave the queue
+        immediately (nobody is listening for a terminal frame); running
+        jobs get their token cancelled and unwind through the normal
+        terminal path."""
+        notify = False
+        for record in list(self._jobs.values()):
+            if record.conn is not conn or not record.job.cancel_on_disconnect:
+                continue
+            if record.state == protocol.STATE_QUEUED:
+                if self.scheduler.cancel_queued(record.job.job_id) is not None:
+                    self._note_cancel(record, protocol.REASON_DISCONNECTED,
+                                      protocol.STATUS_CANCELLED)
+                    self._jobs.pop(record.job.job_id, None)
+                    notify = True
+            elif record.token is not None:
+                record.token.cancel(protocol.REASON_DISCONNECTED)
+        if notify:
+            async with self._cond:
+                self._maybe_finish_drain()
+                self._cond.notify_all()
 
     @staticmethod
     def _request_id_of(frame: bytes) -> str | None:
@@ -319,8 +478,81 @@ class ExperimentServer:
             await conn.send({"type": protocol.STOPPING})
             await self.request_shutdown()
             return True
+        if kind == protocol.CANCEL:
+            await self._cancel(conn, message)
+            return True
+        if kind == protocol.JOB_STATUS:
+            await self._job_status(conn, message)
+            return True
         await self._submit(conn, message)
         return True
+
+    def _owned_record(self, conn: _Connection,
+                      message: dict[str, Any]) -> tuple[str, _JobRecord | None]:
+        """Resolve a cancel/job_status target to this tenant's record.
+
+        Unknown ids and other tenants' jobs look identical from the
+        outside (no cross-tenant existence oracle); both return None.
+        """
+        job_id = message.get("job")
+        if not isinstance(job_id, str) or not job_id:
+            raise ProtocolError(f"{message['type']} needs a string 'job' field")
+        record = self._jobs.get(job_id)
+        if record is not None and record.job.tenant != conn.tenant:
+            record = None
+        return job_id, record
+
+    async def _cancel(self, conn: _Connection,
+                      message: dict[str, Any]) -> None:
+        """Handle a ``cancel`` frame for a queued or running job.
+
+        A miss is answered with an ``error`` frame rather than raised:
+        cancelling a job that just finished is an ordinary race, not a
+        protocol violation, and must not count toward the malformed
+        budget.
+        """
+        request_id = message.get("id") if isinstance(message.get("id"), str) \
+            else None
+        job_id, record = self._owned_record(conn, message)
+        if record is None:
+            await conn.send(protocol.error(
+                f"unknown job {job_id!r} (already terminal, or not yours)",
+                request_id=request_id))
+            return
+        await conn.send(protocol.cancelling(job_id,
+                                            protocol.REASON_CLIENT_CANCEL,
+                                            request_id=request_id))
+        if record.state == protocol.STATE_QUEUED:
+            if self.scheduler.cancel_queued(job_id) is None:
+                # Raced a worker pickup between dispatch and here; the
+                # token path below will land instead.
+                if record.token is not None:  # pragma: no cover - race
+                    record.token.cancel(protocol.REASON_CLIENT_CANCEL)
+                return
+            self._jobs.pop(job_id, None)
+            self._note_cancel(record, protocol.REASON_CLIENT_CANCEL,
+                              protocol.STATUS_CANCELLED)
+            wait_s = time.monotonic() - record.job.enqueued_at
+            await conn.send(protocol.done(
+                record.job.request_id, job_id, protocol.STATUS_CANCELLED,
+                0, 0, wait_s, 0.0, reason=protocol.REASON_CLIENT_CANCEL))
+            async with self._cond:
+                self._maybe_finish_drain()
+                self._cond.notify_all()
+        elif record.token is not None:
+            record.token.cancel(protocol.REASON_CLIENT_CANCEL)
+
+    async def _job_status(self, conn: _Connection,
+                          message: dict[str, Any]) -> None:
+        """Answer a ``job_status`` poll with live lifecycle progress."""
+        job_id, record = self._owned_record(conn, message)
+        if record is None:
+            await conn.send(protocol.error(
+                f"unknown job {job_id!r} (already terminal, or not yours)"))
+            return
+        await conn.send(protocol.job_status(
+            job_id, record.state, record.accesses_done, record.cells_done,
+            len(record.job.cells)))
 
     def _stats_body(self) -> dict[str, Any]:
         """The live stats plane: scheduler view + in-flight job table +
@@ -332,10 +564,13 @@ class ExperimentServer:
         body["address"] = self.address
         body["uptime_s"] = round(now - self._started_at, 3)
         body["in_flight_jobs"] = [
-            {"job": job_id, "tenant": row["tenant"], "slot": row["slot"],
-             "cells": row["cells"],
-             "running_s": round(now - row["started_at"], 3)}
-            for job_id, row in sorted(self._active_jobs.items())]
+            {"job": job_id, "tenant": record.job.tenant,
+             "slot": record.slot, "cells": len(record.job.cells),
+             "cells_done": record.cells_done,
+             "accesses_done": record.accesses_done,
+             "running_s": round(now - record.started_at, 3)}
+            for job_id, record in sorted(self._jobs.items())
+            if record.state == protocol.STATE_RUNNING]
         st = obs.base_state()
         if st is not None:
             snapshot = st.registry.snapshot()
@@ -372,6 +607,13 @@ class ExperimentServer:
         if not isinstance(request_id, str) or not request_id:
             raise ProtocolError("submit needs a string 'id' field")
         spec = protocol.JobSpec.from_dict(message.get("spec"))
+        deadline_s = protocol.parse_submit_deadline(message)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        cancel_on_disconnect = protocol.parse_submit_cancel_on_disconnect(
+            message)
+        if cancel_on_disconnect is None:
+            cancel_on_disconnect = self.config.cancel_on_disconnect
         cells, options = spec.compile()
         if len(cells) > self.config.max_cells_per_job:
             raise ProtocolError(
@@ -380,8 +622,10 @@ class ExperimentServer:
         self._job_counter += 1
         job = Job(job_id=f"j{self._job_counter}", request_id=request_id,
                   tenant=conn.tenant, spec=spec, cells=cells,
-                  options=options, enqueued_at=time.monotonic())
-        admission = self.scheduler.submit(job)
+                  options=options, enqueued_at=time.monotonic(),
+                  deadline_s=deadline_s,
+                  cancel_on_disconnect=cancel_on_disconnect)
+        admission = self.scheduler.submit(job, now=time.monotonic())
         if _OBS.enabled:
             _OBS.histogram(obs_names.MET_QUEUE_DEPTH,
                            QUEUE_DEPTH_BUCKETS).observe(admission.queue_depth)
@@ -391,10 +635,12 @@ class ExperimentServer:
                              job=job.job_id, reason=admission.reason,
                              retry_after_s=round(admission.retry_after_s, 4))
                 _OBS.counter(obs_names.MET_JOBS_SHED).inc()
+                if admission.reason == protocol.STATUS_QUOTA:
+                    _OBS.counter(obs_names.MET_JOBS_QUOTA_EXHAUSTED).inc()
             await conn.send(protocol.shed(request_id, admission.reason,
                                           admission.retry_after_s))
             return
-        self._job_conns[job.job_id] = conn
+        self._jobs[job.job_id] = _JobRecord(job=job, conn=conn)
         if _OBS.enabled:
             _OBS.info(obs_names.EVT_JOB_ADMITTED, tenant=job.tenant,
                       job=job.job_id, cells=len(cells),
@@ -424,6 +670,58 @@ class ExperimentServer:
                 self._maybe_finish_drain()
                 self._cond.notify_all()
 
+    @staticmethod
+    def _terminal_status(cancel_reason: str) -> str:
+        """Map a token's cancel reason to the wire terminal status."""
+        if cancel_reason == protocol.STATUS_DEADLINE:
+            return protocol.STATUS_DEADLINE
+        if cancel_reason == protocol.STATUS_QUOTA:
+            return protocol.STATUS_QUOTA
+        return protocol.STATUS_CANCELLED
+
+    def _note_cancel(self, record: _JobRecord, reason: str,
+                     status: str) -> None:
+        """Telemetry for one cancelled/reaped job (queued or running)."""
+        if not _OBS.enabled:
+            return
+        _OBS.warning(obs_names.EVT_JOB_CANCELLED, tenant=record.job.tenant,
+                     job=record.job.job_id, reason=reason, status=status,
+                     cells_done=record.cells_done,
+                     accesses_done=record.accesses_done)
+        if status == protocol.STATUS_DEADLINE:
+            _OBS.counter(obs_names.MET_JOBS_DEADLINE_EXCEEDED).inc()
+        elif status == protocol.STATUS_QUOTA:
+            _OBS.counter(obs_names.MET_JOBS_QUOTA_EXHAUSTED).inc()
+        else:
+            _OBS.counter(obs_names.MET_JOBS_CANCELLED).inc()
+        token = record.token
+        if token is not None and token.cancelled_at > 0.0:
+            _OBS.histogram(obs_names.MET_CANCEL_LATENCY_S).observe(
+                max(time.monotonic() - token.cancelled_at, 0.0))
+
+    async def _watchdog(self, record: _JobRecord) -> None:
+        """Poll the signals only the event loop can see for one running
+        job: the admitting connection's liveness (cancel-on-disconnect)
+        and the tenant's quota against the live progress counter.  The
+        deadline needs no watchdog — the token checks it at every
+        engine checkpoint."""
+        job, token, conn = record.job, record.token, record.conn
+        if token is None:  # pragma: no cover - set before the task spawns
+            return
+        with span(obs_names.SPAN_WATCHDOG,
+                  parent=conn.span if conn is not None else None,
+                  tenant=job.tenant, job=job.job_id):
+            while not token.cancelled:
+                await asyncio.sleep(self.config.watchdog_poll_s)
+                if record.state != protocol.STATE_RUNNING:
+                    return
+                if (job.cancel_on_disconnect and conn is not None
+                        and conn.closed):
+                    token.cancel(protocol.REASON_DISCONNECTED)
+                elif self.scheduler.overdrawn(job, token.progress,
+                                              now=time.monotonic()):
+                    token.cancel(protocol.STATUS_QUOTA)
+
     async def _run_job(self, job: Job, slot: int) -> None:
         """Execute one admitted job on this worker slot.
 
@@ -435,25 +733,48 @@ class ExperimentServer:
         parent — the connection lives in a different task), and each
         cell's subtree — including the runner spans recorded inside
         ``asyncio.to_thread`` — nests under a ``serve.cell`` span.
+
+        The job's :class:`CancelToken` is created here (so a
+        ``deadline_s`` measures service time, not queue time), handed
+        to :func:`run_cells` for engine checkpoints, watched by a
+        sibling watchdog task, and settled into one terminal ``done``
+        frame whatever way the job ends.
         """
-        job.started_at = time.monotonic()
+        record = self._jobs.get(job.job_id)
+        if record is None:  # pragma: no cover - reaped before pickup
+            record = _JobRecord(job=job, conn=None)
+        record.state = protocol.STATE_RUNNING
+        record.slot = slot
+        record.token = CancelToken(
+            deadline_s=job.deadline_s,
+            check_every=self.config.cancel_check_every)
+        record.started_at = job.started_at = time.monotonic()
         wait_s = job.started_at - job.enqueued_at
-        conn = self._job_conns.pop(job.job_id, None)
-        self._active_jobs[job.job_id] = {
-            "tenant": job.tenant, "slot": slot, "cells": len(job.cells),
-            "started_at": job.started_at}
+        conn = record.conn
+        record.watchdog = asyncio.create_task(
+            self._watchdog(record), name=f"watchdog-{job.job_id}")
+        cancel_reason = ""
         try:
             with obs.capture(obs.current_config()) as cap:
-                n_ok, n_failed = await self._execute_job(job, slot, conn,
-                                                         wait_s)
+                n_ok, n_failed, cancel_reason = await self._execute_job(
+                    job, slot, conn, wait_s, record)
             obs.absorb(cap.events, cap.metrics,
                        tag={"tenant": job.tenant, "job": job.job_id},
                        spans=cap.spans)
         finally:
-            self._active_jobs.pop(job.job_id, None)
+            record.state = "terminal"
+            self._jobs.pop(job.job_id, None)
+            record.watchdog.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await record.watchdog
         service_s = time.monotonic() - job.started_at
-        ok = n_failed == 0
-        self.scheduler.finish(job, service_s, wait_s=wait_s, ok=ok)
+        ok = n_failed == 0 and not cancel_reason
+        status = ("ok" if ok else protocol.STATUS_FAILED) if not cancel_reason \
+            else self._terminal_status(cancel_reason)
+        self.scheduler.finish(job, service_s, wait_s=wait_s, ok=ok,
+                              cancelled=bool(cancel_reason),
+                              accesses_done=record.accesses_done,
+                              now=time.monotonic())
         if _OBS.enabled:
             outcome = {"tenant": job.tenant, "job": job.job_id,
                        "cells": len(job.cells), "failed": n_failed,
@@ -462,35 +783,54 @@ class ExperimentServer:
             if ok:
                 _OBS.info(obs_names.EVT_JOB_COMPLETED, **outcome)
                 _OBS.counter(obs_names.MET_JOBS_COMPLETED).inc()
-            else:
+            elif not cancel_reason:
                 _OBS.warning(obs_names.EVT_JOB_FAILED, **outcome)
                 _OBS.counter(obs_names.MET_JOBS_FAILED).inc()
+            if self.scheduler.quota_enabled and record.accesses_done:
+                _OBS.counter(obs_names.MET_ACCESSES_CHARGED).inc(
+                    record.accesses_done)
             _OBS.histogram(obs_names.MET_JOB_WAIT_S).observe(wait_s)
             _OBS.histogram(obs_names.MET_JOB_SERVICE_S).observe(service_s)
             tenant_scope = obs.scope(f"serve.tenant.{job.tenant}")
             tenant_scope.histogram(obs_names.MET_JOB_WAIT_S).observe(wait_s)
             tenant_scope.histogram(obs_names.MET_JOB_SERVICE_S).observe(service_s)
+        if cancel_reason:
+            self._note_cancel(record, cancel_reason, status)
         if conn is not None:
             await conn.send(protocol.done(
-                job.request_id, job.job_id, "ok" if ok else "failed",
-                n_ok, n_failed, wait_s, service_s))
+                job.request_id, job.job_id, status, n_ok, n_failed,
+                wait_s, service_s, reason=cancel_reason))
 
     async def _execute_job(self, job: Job, slot: int,
-                           conn: _Connection | None,
-                           wait_s: float) -> tuple[int, int]:
-        """The captured body of one job: cell loop + streaming."""
+                           conn: _Connection | None, wait_s: float,
+                           record: _JobRecord) -> tuple[int, int, str]:
+        """The captured body of one job: cell loop + streaming.
+
+        Returns ``(n_ok, n_failed, cancel_reason)``; a non-empty reason
+        means the loop was interrupted mid-job (the current cell's
+        simulation raised :class:`JobCancelled`, or the token tripped
+        between cells) and the remaining cells never ran.
+        """
         _OBS.info(obs_names.EVT_JOB_STARTED, tenant=job.tenant,
                   job=job.job_id, slot=slot, wait_s=round(wait_s, 6))
         n_ok = n_failed = 0
+        token = record.token
+        if token is None:  # pragma: no cover - set before the slot runs us
+            raise ServeError(f"job {job.job_id} has no cancel token")
         parent = conn.span if conn is not None else None
         with span(obs_names.SPAN_JOB, parent=parent, tenant=job.tenant,
                   job=job.job_id, slot=slot):
             for seq, cell in enumerate(job.cells):
+                if token.cancelled:
+                    return n_ok, n_failed, token.reason
                 try:
                     with span(obs_names.SPAN_SERVE_CELL, cell=cell.label):
                         payloads, _ = await asyncio.to_thread(
-                            run_cells, [cell], job.options, self._policy)
+                            run_cells, [cell], job.options, self._policy,
+                            token)
                     payload = payloads[0]
+                except JobCancelled as exc:
+                    return n_ok, n_failed, exc.reason
                 except Exception as exc:  # runner bug or misconfiguration
                     payload = None
                     _OBS.error(obs_names.EVT_JOB_FAILED, tenant=job.tenant,
@@ -501,8 +841,9 @@ class ExperimentServer:
                     n_ok += 1
                 else:
                     n_failed += 1
+                record.cells_done += 1
                 if conn is not None:
                     await conn.send(protocol.cell_result(
                         job.request_id, job.job_id, seq, len(job.cells),
                         cell.label, status, payload))
-        return n_ok, n_failed
+        return n_ok, n_failed, ""

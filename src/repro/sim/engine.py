@@ -25,6 +25,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..cancel import NEVER, current_token
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..memory.cache import Cache
@@ -138,11 +139,28 @@ class TraceSimulator:
         # Counter.inc() call, which is what keeps spans-on overhead
         # inside the bench_obs.py budget.
         n_miss = n_phit = n_issued = n_evict = n_over = 0
+        # Cooperative cancellation: bounded-staleness checkpoints every
+        # check_every accesses.  Without a token the NEVER sentinel makes
+        # the in-loop test a single always-false integer compare, and
+        # checkpoints only observe, so results are bit-identical either
+        # way (pinned by tests/sim/test_cancel.py).
+        cancel = current_token()
+        published = 0
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+            check_every = cancel.check_every
+            next_check = check_every
+        else:
+            next_check = NEVER
 
         with trace_span(obs_names.SPAN_SIMULATE, trace=trace.name,
                         accesses=len(blocks)), \
                 timed("simulate", emit=False):
             for i in range(len(blocks)):
+                if i >= next_check:
+                    cancel.checkpoint(i - published)
+                    published = i
+                    next_check = i + check_every
                 if i == warmup and warmup > 0:
                     self._reset_counters()
                     metrics = self.metrics
@@ -205,6 +223,8 @@ class TraceSimulator:
                         prefetcher.on_buffer_eviction(
                             victim.block, victim.stream_id, victim.used)
 
+        if cancel is not None:
+            cancel.advance(len(blocks) - published)
         if tracing:
             self._flush_tallies(tel, n_miss, n_phit, n_issued, n_evict,
                                 n_over)
@@ -238,6 +258,17 @@ class TraceSimulator:
             tel.counter(obs_names.MET_FASTPATH_REPLAYS).inc()
         # Local tallies, flushed once after the loop (see run()).
         n_miss = n_phit = n_issued = n_evict = n_over = 0
+        # Cancellation checkpoints keyed to the *original* access index,
+        # so progress is metered in simulated accesses exactly as run()
+        # meters it even though this loop only visits the misses.
+        cancel = current_token()
+        published = 0
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+            check_every = cancel.check_every
+            next_check = check_every
+        else:
+            next_check = NEVER
 
         indices = filt.indices.tolist()
         pcs = filt.pcs.tolist()
@@ -251,6 +282,10 @@ class TraceSimulator:
                 timed("simulate", emit=False):
             for j in range(len(indices)):
                 i = indices[j]
+                if i >= next_check:
+                    cancel.checkpoint(i - published)
+                    published = i
+                    next_check = i + check_every
                 if not reset_done and i >= warmup:
                     self._reset_counters()
                     metrics = self.metrics
@@ -324,6 +359,8 @@ class TraceSimulator:
         measured = n_accesses - warmup
         metrics.accesses = measured
         metrics.l1_hits = measured - (metrics.misses + metrics.prefetch_hits)
+        if cancel is not None:
+            cancel.advance(n_accesses - published)
         if tracing:
             self._flush_tallies(tel, n_miss, n_phit, n_issued, n_evict,
                                 n_over)

@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from ..cancel import NEVER, current_token
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..memory.cache import Cache
@@ -135,7 +136,20 @@ def build_l1_filter(trace: MemoryTrace, config: SystemConfig) -> L1Filter:
         miss_pcs: list[int] = []
         miss_blocks: list[int] = []
         evicted: list[int] = []
+        # Cancellation checkpoints only — no progress advance: the
+        # replay re-walks these accesses and meters them there, so
+        # advancing here would double-bill the tenant's quota.
+        cancel = current_token()
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+            check_every = cancel.check_every
+            next_check = check_every
+        else:
+            next_check = NEVER
         for i, block in enumerate(blocks_list):
+            if i >= next_check:
+                cancel.raise_if_cancelled()
+                next_check = i + check_every
             hit, victim = access(block)
             if hit:
                 continue

@@ -120,6 +120,11 @@ class TestObs002:
         findings = Analyzer().check_source(src, "src/repro/obs/summary.py")
         assert findings == []
 
+    def test_lifecycle_vocabulary_is_registered(self):
+        # The serve-tier lifecycle names (cancel events, terminal
+        # counters, watchdog span) all resolve against the registry.
+        assert codes_for("serve/lifecycle_clean.py") == []
+
     def test_attribute_form_resolves_module_aliases(self):
         src = ("from repro import obs\n"
                "def f():\n    obs.span('bogus.span')\n")

@@ -146,3 +146,76 @@ class TestCompile:
         cells, _ = JobSpec.from_dict(
             {"workload": "oltp", "kind": "multicore"}).compile()
         assert cells[0].config_name == "timing"
+
+
+class TestLifecycleFrames:
+    def test_cancel_and_ack_builders(self):
+        frame = protocol.cancel("j1", "r1")
+        assert frame["type"] == protocol.CANCEL
+        assert frame["job"] == "j1" and frame["id"] == "r1"
+        ack = protocol.cancelling("j1", protocol.REASON_CLIENT_CANCEL, "r1")
+        assert ack["type"] == protocol.CANCELLING
+        assert ack["reason"] == protocol.REASON_CLIENT_CANCEL
+
+    def test_job_status_round_trip(self):
+        request = protocol.job_status_request("j1")
+        assert request["type"] == protocol.JOB_STATUS
+        reply = protocol.job_status("j1", protocol.STATE_RUNNING,
+                                    accesses_done=4096, cells_done=1,
+                                    n_cells=4)
+        assert reply["state"] == protocol.STATE_RUNNING
+        assert reply["accesses_done"] == 4096
+        assert reply["cells_done"] == 1 and reply["of"] == 4
+
+    def test_new_client_types_are_dispatchable(self):
+        assert protocol.CANCEL in protocol.CLIENT_TYPES
+        assert protocol.JOB_STATUS in protocol.CLIENT_TYPES
+
+    def test_terminal_statuses(self):
+        assert protocol.TERMINAL_STATUSES == {
+            "ok", "failed", "cancelled", "deadline_exceeded",
+            "quota_exhausted"}
+
+    def test_submit_carries_lifecycle_options(self):
+        spec = {"workload": "oltp"}
+        plain = protocol.submit("r1", spec)
+        assert "deadline_s" not in plain
+        assert "cancel_on_disconnect" not in plain
+        rich = protocol.submit("r1", spec, deadline_s=2.5,
+                               cancel_on_disconnect=True)
+        assert rich["deadline_s"] == 2.5
+        assert rich["cancel_on_disconnect"] is True
+
+    def test_parse_submit_deadline(self):
+        assert protocol.parse_submit_deadline({"type": "submit"}) is None
+        assert protocol.parse_submit_deadline(
+            {"type": "submit", "deadline_s": 1.5}) == 1.5
+        for bad in (0, -1.0, "soon", True):
+            with pytest.raises(ProtocolError):
+                protocol.parse_submit_deadline(
+                    {"type": "submit", "deadline_s": bad})
+
+    def test_parse_submit_cancel_on_disconnect(self):
+        assert protocol.parse_submit_cancel_on_disconnect(
+            {"type": "submit"}) is None
+        assert protocol.parse_submit_cancel_on_disconnect(
+            {"type": "submit", "cancel_on_disconnect": False}) is False
+        for bad in (1, "yes", 0):
+            with pytest.raises(ProtocolError):
+                protocol.parse_submit_cancel_on_disconnect(
+                    {"type": "submit", "cancel_on_disconnect": bad})
+
+    def test_done_reason_is_optional(self):
+        plain = protocol.done("r1", "j1", "ok", 1, 0, 0.1, 0.2)
+        assert "reason" not in plain
+        cancelled = protocol.done("r1", "j1", protocol.STATUS_CANCELLED,
+                                  0, 0, 0.1, 0.2,
+                                  reason=protocol.REASON_CLIENT_CANCEL)
+        assert cancelled["reason"] == protocol.REASON_CLIENT_CANCEL
+
+    def test_estimated_accesses(self):
+        trace = JobSpec(workload="oltp", n_accesses=2_000, degrees=[1, 2, 4])
+        assert trace.estimated_accesses == 6_000
+        opportunity = JobSpec(workload="oltp", kind="opportunity",
+                              n_accesses=2_000)
+        assert opportunity.estimated_accesses == 2_000

@@ -160,3 +160,122 @@ class TestStats:
         tenant = stats["tenants"]["a"]
         assert tenant["served_s"] == 2.0
         assert tenant["waited_s"] == 0.5
+
+
+class TestQuota:
+    """Token-bucket quota metered in simulated accesses, pure clock-in."""
+
+    SMALL = JobSpec(workload="oltp", n_accesses=1_000, degrees=[1])
+
+    def quota_job(self, tenant, n=0, spec=None):
+        spec = spec or self.SMALL
+        return Job(job_id=f"{tenant}-{n}", request_id=f"r{n}", tenant=tenant,
+                   spec=spec, cells=[], options=None)
+
+    def sched(self, capacity=1_000, window_s=10.0, **kwargs):
+        return FairScheduler(AdmissionConfig(
+            quota_accesses=capacity, quota_window_s=window_s, **kwargs))
+
+    def test_disabled_by_default(self):
+        sched = FairScheduler()
+        assert not sched.quota_enabled
+        assert not sched.overdrawn(job("a"), accesses_done=10**9)
+
+    def test_config_validation(self):
+        with pytest.raises(ServeError):
+            AdmissionConfig(quota_accesses=-1)
+        with pytest.raises(ServeError):
+            AdmissionConfig(quota_window_s=0.0)
+
+    def test_reservation_tracks_estimate(self):
+        sched = self.sched(capacity=5_000)
+        first = self.quota_job("a", 0)
+        assert sched.submit(first, now=0.0).accepted
+        assert first.reserved_accesses == 1_000
+        assert sched.tenant("a").reserved_accesses == 1_000
+
+    def test_oversized_estimate_reserves_at_most_capacity(self):
+        sched = self.sched(capacity=1_000)
+        big = self.quota_job(
+            "a", 0, JobSpec(workload="oltp", n_accesses=500_000, degrees=[1]))
+        assert sched.submit(big, now=0.0).accepted
+        assert big.reserved_accesses == 1_000
+
+    def test_spent_balance_sheds_with_honest_hint(self):
+        sched = self.sched(capacity=1_000, window_s=10.0)
+        first = self.quota_job("a", 0)
+        sched.submit(first, now=0.0)
+        picked = sched.next_job()
+        sched.finish(picked, service_s=0.1, accesses_done=1_000, now=0.0)
+        shed = sched.submit(self.quota_job("a", 1), now=0.0)
+        assert not shed.accepted
+        assert shed.reason == "quota_exhausted"
+        # Deficit is the full 1000-access reservation at 100/s refill.
+        assert shed.retry_after_s == pytest.approx(10.0)
+
+    def test_quota_sheds_do_not_escalate_backoff(self):
+        sched = self.sched(capacity=1_000, window_s=10.0)
+        sched.submit(self.quota_job("a", 0), now=0.0)
+        picked = sched.next_job()
+        sched.finish(picked, service_s=0.1, accesses_done=1_000, now=0.0)
+        hints = [sched.submit(self.quota_job("a", n), now=0.0).retry_after_s
+                 for n in range(1, 4)]
+        assert hints[0] == hints[1] == hints[2]
+        assert sched.tenant("a").shed_streak == 0
+
+    def test_refill_restores_admission(self):
+        sched = self.sched(capacity=1_000, window_s=10.0)
+        sched.submit(self.quota_job("a", 0), now=0.0)
+        sched.finish(sched.next_job(), service_s=0.1, accesses_done=1_000,
+                     now=0.0)
+        assert not sched.submit(self.quota_job("a", 1), now=0.0).accepted
+        # One full window later the bucket is back at capacity.
+        assert sched.submit(self.quota_job("a", 2), now=10.0).accepted
+
+    def test_overdrawn_tolerates_overrun_within_balance(self):
+        sched = self.sched(capacity=5_000)
+        first = self.quota_job("a", 0)
+        sched.submit(first, now=0.0)
+        picked = sched.next_job()
+        # Reservation is 1000; balance holds 5000 with 1000 reserved, so
+        # up to 4000 of uncommitted balance absorbs overrun.
+        assert not sched.overdrawn(picked, accesses_done=1_000, now=0.0)
+        assert not sched.overdrawn(picked, accesses_done=4_900, now=0.0)
+        assert sched.overdrawn(picked, accesses_done=5_100, now=0.0)
+
+    def test_finish_charges_actuals_and_clamps(self):
+        sched = self.sched(capacity=1_000)
+        big = self.quota_job(
+            "a", 0, JobSpec(workload="oltp", n_accesses=500_000, degrees=[1]))
+        sched.submit(big, now=0.0)
+        picked = sched.next_job()
+        sched.finish(picked, service_s=0.5, cancelled=True,
+                     accesses_done=9_000, now=0.0)
+        tenant = sched.tenant("a")
+        assert tenant.reserved_accesses == 0
+        assert tenant.accesses_charged == 9_000
+        assert tenant.quota_balance == -1_000.0  # clamped at -capacity
+        assert tenant.cancelled == 1
+        assert tenant.completed == 0
+
+    def test_cancel_queued_releases_reservation(self):
+        sched = self.sched(capacity=5_000)
+        first = self.quota_job("a", 0)
+        second = self.quota_job("a", 1)
+        sched.submit(first, now=0.0)
+        sched.submit(second, now=0.0)
+        assert sched.tenant("a").reserved_accesses == 2_000
+        removed = sched.cancel_queued(second.job_id)
+        assert removed is second
+        assert sched.tenant("a").reserved_accesses == 1_000
+        assert sched.tenant("a").cancelled == 1
+        assert sched.cancel_queued("nope") is None
+
+    def test_cancelled_jobs_count_separately_in_stats(self):
+        sched = FairScheduler()
+        sched.submit(job("a", 0))
+        picked = sched.next_job()
+        sched.finish(picked, service_s=0.1, cancelled=True)
+        stats = sched.stats()
+        assert stats["cancelled"] == 1
+        assert stats["completed"] == 0 and stats["failed"] == 0

@@ -27,7 +27,11 @@ SLOW_SPEC = {**TINY_SPEC, "degrees": [1, 2, 3, 4], "n_accesses": 20_000}
 def test_parse_address_forms():
     assert parse_address("unix:/tmp/x.sock") == ("/tmp/x.sock", "", 0)
     assert parse_address("127.0.0.1:8000") == (None, "127.0.0.1", 8000)
-    for bad in ("unix:", "nohost", "host:notaport"):
+    assert parse_address("[::1]:9000") == (None, "::1", 9000)
+    assert parse_address("[fe80::1%eth0]:9000") == (None, "fe80::1%eth0", 9000)
+    for bad in ("unix:", "nohost", "host:notaport", "host:", ":8000",
+                "[::1]", "[::1]:", "[::1:9000", "[]:9000", "::1:9000",
+                "host:-1", "host:0", "host:70000", "host:80_0", "host: 80"):
         with pytest.raises(ProtocolError):
             parse_address(bad)
 
@@ -218,6 +222,39 @@ class TestAdmissionOverSockets:
         assert third["retry_after_s"] > 0
         assert done1.status == "ok" and len(done1.cells) == 4
         assert done2.status == "ok"
+
+    def test_client_surfaces_deterministic_escalating_retry_hints(self):
+        """Consecutive sheds walk the deterministic backoff curve, and
+        the client hands the hint through unchanged."""
+        from repro.backoff import backoff_delay
+        from repro.serve.scheduler import SHED_SALT
+
+        async def scenario():
+            admission = AdmissionConfig(max_queued_per_tenant=1)
+            async with serving(slots=1, admission=admission) as server:
+                client = await ServeClient.connect(server.address, "alice")
+                probe = await ServeClient.connect(server.address, "alice")
+                await client.submit(SLOW_SPEC, "r1")   # occupies the slot
+                await client.recv()
+                await client.submit(TINY_SPEC, "r2")   # fills the queue
+                await client.recv()
+                sheds = [await probe.run_job(TINY_SPEC, f"s{i}")
+                         for i in range(3)]
+                await probe.close()
+                await client.stream("r1")
+                await client.stream("r2")
+                await client.close()
+                return sheds, server.config.admission
+
+        sheds, admission = asyncio.run(scenario())
+        assert all(not s.accepted and s.status == "shed" for s in sheds)
+        expected = [backoff_delay("alice", streak,
+                                  base_s=admission.shed_base_s,
+                                  max_s=admission.shed_max_s, salt=SHED_SALT)
+                    for streak in range(3)]
+        # The wire format rounds the hint; the curve must still match.
+        assert [s.retry_after_s for s in sheds] == pytest.approx(
+            expected, abs=1e-4)
 
     def test_drain_completes_running_jobs_and_sheds_new_ones(self):
         async def scenario():

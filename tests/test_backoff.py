@@ -66,6 +66,34 @@ class TestHelpers:
         assert schedule == [backoff_delay("cell", n, base_s=0.05, max_s=2.0)
                             for n in range(5)]
 
+    def test_zero_retries_is_an_empty_schedule(self):
+        assert next_delays("cell", 0, base_s=0.05, max_s=2.0) == []
+
+    def test_zero_max_caps_everything_to_zero(self):
+        assert backoff_delay("k", 5, base_s=1.0, max_s=0.0) == 0.0
+
+    def test_jitter_is_identical_across_processes(self):
+        """The jitter must be a pure function of its inputs — not of
+        PYTHONHASHSEED, RNG state, or anything else process-local."""
+        import pathlib
+        import subprocess
+        import sys
+
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        script = ("from repro.backoff import backoff_delay; "
+                  "print(repr(backoff_delay('tenant-a', 3, "
+                  "base_s=0.1, max_s=2.0, salt='serve.shed')))")
+        outputs = set()
+        for hash_seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, check=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": hash_seed})
+            outputs.add(proc.stdout.strip())
+        local = repr(backoff_delay("tenant-a", 3, base_s=0.1, max_s=2.0,
+                                   salt="serve.shed"))
+        assert outputs == {local}
+
 
 class TestRunnerCompatibility:
     def test_scheduler_delegates_to_shared_helper(self):
