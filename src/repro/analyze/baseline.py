@@ -1,0 +1,102 @@
+"""Finding baselines: grandfather existing findings, fail on new ones.
+
+A baseline is a committed JSON file mapping finding *fingerprints* to
+counts.  A fingerprint is ``(scope key, rule code, message)`` — no line
+or column — so unrelated edits that shift a grandfathered finding up or
+down the file do not break CI, while a *second* occurrence of the same
+problem (count exceeded) or a different message (new problem) fails
+loudly.  Scope keys (the path tail after the last ``repro/`` or
+``fixtures/`` component, see :func:`.engine._scope_key`) make the
+fingerprint independent of where the checkout lives and how the
+analyzer was invoked.
+
+The workflow:
+
+* ``python -m repro.analyze src --baseline analyze-baseline.json``
+  reports only *new* findings and exits 1 on any; grandfathered ones
+  are counted in the report footer so they stay visible.
+* ``... --baseline analyze-baseline.json --write-baseline`` regenerates
+  the file from the current tree (review the diff before committing —
+  a growing baseline is a decision, not an accident).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .engine import Finding, _scope_key
+
+#: Format marker so a future shape change can migrate old files.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-stable identity of a finding (see module docstring)."""
+    return "::".join((_scope_key(Path(finding.path)), finding.code,
+                      finding.message))
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a baseline file into ``{fingerprint: allowed count}``."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise AnalysisError(
+            f"baseline {path} has no 'findings' key; regenerate it with "
+            f"--write-baseline")
+    findings = raw["findings"]
+    if not isinstance(findings, dict) or not all(
+            isinstance(v, int) and v > 0 for v in findings.values()):
+        raise AnalysisError(
+            f"baseline {path}: 'findings' must map fingerprints to "
+            f"positive counts")
+    return dict(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, trailing newline)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-analyze",
+        "findings": dict(sorted(counts.items())),
+    }
+    try:
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot write baseline {path}: {exc}") from exc
+
+
+def apply_baseline(findings: list[Finding], counts: dict[str, int],
+                   ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against a baseline.
+
+    For each fingerprint the first *count* occurrences (in the
+    engine's deterministic sort order) are grandfathered; any excess
+    is new.  Returns both lists still in sorted order.
+    """
+    remaining = dict(counts)
+    fresh: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+__all__ = ["BASELINE_VERSION", "apply_baseline", "fingerprint",
+           "load_baseline", "write_baseline"]

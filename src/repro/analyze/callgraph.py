@@ -1,0 +1,984 @@
+"""Project-wide symbol table and call graph for flow-aware rules.
+
+The per-file rules in :mod:`.rules` see one ``ast.Module`` at a time;
+the concurrency rules in :mod:`.concurrency` need to answer questions
+that span files: *which thread can reach this write?  does this async
+function transitively hit a blocking call?  who holds which lock when
+this one is acquired?*  This module builds the shared substrate those
+rules stand on:
+
+* a **symbol table** per module — top-level functions, classes and
+  their methods, module-level assignments, and the import map that
+  resolves local names to other modules' symbols;
+* a **call graph** whose edges are *typed* by how control transfers:
+
+  ========== ==========================================================
+  call       plain (possibly awaited) call — same thread, same context
+  task       ``asyncio.create_task`` / ``ensure_future`` / ``gather`` —
+             concurrent, but on the same event-loop thread
+  to_thread  ``asyncio.to_thread`` / ``loop.run_in_executor`` — the
+             callee runs on a worker thread (context is copied)
+  thread     ``threading.Thread(target=...)`` — a new thread with an
+             empty contextvars context
+  executor   ``executor.submit(...)`` — a pooled worker thread
+  process    ``pool.apply_async/map/...``, ``multiprocessing.Process``
+             — the callee and its arguments cross a pickle boundary
+  ========== ==========================================================
+
+* **lock identities** (module-level ``_LOCK = threading.Lock()`` and
+  instance ``self._lock = threading.Lock()`` attributes) plus every
+  ``with lock:`` acquisition, annotated with the locks already held;
+* **module-global accesses** (reads, writes, and mutating method
+  calls) annotated with the locks held at the access site;
+* **contextvars discipline facts**: every ``ContextVar.set()`` with
+  where its token went, and every ``.reset()`` with what it restores.
+
+Resolution is deliberately *static and conservative*: a call the table
+cannot resolve stays an edge with a dotted name and no callee, and the
+rules treat unresolved as "assume nothing".  Method calls on unknown
+receivers fall back to **unique-name dispatch** — if exactly one class
+in the project defines the method, the call resolves there; if several
+do, the edge stays unresolved rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+# -- edge kinds -------------------------------------------------------------
+
+CALL = "call"
+TASK = "task"
+TO_THREAD = "to_thread"
+THREAD = "thread"
+EXECUTOR = "executor"
+PROCESS = "process"
+
+#: Edges that leave the spawning thread (same process).
+THREAD_KINDS = frozenset({TO_THREAD, THREAD, EXECUTOR})
+#: Edges that leave the spawning execution context entirely.
+SPAWN_KINDS = frozenset({TO_THREAD, THREAD, EXECUTOR, PROCESS, TASK})
+
+#: Pool submission attributes whose first argument crosses the pickle
+#: boundary into a worker *process*.  The distinctive names match on
+#: any receiver; ``apply``/``map`` are common enough method names that
+#: they additionally require a pool-looking receiver.
+_POOL_ATTRS = frozenset({"apply_async", "map_async", "imap",
+                         "imap_unordered", "starmap", "starmap_async"})
+_POOL_ATTRS_GENERIC = frozenset({"apply", "map"})
+
+#: Constructors whose product is a lock usable in ``with``.
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                         "BoundedSemaphore"})
+
+#: Constructors whose product must not cross a fork/pickle boundary:
+#: OS threads, their synchronisation primitives, live sockets, and
+#: contextvars (which a forked child inherits but cannot share).
+_FORK_UNSAFE_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                                "BoundedSemaphore", "Event", "Barrier",
+                                "Thread", "local", "socket", "ContextVar"})
+
+#: Modules the fork-unsafe constructors are expected to come from.
+_FORK_UNSAFE_MODULES = frozenset({"threading", "socket", "contextvars",
+                                  "asyncio", "multiprocessing"})
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chains as a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# -- facts ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method: the call graph's node."""
+
+    qname: str                      # module-qualified, e.g. "serve.server.ExperimentServer._worker"
+    module: str
+    name: str
+    class_name: str | None
+    is_async: bool
+    path: str
+    scope_key: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One call site: caller → (maybe resolved) callee, typed."""
+
+    caller: str                     # FunctionInfo qname ("" = module top level)
+    callee: str | None              # resolved qname, or None
+    kind: str                       # CALL | TASK | TO_THREAD | THREAD | EXECUTOR | PROCESS
+    dotted: str | None              # raw dotted call text ("time.sleep"), if any
+    node: ast.Call
+    path: str
+    locks_held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``with lock:`` entry and the locks already held there."""
+
+    function: str
+    lock: str
+    held: tuple[str, ...]
+    node: ast.AST
+    path: str
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One read/write of a module-level global inside a function."""
+
+    function: str
+    target: str                     # global qname, e.g. "runner.scheduler._POLICY"
+    is_write: bool
+    locks_held: tuple[str, ...]
+    node: ast.AST
+    path: str
+
+
+@dataclass(frozen=True)
+class CtxVarSet:
+    """One ``ContextVar.set()`` and where its token went.
+
+    ``token`` is ``("discarded", "")``, ``("local", name)``, or
+    ``("self", attr)``.
+    """
+
+    function: str
+    class_name: str | None
+    var: str
+    token: tuple[str, str]
+    node: ast.AST
+    path: str
+
+
+@dataclass(frozen=True)
+class CtxVarReset:
+    """One ``ContextVar.reset(token)``; mirror of :class:`CtxVarSet`."""
+
+    function: str
+    class_name: str | None
+    var: str
+    token: tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SpawnArgument:
+    """One value shipped across a process boundary at a spawn site.
+
+    ``origin`` classifies what the static table knows about it:
+    ``("unsafe", detail)`` for a known fork-unsafe value,
+    ``("instance", class_qname)`` for an instance of a project class,
+    ``("callable", qname)``, or ``("plain", "")``.
+    """
+
+    origin: tuple[str, str]
+    node: ast.AST
+
+
+@dataclass(frozen=True)
+class ProcessSpawn:
+    """One call site shipping work to a worker process."""
+
+    function: str
+    callee: str | None              # resolved target callable, if any
+    callee_class: str | None        # class qname when target is a bound method
+    args: tuple[SpawnArgument, ...]
+    node: ast.Call
+    path: str
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table for one parsed module."""
+
+    name: str
+    path: str
+    scope_key: str
+    tree: ast.Module
+    functions: dict[str, str] = field(default_factory=dict)     # local name -> qname
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)  # class -> method -> qname
+    import_modules: dict[str, str] = field(default_factory=dict)      # alias -> dotted module
+    import_symbols: dict[str, tuple[str, str]] = field(default_factory=dict)  # alias -> (module, name)
+    #: Module-level names assigned a mutable display/constructor.
+    mutable_globals: set[str] = field(default_factory=set)
+    #: Module-level name -> dotted constructor that produced it.
+    global_ctors: dict[str, str] = field(default_factory=dict)
+
+
+def module_name_for(scope_key: str) -> str:
+    """Dotted module name derived from a scope key (see engine)."""
+    name = scope_key[:-3] if scope_key.endswith(".py") else scope_key
+    name = name.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+class Project:
+    """The whole-program fact base the concurrency rules query.
+
+    Build one with :meth:`build` from the engine's parsed
+    ``FileContext`` objects (anything with ``path``, ``tree`` and
+    ``scope_key`` attributes works).
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: list[Edge] = []
+        self.locks: dict[str, str] = {}          # lock qname -> ctor dotted name
+        self.acquisitions: list[Acquisition] = []
+        self.global_accesses: list[GlobalAccess] = []
+        self.context_vars: set[str] = set()      # ContextVar global qnames
+        self.ctx_sets: list[CtxVarSet] = []
+        self.ctx_resets: list[CtxVarReset] = []
+        self.process_spawns: list[ProcessSpawn] = []
+        #: class qname -> {attr -> ctor dotted} for fork-unsafe attrs.
+        self.class_unsafe_attrs: dict[str, dict[str, str]] = {}
+        #: class qname -> {attr} assigned a lock ctor in any method.
+        self._method_names: dict[str, list[str]] = {}
+        self._edges_from: dict[str, list[Edge]] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: list) -> Project:
+        project = cls()
+        ordered = sorted(contexts, key=lambda c: str(c.path))
+        for ctx in ordered:
+            project._collect_symbols(str(ctx.path), ctx.scope_key, ctx.tree)
+        for ctx in ordered:
+            module = project.modules[module_name_for(ctx.scope_key)]
+            _FunctionWalker(project, module).walk()
+        return project
+
+    def _collect_symbols(self, path: str, scope_key: str,
+                         tree: ast.Module) -> None:
+        name = module_name_for(scope_key)
+        module = ModuleInfo(name=name, path=path, scope_key=scope_key,
+                            tree=tree)
+        self.modules[name] = module
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{name}.{stmt.name}"
+                module.functions[stmt.name] = qname
+                self._add_function(qname, module, stmt, class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                methods: dict[str, str] = {}
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qname = f"{name}.{stmt.name}.{sub.name}"
+                        methods[sub.name] = qname
+                        self._add_function(qname, module, sub,
+                                           class_name=stmt.name)
+                        self._method_names.setdefault(sub.name, []).append(qname)
+                module.classes[stmt.name] = methods
+                self._collect_class_attrs(module, stmt)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    module.import_modules[bound] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+                    if alias.asname:
+                        module.import_modules[alias.asname] = alias.name
+            elif isinstance(stmt, ast.ImportFrom):
+                target = self._resolve_import_from(name, stmt)
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name
+                    module.import_symbols[bound] = (target, alias.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._collect_global_assign(module, stmt)
+
+    def _add_function(self, qname: str, module: ModuleInfo,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      class_name: str | None) -> None:
+        self.functions[qname] = FunctionInfo(
+            qname=qname, module=module.name, name=node.name,
+            class_name=class_name,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            path=module.path, scope_key=module.scope_key, node=node)
+
+    @staticmethod
+    def _resolve_import_from(module_name: str, stmt: ast.ImportFrom) -> str:
+        """Dotted target of a (possibly relative) ``from X import ...``."""
+        if not stmt.level:
+            return stmt.module or ""
+        parts = module_name.split(".")
+        # level 1 = current package (drop the file component), each
+        # further level climbs one package.
+        base = parts[:-stmt.level] if stmt.level <= len(parts) else []
+        if stmt.module:
+            base = base + stmt.module.split(".")
+        return ".".join(base)
+
+    def _collect_global_assign(self, module: ModuleInfo,
+                               stmt: ast.Assign | ast.AnnAssign) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        else:
+            if stmt.value is None:
+                return
+            targets, value = [stmt.target], stmt.value
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            return
+        ctor = self._ctor_of(value)
+        for bound in names:
+            qname = f"{module.name}.{bound}"
+            if ctor is not None:
+                module.global_ctors[bound] = ctor
+                last = ctor.rsplit(".", 1)[-1]
+                if last in _LOCK_CTORS:
+                    self.locks[qname] = ctor
+                if last == "ContextVar":
+                    self.context_vars.add(qname)
+            if self._is_mutable_value(value):
+                module.mutable_globals.add(bound)
+
+    @staticmethod
+    def _ctor_of(value: ast.expr) -> str | None:
+        if isinstance(value, ast.Call):
+            return dotted_name(value.func)
+        return None
+
+    @staticmethod
+    def _is_mutable_value(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("dict", "list", "set", "defaultdict",
+                                     "deque", "Counter", "OrderedDict")
+        return False
+
+    def _collect_class_attrs(self, module: ModuleInfo,
+                             cls_node: ast.ClassDef) -> None:
+        """``self.x = <ctor>()`` assignments anywhere in the class."""
+        class_qname = f"{module.name}.{cls_node.name}"
+        unsafe: dict[str, str] = {}
+        for node in ast.walk(cls_node):
+            if not isinstance(node, ast.Assign):
+                continue
+            ctor = self._ctor_of(node.value)
+            if ctor is None:
+                continue
+            last = ctor.rsplit(".", 1)[-1]
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attr_qname = f"{class_qname}.{target.attr}"
+                    if last in _LOCK_CTORS:
+                        self.locks[attr_qname] = ctor
+                    if self._ctor_is_fork_unsafe(ctor):
+                        unsafe[target.attr] = ctor
+        if unsafe:
+            self.class_unsafe_attrs[class_qname] = unsafe
+
+    @staticmethod
+    def _ctor_is_fork_unsafe(ctor: str) -> bool:
+        parts = ctor.split(".")
+        if parts[-1] not in _FORK_UNSAFE_CTORS:
+            return False
+        # Unqualified ctors ("Lock()") count only for the unambiguous
+        # names; qualified ones must come from a concurrency module.
+        if len(parts) == 1:
+            return parts[0] in ("ContextVar", "Thread")
+        return parts[0] in _FORK_UNSAFE_MODULES
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup_module(self, target: str) -> ModuleInfo | None:
+        """Resolve a dotted import target against the project.
+
+        Tries the exact name, then unique suffix matches in both
+        directions — analysed trees are rooted below their package
+        (``serve.server`` vs ``repro.serve.server``).
+        """
+        if not target:
+            return None
+        if target in self.modules:
+            return self.modules[target]
+        matches = sorted(
+            name for name in self.modules
+            if name.endswith("." + target) or target.endswith("." + name))
+        if len(matches) == 1:
+            return self.modules[matches[0]]
+        return None
+
+    def resolve_name(self, name: str, module: ModuleInfo) -> str | None:
+        """A bare name at module scope → qname of a project symbol."""
+        if name in module.functions:
+            return module.functions[name]
+        if name in module.classes:
+            return f"{module.name}.{name}"
+        if name in module.import_symbols:
+            src, original = module.import_symbols[name]
+            target = self.lookup_module(src)
+            if target is not None:
+                if original in target.functions:
+                    return target.functions[original]
+                if original in target.classes:
+                    return f"{target.name}.{original}"
+                if original in target.global_ctors or original in target.mutable_globals:
+                    return f"{target.name}.{original}"
+                # ``from pkg import submodule``
+                sub = self.lookup_module(f"{src}.{original}")
+                if sub is not None:
+                    return sub.name
+        if name in module.global_ctors or name in module.mutable_globals:
+            return f"{module.name}.{name}"
+        return None
+
+    def resolve_method(self, name: str) -> str | None:
+        """Unique-name dynamic dispatch fallback (see module docstring)."""
+        candidates = self._method_names.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_call(self, func: ast.expr, module: ModuleInfo,
+                     class_name: str | None) -> tuple[str | None, str | None]:
+        """Resolve a call's target: ``(qname or None, dotted text)``."""
+        dotted = dotted_name(func)
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(func.id, module)
+            if resolved is not None and resolved in self.functions:
+                return resolved, dotted
+            if resolved is not None:
+                # A class: the call constructs it — resolve to __init__.
+                methods = self._class_methods(resolved)
+                if methods is not None:
+                    return methods.get("__init__"), dotted
+            return None, dotted
+        if isinstance(func, ast.Attribute):
+            head = func.value
+            if isinstance(head, ast.Name):
+                if head.id == "self" and class_name is not None:
+                    methods = module.classes.get(class_name, {})
+                    if func.attr in methods:
+                        return methods[func.attr], dotted
+                    return self.resolve_method(func.attr), dotted
+                target = self._module_for_alias(head.id, module)
+                if target is not None:
+                    if func.attr in target.functions:
+                        return target.functions[func.attr], dotted
+                    if func.attr in target.classes:
+                        return (target.classes[func.attr].get("__init__"),
+                                dotted)
+                    return None, dotted
+            # Unknown receiver: unique-name dispatch fallback.
+            return self.resolve_method(func.attr), dotted
+        return None, dotted
+
+    def _module_for_alias(self, name: str, module: ModuleInfo,
+                          ) -> ModuleInfo | None:
+        if name in module.import_modules:
+            return self.lookup_module(module.import_modules[name])
+        if name in module.import_symbols:
+            src, original = module.import_symbols[name]
+            return self.lookup_module(f"{src}.{original}" if src else original)
+        return None
+
+    def _class_methods(self, class_qname: str) -> dict[str, str] | None:
+        module_name, _, cls = class_qname.rpartition(".")
+        info = self.modules.get(module_name)
+        if info is None:
+            return None
+        return info.classes.get(cls)
+
+    def resolve_lock_expr(self, expr: ast.expr, module: ModuleInfo,
+                          class_name: str | None) -> str | None:
+        """``with <expr>:`` → lock qname, when expr names a known lock."""
+        if isinstance(expr, ast.Name):
+            resolved = self.resolve_name(expr.id, module)
+            if resolved in self.locks:
+                return resolved
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self" and class_name is not None:
+                qname = f"{module.name}.{class_name}.{expr.attr}"
+                if qname in self.locks:
+                    return qname
+                return None
+            target = self._module_for_alias(expr.value.id, module)
+            if target is not None:
+                qname = f"{target.name}.{expr.attr}"
+                if qname in self.locks:
+                    return qname
+        return None
+
+    def resolve_global_target(self, expr: ast.expr, module: ModuleInfo,
+                              ) -> str | None:
+        """Name → qname of the module-level mutable global it denotes."""
+        if not isinstance(expr, ast.Name):
+            return None
+        if expr.id in module.mutable_globals:
+            return f"{module.name}.{expr.id}"
+        if expr.id in module.import_symbols:
+            src, original = module.import_symbols[expr.id]
+            target = self.lookup_module(src)
+            if target is not None and original in target.mutable_globals:
+                return f"{target.name}.{original}"
+        return None
+
+    def resolve_context_var(self, expr: ast.expr, module: ModuleInfo,
+                            ) -> str | None:
+        """Receiver of ``.set()/.reset()`` → ContextVar qname, if known."""
+        if isinstance(expr, ast.Name):
+            resolved = self.resolve_name(expr.id, module)
+            if resolved in self.context_vars:
+                return resolved
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            target = self._module_for_alias(expr.value.id, module)
+            if target is not None:
+                qname = f"{target.name}.{expr.attr}"
+                if qname in self.context_vars:
+                    return qname
+        return None
+
+    # -- graph queries ------------------------------------------------------
+
+    def edges_from(self, qname: str) -> list[Edge]:
+        if self._edges_from is None:
+            index: dict[str, list[Edge]] = {}
+            for edge in self.edges:
+                index.setdefault(edge.caller, []).append(edge)
+            self._edges_from = index
+        return self._edges_from.get(qname, [])
+
+    def reachable(self, roots: set[str],
+                  kinds: frozenset[str] = frozenset({CALL}),
+                  ) -> set[str]:
+        """Functions reachable from ``roots`` over edges of ``kinds``."""
+        seen = set(root for root in roots if root in self.functions)
+        stack = sorted(seen)
+        while stack:
+            current = stack.pop()
+            for edge in self.edges_from(current):
+                if edge.kind not in kinds or edge.callee is None:
+                    continue
+                if edge.callee not in seen and edge.callee in self.functions:
+                    seen.add(edge.callee)
+                    stack.append(edge.callee)
+        return seen
+
+    def spawn_targets(self, kinds: frozenset[str]) -> dict[str, Edge]:
+        """Resolved targets of spawn edges of ``kinds`` (first edge wins)."""
+        targets: dict[str, Edge] = {}
+        for edge in self.edges:
+            if edge.kind in kinds and edge.callee is not None \
+                    and edge.callee not in targets:
+                targets[edge.callee] = edge
+        return targets
+
+    def entry_points(self) -> set[str]:
+        """Functions no project edge targets: the outside-world surface."""
+        targeted = {e.callee for e in self.edges if e.callee is not None}
+        return {q for q in self.functions if q not in targeted}
+
+
+# -- per-function AST walking ----------------------------------------------
+
+
+class _FunctionWalker:
+    """Extracts edges, acquisitions, global accesses, and ctxvar facts
+    from every function of one module (plus its top-level code)."""
+
+    #: Mutating methods on the builtin containers (a call through one of
+    #: these on a module global is a write to shared state).
+    _MUTATORS = frozenset({"append", "extend", "insert", "add", "update",
+                           "pop", "popitem", "clear", "remove", "discard",
+                           "setdefault", "__setitem__"})
+
+    def __init__(self, project: Project, module: ModuleInfo) -> None:
+        self.project = project
+        self.module = module
+        #: Call nodes consumed as spawn arguments (``create_task(f())``
+        #: builds a coroutine, it does not run ``f`` synchronously) —
+        #: skipped when the expression walk reaches them.
+        self._consumed: set[int] = set()
+
+    def walk(self) -> None:
+        for qname, info in sorted(self.project.functions.items()):
+            if info.module != self.module.name:
+                continue
+            globals_declared = self._global_decls(info.node)
+            self._walk_body(info.node, qname, info.class_name,
+                            held=(), globals_declared=globals_declared)
+        self._walk_top_level()
+
+    def _walk_top_level(self) -> None:
+        for stmt in self.module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            self._walk_stmt(stmt, caller="", class_name=None, held=(),
+                            globals_declared=set())
+
+    @staticmethod
+    def _global_decls(node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                names.update(sub.names)
+        return names
+
+    def _walk_body(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                   caller: str, class_name: str | None,
+                   held: tuple[str, ...], globals_declared: set[str]) -> None:
+        for stmt in node.body:
+            self._walk_stmt(stmt, caller, class_name, held, globals_declared)
+
+    def _walk_stmt(self, stmt: ast.stmt, caller: str,
+                   class_name: str | None, held: tuple[str, ...],
+                   globals_declared: set[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: its body is its own node in the graph.
+            qname = f"{caller}.<locals>.{stmt.name}" if caller \
+                else f"{self.module.name}.{stmt.name}"
+            if qname not in self.project.functions:
+                self.project.functions[qname] = FunctionInfo(
+                    qname=qname, module=self.module.name, name=stmt.name,
+                    class_name=class_name,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    path=self.module.path, scope_key=self.module.scope_key,
+                    node=stmt)
+                self._walk_body(stmt, qname, class_name, (),
+                                self._global_decls(stmt))
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    self._visit_exprs(expr, caller, class_name, held,
+                                      globals_declared)
+                    continue
+                lock = self.project.resolve_lock_expr(expr, self.module,
+                                                      class_name)
+                if lock is not None:
+                    self.project.acquisitions.append(Acquisition(
+                        function=caller, lock=lock, held=inner,
+                        node=stmt, path=self.module.path))
+                    if lock not in inner:
+                        inner = inner + (lock,)
+            for sub in stmt.body:
+                self._walk_stmt(sub, caller, class_name, inner,
+                                globals_declared)
+            return
+        # Assignments: global writes.
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._note_assign_writes(stmt, caller, held, globals_declared)
+        # Recurse into compound statements, visiting expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, caller, class_name, held,
+                                globals_declared)
+            elif isinstance(child, ast.expr):
+                self._visit_exprs(child, caller, class_name, held,
+                                  globals_declared)
+            elif isinstance(child, (ast.excepthandler, ast.match_case)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._walk_stmt(sub, caller, class_name, held,
+                                        globals_declared)
+
+    def _note_assign_writes(self, stmt: ast.stmt, caller: str,
+                            held: tuple[str, ...],
+                            globals_declared: set[str]) -> None:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        else:
+            return
+        for target in targets:
+            base: ast.expr | None = None
+            if isinstance(target, ast.Name):
+                # Rebinding a module global needs a ``global`` decl
+                # inside a function; at top level every Name binds the
+                # module scope (but top-level init is not a race).
+                if caller and target.id in globals_declared:
+                    base = target
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = target.value
+            if base is None:
+                continue
+            qname = self.project.resolve_global_target(base, self.module)
+            if qname is not None and caller:
+                self.project.global_accesses.append(GlobalAccess(
+                    function=caller, target=qname, is_write=True,
+                    locks_held=held, node=target, path=self.module.path))
+
+    # -- expression visiting -------------------------------------------
+
+    def _visit_exprs(self, expr: ast.expr, caller: str,
+                     class_name: str | None, held: tuple[str, ...],
+                     globals_declared: set[str]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._note_call(node, caller, class_name, held)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                qname = self.project.resolve_global_target(node, self.module)
+                if qname is not None and caller:
+                    self.project.global_accesses.append(GlobalAccess(
+                        function=caller, target=qname, is_write=False,
+                        locks_held=held, node=node, path=self.module.path))
+
+    def _note_call(self, call: ast.Call, caller: str,
+                   class_name: str | None, held: tuple[str, ...]) -> None:
+        if id(call) in self._consumed:
+            return
+        func = call.func
+        dotted = dotted_name(func)
+        if dotted in ("asyncio.gather", "gather"):
+            for arg in call.args:
+                inner: ast.expr = arg
+                if isinstance(inner, ast.Call):
+                    self._consumed.add(id(inner))
+                    inner = inner.func
+                if isinstance(inner, (ast.Name, ast.Attribute)):
+                    callee, inner_dotted = self.project.resolve_call(
+                        inner, self.module, class_name)
+                    self._add_edge(caller, callee, TASK, inner_dotted,
+                                   call, held)
+            return
+        kind, target_expr = self._spawn_of(call, dotted)
+        if kind is not None:
+            if target_expr is not None:
+                callee, target_dotted = self.project.resolve_call(
+                    target_expr, self.module, class_name)
+                self._add_edge(caller, callee, kind, target_dotted, call, held)
+                if kind == PROCESS:
+                    self._note_process_spawn(call, caller, class_name,
+                                             callee, target_expr)
+            return
+        # Mutating method call on a module global is a write.
+        if isinstance(func, ast.Attribute) and func.attr in self._MUTATORS:
+            qname = self.project.resolve_global_target(func.value, self.module)
+            if qname is not None and caller:
+                self.project.global_accesses.append(GlobalAccess(
+                    function=caller, target=qname, is_write=True,
+                    locks_held=held, node=call, path=self.module.path))
+        # ContextVar set/reset discipline facts.
+        if isinstance(func, ast.Attribute) and func.attr in ("set", "reset"):
+            var = self.project.resolve_context_var(func.value, self.module)
+            if var is not None:
+                self._note_ctxvar(call, func.attr, var, caller, class_name)
+                return
+        callee, _ = self.project.resolve_call(func, self.module, class_name)
+        self._add_edge(caller, callee, CALL, dotted, call, held)
+
+    def _spawn_of(self, call: ast.Call, dotted: str | None,
+                  ) -> tuple[str | None, ast.expr | None]:
+        """Classify spawn-shaped calls: ``(kind, target expr)``."""
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        if dotted in ("asyncio.to_thread", "to_thread"):
+            return TO_THREAD, call.args[0] if call.args else None
+        if attr == "run_in_executor":
+            return TO_THREAD, call.args[1] if len(call.args) > 1 else None
+        if dotted in ("asyncio.create_task", "create_task",
+                      "asyncio.ensure_future", "ensure_future"):
+            arg = call.args[0] if call.args else None
+            if isinstance(arg, ast.Call):
+                self._consumed.add(id(arg))
+                return TASK, arg.func
+            return TASK, arg
+        if dotted in ("threading.Thread", "Thread", "multiprocessing.Process",
+                      "Process"):
+            kind = PROCESS if dotted is not None and "Process" in dotted \
+                else THREAD
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    return kind, keyword.value
+            return kind, None
+        if attr in _POOL_ATTRS:
+            return PROCESS, call.args[0] if call.args else None
+        if attr in _POOL_ATTRS_GENERIC and isinstance(func, ast.Attribute):
+            receiver = dotted_name(func.value) or ""
+            if "pool" in receiver.lower():
+                return PROCESS, call.args[0] if call.args else None
+        if attr == "submit":
+            return EXECUTOR, call.args[0] if call.args else None
+        return None, None
+
+    def _add_edge(self, caller: str, callee: str | None, kind: str,
+                  dotted: str | None, node: ast.Call,
+                  held: tuple[str, ...]) -> None:
+        self.project.edges.append(Edge(
+            caller=caller, callee=callee, kind=kind, dotted=dotted,
+            node=node, path=self.module.path, locks_held=held))
+
+    def _note_process_spawn(self, call: ast.Call, caller: str,
+                            class_name: str | None, callee: str | None,
+                            target_expr: ast.expr) -> None:
+        args: list[SpawnArgument] = []
+        payloads: list[ast.expr] = [a for a in call.args[1:]]
+        for keyword in call.keywords:
+            if keyword.arg in ("args", "kwds", "kwargs") or keyword.arg is None:
+                payloads.append(keyword.value)
+        for payload in payloads:
+            elements = payload.elts if isinstance(
+                payload, (ast.Tuple, ast.List)) else [payload]
+            for element in elements:
+                args.append(SpawnArgument(
+                    origin=self._classify_value(element, class_name),
+                    node=element))
+        args.append(SpawnArgument(
+            origin=self._classify_value(target_expr, class_name),
+            node=target_expr))
+        self.project.process_spawns.append(ProcessSpawn(
+            function=caller, callee=callee,
+            callee_class=self._bound_method_class(target_expr, class_name),
+            args=tuple(args), node=call, path=self.module.path))
+
+    def _bound_method_class(self, expr: ast.expr,
+                            class_name: str | None) -> str | None:
+        """Class qname when ``expr`` is a bound method reference."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self" \
+                and class_name is not None:
+            return f"{self.module.name}.{class_name}"
+        resolved = self.project.resolve_method(expr.attr)
+        if resolved is not None:
+            return resolved.rsplit(".", 1)[0]
+        return None
+
+    def _classify_value(self, expr: ast.expr,
+                        class_name: str | None) -> tuple[str, str]:
+        """What a spawn-site argument expression is, statically."""
+        if isinstance(expr, ast.Call):
+            ctor = dotted_name(expr.func)
+            if ctor is not None and Project._ctor_is_fork_unsafe(ctor):
+                return ("unsafe", ctor)
+            return ("plain", "")
+        if isinstance(expr, ast.Name):
+            resolved = self.project.resolve_name(expr.id, self.module)
+            if resolved is not None:
+                if resolved in self.project.locks:
+                    return ("unsafe", self.project.locks[resolved])
+                if resolved in self.project.context_vars:
+                    return ("unsafe", "contextvars.ContextVar")
+                module_name, _, bound = resolved.rpartition(".")
+                info = self.project.modules.get(module_name)
+                if info is not None:
+                    ctor = info.global_ctors.get(bound)
+                    if ctor is not None:
+                        if Project._ctor_is_fork_unsafe(ctor):
+                            return ("unsafe", ctor)
+                        ctor_q = self.project.resolve_name(
+                            ctor.split(".")[0], info)
+                        if ctor_q in self.project.class_unsafe_attrs:
+                            return ("instance", ctor_q)
+                if resolved in self.project.functions:
+                    return ("callable", resolved)
+            local = self._local_ctor(expr.id)
+            if local is not None:
+                if Project._ctor_is_fork_unsafe(local):
+                    return ("unsafe", local)
+                local_q = self.project.resolve_name(local.split(".")[0],
+                                                    self.module)
+                if local_q in self.project.class_unsafe_attrs:
+                    return ("instance", local_q)
+            return ("plain", "")
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and class_name is not None):
+            class_qname = f"{self.module.name}.{class_name}"
+            unsafe = self.project.class_unsafe_attrs.get(class_qname, {})
+            if expr.attr in unsafe:
+                return ("unsafe", unsafe[expr.attr])
+        return ("plain", "")
+
+    def _local_ctor(self, name: str) -> str | None:
+        """Constructor assigned to local ``name`` in the current function.
+
+        The walker runs statement-by-statement, so a full per-function
+        local table would complicate the traversal; a module-wide scan
+        for ``name = ctor()`` inside function bodies is a close,
+        deterministic approximation (false resolution requires the same
+        local name bound to different ctors in different functions —
+        and then the rule errs on the loud side).
+        """
+        for node in ast.walk(self.module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            ctor = Project._ctor_of(node.value)
+            if ctor is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return ctor
+        return None
+
+    def _note_ctxvar(self, call: ast.Call, op: str, var: str,
+                     caller: str, class_name: str | None) -> None:
+        if op == "reset":
+            token = ("discarded", "")
+            if call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Name):
+                    token = ("local", arg.id)
+                elif isinstance(arg, ast.Attribute) \
+                        and isinstance(arg.value, ast.Name) \
+                        and arg.value.id == "self":
+                    token = ("self", arg.attr)
+            self.project.ctx_resets.append(CtxVarReset(
+                function=caller, class_name=class_name, var=var, token=token))
+            return
+        token = self._token_binding(call)
+        self.project.ctx_sets.append(CtxVarSet(
+            function=caller, class_name=class_name, var=var, token=token,
+            node=call, path=self.module.path))
+
+    def _token_binding(self, call: ast.Call) -> tuple[str, str]:
+        """Where a ``.set()`` call's token goes, from the enclosing
+        assignment (if any) in the module tree."""
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.Assign) and node.value is call:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    return ("local", target.id)
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    return ("self", target.attr)
+                return ("local", "?")
+            if isinstance(node, ast.AnnAssign) and node.value is call \
+                    and isinstance(node.target, ast.Name):
+                return ("local", node.target.id)
+        return ("discarded", "")
+
+
+def build_project(contexts: list) -> Project:
+    """Convenience wrapper mirroring :meth:`Project.build`."""
+    return Project.build(contexts)
+
+
+__all__ = [
+    "CALL", "TASK", "TO_THREAD", "THREAD", "EXECUTOR", "PROCESS",
+    "THREAD_KINDS", "SPAWN_KINDS",
+    "Acquisition", "CtxVarReset", "CtxVarSet", "Edge", "FunctionInfo",
+    "GlobalAccess", "ModuleInfo", "ProcessSpawn", "Project",
+    "SpawnArgument", "build_project", "dotted_name", "module_name_for",
+]

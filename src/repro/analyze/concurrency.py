@@ -1,0 +1,497 @@
+"""Concurrency-discipline rules over the project call graph (CONC*).
+
+The repo runs three concurrency regimes at once — the asyncio serve
+tier, the thread-based cancel/watchdog machinery, and the
+multiprocessing runner pool — and the bugs that cross their seams
+(an event loop stalled by a store lock, a token shipped into a fork,
+a capture contextvar leaked across requests) are exactly the ones
+per-file linting cannot see.  These rules run in the engine's second
+phase against the :class:`~.callgraph.Project` fact base:
+
+========  ==========================================================
+CONC001   writes to shared mutable module globals without the lock
+          that guards their other access sites
+CONC002   blocking calls reachable from ``async def`` without a
+          ``to_thread``/executor hop in between
+CONC003   lock-ordering cycles across ``with lock:`` nests in the
+          call graph (deadlock candidates)
+CONC004   threads, locks, sockets, or contextvars crossing the
+          multiprocessing boundary into worker processes
+CONC005   ``ContextVar.set()`` whose token is never ``reset()``
+========  ==========================================================
+
+All five reason across function and module boundaries; suppression
+(``# repro: noqa[CONC00x]``) and scoping work exactly as for the
+per-file rules, keyed by the file each finding lands in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import ClassVar
+
+from .callgraph import (CALL, TASK, THREAD_KINDS, Edge, GlobalAccess,
+                        ModuleInfo, Project)
+from .engine import Finding, ProjectRule, register
+
+#: Callables that block the calling thread.  Matched against
+#: import-normalised dotted names of *unresolved* calls (a call that
+#: resolves to a project function is analysed through the graph
+#: instead).
+_BLOCKING_PRIMITIVES = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "socket.create_connection", "socket.getaddrinfo",
+    "os.fsync", "os.fdatasync",
+    "select.select",
+    "open",
+})
+
+#: Blocking method suffixes (receiver type unknowable statically;
+#: these names are distinctive enough to flag on an event loop).
+_BLOCKING_SUFFIXES = (".read_text", ".write_text", ".read_bytes",
+                      ".write_bytes")
+
+
+def _edge_order(edge: Edge) -> tuple:
+    return (edge.path, edge.node.lineno, edge.node.col_offset, edge.kind,
+            edge.dotted or "")
+
+
+def _normalize_dotted(dotted: str | None, module: ModuleInfo | None,
+                      ) -> str | None:
+    """Expand the leading alias of a dotted call through the imports."""
+    if dotted is None or module is None:
+        return dotted
+    head, _, rest = dotted.partition(".")
+    if head in module.import_symbols:
+        src, original = module.import_symbols[head]
+        base = f"{src}.{original}" if src else original
+        return f"{base}.{rest}" if rest else base
+    if head in module.import_modules:
+        target = module.import_modules[head]
+        return f"{target}.{rest}" if rest else target
+    return dotted
+
+
+def _modules_by_path(project: Project) -> dict[str, ModuleInfo]:
+    return {info.path: info for info in project.modules.values()}
+
+
+def _blocking_primitive(edge: Edge, module: ModuleInfo | None) -> str | None:
+    """The blocking primitive an unresolved call edge names, if any."""
+    if edge.callee is not None:
+        return None
+    dotted = _normalize_dotted(edge.dotted, module)
+    if dotted is None:
+        return None
+    if dotted in _BLOCKING_PRIMITIVES:
+        return dotted
+    if dotted.endswith(_BLOCKING_SUFFIXES):
+        return dotted
+    return None
+
+
+# -- CONC001 ----------------------------------------------------------------
+
+
+@register
+class SharedStateWriteRule(ProjectRule):
+    """CONC001: unguarded writes to thread-shared mutable globals."""
+
+    code: ClassVar[str] = "CONC001"
+    title: ClassVar[str] = "shared mutable global written without its lock"
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = (
+        "A module-level dict/list/set reachable from more than one thread "
+        "is a data race unless every write holds the lock that guards the "
+        "other access sites; a torn update here corrupts results silently "
+        "instead of failing a test.")
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        contexts = self._thread_contexts(project)
+        if len(contexts) < 2:
+            return
+        by_global: dict[str, list[GlobalAccess]] = {}
+        for access in project.global_accesses:
+            by_global.setdefault(access.target, []).append(access)
+        for target in sorted(by_global):
+            accesses = sorted(by_global[target],
+                              key=lambda a: (a.path, a.node.lineno,
+                                             a.node.col_offset))
+            if not self._is_thread_shared(accesses, contexts):
+                continue
+            yield from self._check_writes(target, accesses)
+
+    @staticmethod
+    def _thread_contexts(project: Project) -> list[tuple[str, set[str]]]:
+        """(context id, functions running in it) per thread of control."""
+        spawned = project.spawn_targets(THREAD_KINDS)
+        spawn_roots = set(spawned)
+        main_roots = {q for q in project.entry_points()
+                      if q not in spawn_roots}
+        contexts = [("main", project.reachable(main_roots,
+                                               frozenset({CALL, TASK})))]
+        for root in sorted(spawn_roots):
+            contexts.append((root, project.reachable(
+                {root}, frozenset({CALL, TASK}))))
+        return contexts
+
+    @staticmethod
+    def _is_thread_shared(accesses: list[GlobalAccess],
+                          contexts: list[tuple[str, set[str]]]) -> bool:
+        """True when a worker thread and a second context both touch it."""
+        touched: set[str] = set()
+        for access in accesses:
+            for name, members in contexts:
+                if access.function in members:
+                    touched.add(name)
+        if len(touched) < 2:
+            return False
+        return any(name != "main" for name in touched)
+
+    def _check_writes(self, target: str, accesses: list[GlobalAccess],
+                      ) -> Iterator[Finding]:
+        if not any(a.is_write for a in accesses):
+            return
+        for access in accesses:
+            if not access.is_write:
+                continue
+            guards: set[str] = set()
+            witness: GlobalAccess | None = None
+            for other in accesses:
+                if other is access:
+                    continue
+                guards.update(other.locks_held)
+                if other.locks_held and witness is None:
+                    witness = other
+            if guards and witness is not None \
+                    and not (set(access.locks_held) & guards):
+                where = f"{witness.path}:{witness.node.lineno}"
+                yield self.project_finding(
+                    access.path, access.node,
+                    f"write to thread-shared global '{target}' without "
+                    f"holding {self._lock_list(guards)} that guards its "
+                    f"other access sites (e.g. {where})")
+            elif not guards and not access.locks_held:
+                yield self.project_finding(
+                    access.path, access.node,
+                    f"write to thread-shared global '{target}' with no "
+                    f"lock held at any access site; guard it or confine "
+                    f"it to one thread")
+
+    @staticmethod
+    def _lock_list(guards: set[str]) -> str:
+        names = ", ".join(f"'{g}'" for g in sorted(guards))
+        return f"lock {names}" if len(guards) == 1 else f"locks {names}"
+
+
+# -- CONC002 ----------------------------------------------------------------
+
+
+@register
+class AsyncBlockingCallRule(ProjectRule):
+    """CONC002: blocking work on the event loop thread."""
+
+    code: ClassVar[str] = "CONC002"
+    title: ClassVar[str] = "blocking call reachable from async def"
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = (
+        "A blocking call inside an async function stalls the whole event "
+        "loop — every connection, watchdog, and worker task — for its "
+        "duration; hop through asyncio.to_thread or an executor instead. "
+        "Blocking-ness propagates through sync calls, so a store-lock "
+        "acquisition that sleeps internally is flagged at the async call "
+        "site that reaches it.")
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        modules = _modules_by_path(project)
+        edges = sorted(project.edges, key=_edge_order)
+        blocking = self._blocking_chains(project, edges, modules)
+        for edge in edges:
+            if edge.kind != CALL:
+                continue
+            caller = project.functions.get(edge.caller)
+            if caller is None or not caller.is_async:
+                continue
+            primitive = _blocking_primitive(edge, modules.get(edge.path))
+            if primitive is not None:
+                yield self.project_finding(
+                    edge.path, edge.node,
+                    f"blocking call '{primitive}' inside async function "
+                    f"'{edge.caller}'; hop through asyncio.to_thread or an "
+                    f"executor")
+                continue
+            if edge.callee is None:
+                continue
+            callee = project.functions.get(edge.callee)
+            if callee is None or callee.is_async:
+                # An async callee with blocking work is flagged at its
+                # own call site, not at every awaiter.
+                continue
+            chain = blocking.get(edge.callee)
+            if chain is not None:
+                via = " -> ".join((edge.callee, *chain))
+                yield self.project_finding(
+                    edge.path, edge.node,
+                    f"call from async function '{edge.caller}' blocks the "
+                    f"event loop ({via}); hop through asyncio.to_thread or "
+                    f"an executor")
+
+    @staticmethod
+    def _blocking_chains(project: Project, edges: list[Edge],
+                         modules: dict[str, ModuleInfo],
+                         ) -> dict[str, tuple[str, ...]]:
+        """Fixpoint: sync function -> witness chain down to a primitive."""
+        blocking: dict[str, tuple[str, ...]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for edge in edges:
+                if edge.kind != CALL or not edge.caller:
+                    continue
+                if edge.caller in blocking:
+                    continue
+                primitive = _blocking_primitive(edge, modules.get(edge.path))
+                if primitive is not None:
+                    blocking[edge.caller] = (primitive,)
+                    changed = True
+                    continue
+                if edge.callee is None or edge.callee not in blocking:
+                    continue
+                callee = project.functions.get(edge.callee)
+                if callee is None or callee.is_async:
+                    continue
+                blocking[edge.caller] = (edge.callee,
+                                         *blocking[edge.callee])[:6]
+                changed = True
+        return blocking
+
+
+# -- CONC003 ----------------------------------------------------------------
+
+
+@register
+class LockOrderCycleRule(ProjectRule):
+    """CONC003: inconsistent lock acquisition order (deadlock candidates)."""
+
+    code: ClassVar[str] = "CONC003"
+    title: ClassVar[str] = "lock-ordering cycle in the call graph"
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = (
+        "Two code paths that take the same pair of locks in opposite "
+        "orders deadlock the first time they interleave under load; the "
+        "call graph makes the transitive orders visible (a function that "
+        "acquires a lock deep in a callee still orders it after every "
+        "lock its callers hold).")
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        order: dict[tuple[str, str], tuple[str, int]] = {}
+
+        def note(first: str, second: str, path: str, line: int) -> None:
+            if first == second and "RLock" in project.locks.get(first, ""):
+                return
+            order.setdefault((first, second), (path, line))
+
+        acquisitions = sorted(
+            project.acquisitions,
+            key=lambda a: (a.path, a.node.lineno, a.node.col_offset, a.lock))
+        for acq in acquisitions:
+            for held in acq.held:
+                note(held, acq.lock, acq.path, acq.node.lineno)
+        transitive = self._transitive_acquisitions(project, acquisitions)
+        for edge in sorted(project.edges, key=_edge_order):
+            if edge.kind != CALL or edge.callee is None \
+                    or not edge.locks_held:
+                continue
+            for held in edge.locks_held:
+                for acquired in sorted(transitive.get(edge.callee, ())):
+                    note(held, acquired, edge.path, edge.node.lineno)
+        yield from self._report_cycles(order)
+
+    @staticmethod
+    def _transitive_acquisitions(project: Project, acquisitions: list,
+                                 ) -> dict[str, set[str]]:
+        acquired: dict[str, set[str]] = {}
+        for acq in acquisitions:
+            acquired.setdefault(acq.function, set()).add(acq.lock)
+        changed = True
+        while changed:
+            changed = False
+            for edge in project.edges:
+                if edge.kind != CALL or edge.callee is None:
+                    continue
+                down = acquired.get(edge.callee)
+                if not down:
+                    continue
+                up = acquired.setdefault(edge.caller, set())
+                before = len(up)
+                up |= down
+                if len(up) != before:
+                    changed = True
+        return acquired
+
+    def _report_cycles(self, order: dict[tuple[str, str], tuple[str, int]],
+                       ) -> Iterator[Finding]:
+        locks = sorted({lock for pair in order for lock in pair})
+        adjacency = {lock: sorted(b for (a, b) in order if a == lock)
+                     for lock in locks}
+        closure: dict[str, set[str]] = {}
+        for lock in locks:
+            seen: set[str] = set()
+            stack = list(adjacency[lock])
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(adjacency.get(current, ()))
+            closure[lock] = seen
+        reported: set[frozenset[str]] = set()
+        for lock in locks:
+            if lock not in closure[lock]:
+                continue
+            component = frozenset(
+                {lock} | {other for other in closure[lock]
+                          if lock in closure.get(other, set())})
+            if component in reported:
+                continue
+            reported.add(component)
+            members = sorted(component)
+            witnesses = sorted(
+                (pair, where) for pair, where in order.items()
+                if pair[0] in component and pair[1] in component)
+            sites = "; ".join(
+                f"'{b}' taken while holding '{a}' at {path}:{line}"
+                for (a, b), (path, line) in witnesses)
+            path, line = witnesses[0][1]
+            anchor = _LineAnchor(line)
+            yield self.project_finding(
+                path, anchor,
+                f"lock-ordering cycle among {', '.join(repr(m) for m in members)}"
+                f" — potential deadlock ({sites})")
+
+
+class _LineAnchor:
+    """Minimal node stand-in so a finding can point at a bare line."""
+
+    def __init__(self, lineno: int) -> None:
+        self.lineno = lineno
+        self.col_offset = 0
+
+
+# -- CONC004 ----------------------------------------------------------------
+
+
+@register
+class ForkSafetyRule(ProjectRule):
+    """CONC004: fork-unsafe state crossing the multiprocessing boundary."""
+
+    code: ClassVar[str] = "CONC004"
+    title: ClassVar[str] = "fork-unsafe value shipped to a worker process"
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = (
+        "Locks, threads, live sockets, and contextvars do not survive the "
+        "pickle/fork boundary: at best they fail to pickle, at worst the "
+        "child inherits a lock frozen in the acquired state or a socket "
+        "shared with the parent. Ship plain data and reconstruct state in "
+        "the worker.")
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        spawns = sorted(project.process_spawns,
+                        key=lambda s: (s.path, s.node.lineno,
+                                       s.node.col_offset))
+        for spawn in spawns:
+            if spawn.callee_class is not None:
+                unsafe = project.class_unsafe_attrs.get(spawn.callee_class)
+                if unsafe:
+                    attr, ctor = sorted(unsafe.items())[0]
+                    yield self.project_finding(
+                        spawn.path, spawn.node,
+                        f"bound method of '{spawn.callee_class}' shipped to "
+                        f"a worker process, but its instances hold "
+                        f"fork-unsafe state (self.{attr} = {ctor}()); pass "
+                        f"a module-level function and plain data instead")
+            for arg in spawn.args:
+                kind, detail = arg.origin
+                if kind == "unsafe":
+                    yield self.project_finding(
+                        spawn.path, arg.node,
+                        f"fork-unsafe value ({detail}) crosses the "
+                        f"multiprocessing boundary here; workers must "
+                        f"receive plain picklable data")
+                elif kind == "instance" \
+                        and detail in project.class_unsafe_attrs:
+                    attr, ctor = sorted(
+                        project.class_unsafe_attrs[detail].items())[0]
+                    yield self.project_finding(
+                        spawn.path, arg.node,
+                        f"instance of '{detail}' crosses the multiprocessing "
+                        f"boundary here, but it holds fork-unsafe state "
+                        f"(self.{attr} = {ctor}()); ship plain data instead")
+
+
+# -- CONC005 ----------------------------------------------------------------
+
+
+@register
+class ContextVarResetRule(ProjectRule):
+    """CONC005: ContextVar.set() whose token is never reset."""
+
+    code: ClassVar[str] = "CONC005"
+    title: ClassVar[str] = "ContextVar.set() without a matching reset"
+    severity: ClassVar[str] = "error"
+    rationale: ClassVar[str] = (
+        "A set() whose token is dropped leaks the new value into every "
+        "later task that shares the context — the serve-tier capture-leak "
+        "bug class. Hold the token and reset() it (same function, or a "
+        "paired method storing it on self) so the previous value is "
+        "restored even on error paths.")
+    scope: ClassVar[tuple[str, ...]] = ("",)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        sets = sorted(project.ctx_sets,
+                      key=lambda s: (s.path, s.node.lineno,
+                                     s.node.col_offset))
+        for ctx_set in sets:
+            kind, name = ctx_set.token
+            if kind == "discarded":
+                yield self.project_finding(
+                    ctx_set.path, ctx_set.node,
+                    f"'{ctx_set.var}'.set() discards its token; capture it "
+                    f"and reset() in a finally block so the previous value "
+                    f"is restored")
+                continue
+            if self._has_matching_reset(project, ctx_set, kind, name):
+                continue
+            where = (f"function '{ctx_set.function}'" if kind == "local"
+                     else f"class of '{ctx_set.function}'")
+            yield self.project_finding(
+                ctx_set.path, ctx_set.node,
+                f"token of '{ctx_set.var}'.set() is never reset() in "
+                f"{where}; the new value leaks into unrelated tasks")
+
+    @staticmethod
+    def _has_matching_reset(project: Project, ctx_set, kind: str,
+                            name: str) -> bool:
+        for reset in project.ctx_resets:
+            if reset.var != ctx_set.var or reset.token != (kind, name):
+                continue
+            if kind == "local" and reset.function == ctx_set.function:
+                return True
+            # self.<attr>: any method of the same class qualifies.
+            if (kind == "self" and reset.class_name is not None
+                    and reset.class_name == ctx_set.class_name
+                    and reset.function.rsplit(".", 1)[0]
+                    == ctx_set.function.rsplit(".", 1)[0]):
+                return True
+        return False
+
+
+__all__ = ["AsyncBlockingCallRule", "ContextVarResetRule", "ForkSafetyRule",
+           "LockOrderCycleRule", "SharedStateWriteRule"]

@@ -129,6 +129,34 @@ class Rule:
                        code=self.code, severity=self.severity, message=message)
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (phase two of the analyzer).
+
+    Per-file :class:`Rule` subclasses see one ``ast.Module``;
+    ``ProjectRule`` subclasses see the :class:`~.callgraph.Project`
+    fact base built from *every* parse-clean file of the run, so they
+    can reason across module boundaries (call graphs, lock sets,
+    spawn edges).  ``check`` is intentionally a no-op — the engine
+    calls :meth:`check_project` exactly once per run instead.
+
+    Scoping and suppressions still apply, keyed by the file each
+    finding is anchored in.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Any) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, path: str, node: ast.AST,
+                        message: str) -> Finding:
+        return Finding(path=path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       code=self.code, severity=self.severity,
+                       message=message)
+
+
 # -- registry ---------------------------------------------------------------
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -148,7 +176,8 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules() -> dict[str, type[Rule]]:
-    """The default rule registry (populated by :mod:`.rules` on import)."""
+    """The default rule registry (populated by the rule modules on import)."""
+    from . import concurrency as _concurrency  # noqa: F401
     from . import rules as _rules  # noqa: F401  (import registers the rules)
 
     return dict(_REGISTRY)
@@ -187,49 +216,106 @@ def _scope_key(path: Path) -> str:
 
 # -- the analyzer -----------------------------------------------------------
 
+#: Deterministic finding order: byte-stable across filesystems and
+#: dict-iteration accidents (satellite: registry determinism).
+_FINDING_ORDER = (lambda f: (f.path, f.line, f.col, f.code, f.message))
+
+
 class Analyzer:
-    """Run a set of rules over files and collect findings."""
+    """Run rules over files in two phases and collect findings.
+
+    Phase one runs the per-file :class:`Rule` set on each file; phase
+    two builds a :class:`~.callgraph.Project` from every parse-clean
+    file of the run and hands it to each :class:`ProjectRule` once.
+    Rules execute in sorted code order and findings are globally
+    sorted by ``(path, line, col, code, message)``, so reports are
+    byte-stable regardless of filesystem enumeration order.
+    """
 
     def __init__(self, rules: Iterable[type[Rule]] | None = None) -> None:
         registry = all_rules()
         selected = list(rules) if rules is not None else list(registry.values())
-        self.rules: list[Rule] = [cls() for cls in selected]
+        selected.sort(key=lambda cls: cls.code)
+        instances = [cls() for cls in selected]
+        self.rules: list[Rule] = instances
+        self.file_rules: list[Rule] = [
+            r for r in instances if not isinstance(r, ProjectRule)]
+        self.project_rules: list[ProjectRule] = [
+            r for r in instances if isinstance(r, ProjectRule)]
 
-    def check_source(self, source: str, path: str | Path = "<string>") -> list[Finding]:
-        """Analyze one in-memory source blob (the unit tests' entry point)."""
-        path = Path(path)
+    def _context_for(self, source: str, path: Path,
+                     ) -> tuple[FileContext | None, list[Finding]]:
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return [Finding(path=str(path), line=exc.lineno or 1,
-                            col=(exc.offset or 0) + 1, code="PARSE000",
-                            severity="error",
-                            message=f"cannot parse file: {exc.msg}")]
+            return None, [Finding(path=str(path), line=exc.lineno or 1,
+                                  col=(exc.offset or 0) + 1, code="PARSE000",
+                                  severity="error",
+                                  message=f"cannot parse file: {exc.msg}")]
         line_noqa, file_noqa = _parse_noqa(source)
-        ctx = FileContext(path=path, source=source, tree=tree,
-                          scope_key=_scope_key(path),
-                          line_noqa=line_noqa, file_noqa=file_noqa)
+        return FileContext(path=path, source=source, tree=tree,
+                           scope_key=_scope_key(path),
+                           line_noqa=line_noqa, file_noqa=file_noqa), []
+
+    def _run_file_rules(self, ctx: FileContext) -> list[Finding]:
         findings: list[Finding] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             if not rule.applies_to(ctx.scope_key):
                 continue
             findings.extend(f for f in rule.check(ctx)
                             if not ctx.is_suppressed(f.code, f.line))
-        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def _run_project_rules(self, contexts: list[FileContext]) -> list[Finding]:
+        if not self.project_rules or not contexts:
+            return []
+        from .callgraph import Project
+
+        project = Project.build(contexts)
+        by_path = {str(ctx.path): ctx for ctx in contexts}
+        findings: list[Finding] = []
+        for rule in self.project_rules:
+            for f in rule.check_project(project):
+                ctx = by_path.get(f.path)
+                if ctx is None or not rule.applies_to(ctx.scope_key):
+                    continue
+                if not ctx.is_suppressed(f.code, f.line):
+                    findings.append(f)
+        return findings
+
+    def check_source(self, source: str, path: str | Path = "<string>") -> list[Finding]:
+        """Analyze one in-memory source blob (the unit tests' entry point).
+
+        Runs both phases, with the project built from just this file —
+        cross-file resolution needs :meth:`check_paths`.
+        """
+        ctx, parse_findings = self._context_for(source, Path(path))
+        if ctx is None:
+            return parse_findings
+        findings = self._run_file_rules(ctx)
+        findings.extend(self._run_project_rules([ctx]))
+        findings.sort(key=_FINDING_ORDER)
         return findings
 
     def check_file(self, path: str | Path) -> list[Finding]:
-        path = Path(path)
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise AnalysisError(f"cannot read {path}: {exc}") from exc
-        return self.check_source(source, path)
+        return self.check_paths([path])
 
     def check_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
         findings: list[Finding] = []
+        contexts: list[FileContext] = []
         for path in self.iter_files(paths):
-            findings.extend(self.check_file(path))
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError(f"cannot read {path}: {exc}") from exc
+            ctx, parse_findings = self._context_for(source, path)
+            if ctx is None:
+                findings.extend(parse_findings)
+                continue
+            contexts.append(ctx)
+            findings.extend(self._run_file_rules(ctx))
+        findings.extend(self._run_project_rules(contexts))
+        findings.sort(key=_FINDING_ORDER)
         return findings
 
     @staticmethod
@@ -289,12 +375,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="AST-based invariant linter for the repro simulator stack")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze (default: src)")
-    parser.add_argument("--format", choices=["text", "json"], default="text",
-                        help="report format (default text)")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", help="report format (default text)")
     parser.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run (default all)")
     parser.add_argument("--ignore", default=None, metavar="CODES",
                         help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file: fingerprinted findings in it are "
+                             "reported as pre-existing and do not fail the run")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to --baseline "
+                             "and exit 0")
+    parser.add_argument("--changed", action="store_true",
+                        help="report only findings in files changed vs git "
+                             "HEAD (the call graph is still built over all "
+                             "paths, so cross-module resolution stays exact)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
     return parser
@@ -323,21 +419,80 @@ def _resolve_rules(select: str | None, ignore: str | None) -> list[type[Rule]]:
     return chosen
 
 
+def _git_changed_files() -> set[Path]:
+    """Python files changed vs HEAD (staged + unstaged + untracked)."""
+    import subprocess
+
+    changed: set[Path] = set()
+    commands = (["git", "diff", "--name-only", "HEAD", "--"],
+                ["git", "ls-files", "--others", "--exclude-standard"])
+    for command in commands:
+        try:
+            out = subprocess.run(command, capture_output=True, text=True,
+                                 check=True, timeout=30)
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise AnalysisError(
+                f"--changed needs a git checkout: {exc}") from exc
+        for line in out.stdout.splitlines():
+            if line.endswith(".py"):
+                changed.add(Path(line).resolve())
+    return changed
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.analyze`` / ``domino-repro analyze``.
 
-    Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+    Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error
+    (including paths that contain no Python files at all — a run that
+    analyzed nothing must not look like a clean run).
     """
+    from .baseline import apply_baseline, load_baseline, write_baseline
+
     args = build_arg_parser().parse_args(argv)
     if args.list_rules:
         print(describe_rules())
         return 0
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline PATH",
+              file=sys.stderr)
+        return 2
+    if args.write_baseline and args.changed:
+        print("error: --write-baseline must cover the whole tree; "
+              "drop --changed", file=sys.stderr)
+        return 2
     try:
+        files = list(Analyzer.iter_files(args.paths))
+        if not files:
+            raise AnalysisError(
+                "no Python files found under: "
+                + " ".join(str(p) for p in args.paths))
         analyzer = Analyzer(_resolve_rules(args.select, args.ignore))
-        findings = analyzer.check_paths(args.paths)
+        findings = analyzer.check_paths(files)
+        if args.changed:
+            changed = _git_changed_files()
+            findings = [f for f in findings
+                        if Path(f.path).resolve() in changed]
+        if args.write_baseline:
+            write_baseline(Path(args.baseline), findings)
+            print(f"wrote baseline for {len(findings)} finding(s) "
+                  f"to {args.baseline}")
+            return 0
+        baselined: list[Finding] = []
+        if args.baseline:
+            counts = load_baseline(Path(args.baseline))
+            findings, baselined = apply_baseline(findings, counts)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_json(findings) if args.format == "json"
-          else render_text(findings))
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        from .sarif import render_sarif
+
+        print(render_sarif(findings, baselined))
+    else:
+        print(render_text(findings))
+        if baselined:
+            print(f"{len(baselined)} pre-existing finding(s) suppressed "
+                  f"by baseline {args.baseline}")
     return 1 if findings else 0

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 emitter for analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code-scanning UIs ingest — emitting it lets CI upload analyzer
+results as a reviewable artifact instead of a log grep.  The emitter
+targets the 2.1.0 schema:
+
+* one ``run`` with a ``tool.driver`` describing every registered rule
+  (id, short/full description, default severity level);
+* one ``result`` per finding with ``ruleId``/``ruleIndex``, the SARIF
+  ``level`` (our ``error``/``warning`` map 1:1), and a
+  ``physicalLocation`` with 1-based line/column;
+* baseline-grandfathered findings are still emitted, marked with an
+  ``external`` suppression, so they stay visible in viewers without
+  failing the gate.
+
+URIs are the finding paths converted to POSIX form — relative when the
+analyzer was invoked with relative paths, which is what CI does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+
+from .engine import Finding, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Analyzer severities → SARIF levels (they coincide, but keep the
+#: mapping explicit so a future "note" severity has a seam).
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptors() -> tuple[list[dict], dict[str, int]]:
+    rules = []
+    index: dict[str, int] = {}
+    for position, code in enumerate(sorted(all_rules())):
+        cls = all_rules()[code]
+        rules.append({
+            "id": code,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+            "fullDescription": {"text": cls.rationale},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(cls.severity, "warning")},
+        })
+        index[code] = position
+    return rules, index
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            suppressed: bool) -> dict:
+    result: dict = {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": PurePath(finding.path).as_posix()},
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": max(finding.col, 1),
+                },
+            },
+        }],
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    if suppressed:
+        result["suppressions"] = [{"kind": "external",
+                                   "justification": "analyzer baseline"}]
+    return result
+
+
+def sarif_log(findings: list[Finding],
+              baselined: list[Finding] | None = None) -> dict:
+    """The SARIF log as a plain dict (tests validate its structure)."""
+    rules, rule_index = _rule_descriptors()
+    results = [_result(f, rule_index, suppressed=False) for f in findings]
+    results.extend(_result(f, rule_index, suppressed=True)
+                   for f in (baselined or []))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analyze",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "unicodeCodePoints",
+        }],
+    }
+
+
+def render_sarif(findings: list[Finding],
+                 baselined: list[Finding] | None = None) -> str:
+    return json.dumps(sarif_log(findings, baselined), indent=2)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "sarif_log"]

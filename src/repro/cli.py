@@ -363,6 +363,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         forwarded += ["--select", args.select]
     if args.ignore:
         forwarded += ["--ignore", args.ignore]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.changed:
+        forwarded.append("--changed")
     if args.list_rules:
         forwarded.append("--list-rules")
     return analyze_main(forwarded)
@@ -599,12 +605,19 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="run the AST invariant linter (see docs/ANALYSIS.md)")
     analyze_p.add_argument("paths", nargs="*", default=["src"],
                            help="files or directories (default: src)")
-    analyze_p.add_argument("--format", choices=["text", "json"],
+    analyze_p.add_argument("--format", choices=["text", "json", "sarif"],
                            default="text", help="report format (default text)")
     analyze_p.add_argument("--select", default=None, metavar="CODES",
                            help="comma-separated rule codes to run")
     analyze_p.add_argument("--ignore", default=None, metavar="CODES",
                            help="comma-separated rule codes to skip")
+    analyze_p.add_argument("--baseline", default=None, metavar="PATH",
+                           help="baseline file of grandfathered findings")
+    analyze_p.add_argument("--write-baseline", action="store_true",
+                           help="regenerate --baseline from this run")
+    analyze_p.add_argument("--changed", action="store_true",
+                           help="report only findings in files changed "
+                                "vs git HEAD")
     analyze_p.add_argument("--list-rules", action="store_true",
                            help="print the rule registry and exit")
 

@@ -1,0 +1,30 @@
+"""CONC001 negatives that need call-graph reasoning, not line patterns.
+
+``_SHARED`` is written from a worker thread *with* the guarding lock;
+``_MAIN_ONLY`` is written without any lock but is only ever reachable
+from the main thread — proving that takes reachability, not grep.
+"""
+
+import threading
+
+_LOCK = threading.Lock()
+_SHARED: dict = {}
+_MAIN_ONLY: dict = {}
+
+
+def worker():
+    with _LOCK:
+        _SHARED["count"] = _SHARED.get("count", 0) + 1
+
+
+def report():
+    # Lockless write, but no spawn edge ever reaches this function.
+    _MAIN_ONLY["last"] = "report"
+    with _LOCK:
+        return dict(_SHARED)
+
+
+def main():
+    thread = threading.Thread(target=worker)
+    thread.start()
+    return report()

@@ -1,0 +1,22 @@
+"""CONC001 suppression: the write is a benign last-writer-wins gauge."""
+
+import threading
+
+_LOCK = threading.Lock()
+_GAUGE: dict = {}
+
+
+def read_gauge():
+    with _LOCK:
+        return _GAUGE.get("value")
+
+
+def worker():
+    # Single-key overwrite; torn updates are impossible for one key.
+    _GAUGE["value"] = 1  # repro: noqa[CONC001]
+
+
+def main():
+    thread = threading.Thread(target=worker)
+    thread.start()
+    return read_gauge()

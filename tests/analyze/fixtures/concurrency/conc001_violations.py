@@ -1,0 +1,27 @@
+"""CONC001 positives: thread-shared globals written without their lock."""
+
+import threading
+
+_LOCK = threading.Lock()
+_CACHE: dict = {}
+_TOTALS: dict = {}
+
+
+def lookup():
+    # Reads hold the lock...
+    with _LOCK:
+        return _CACHE.get("key")
+
+
+def worker():
+    # ...but the worker-thread write does not: flagged against _LOCK.
+    _CACHE["key"] = 1
+    # No access site of _TOTALS holds any lock at all: flagged too.
+    _TOTALS["key"] = _TOTALS.get("key", 0) + 1
+
+
+def main():
+    thread = threading.Thread(target=worker)
+    thread.start()
+    lookup()
+    return _TOTALS.get("key")

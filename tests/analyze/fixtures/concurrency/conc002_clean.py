@@ -1,0 +1,22 @@
+"""CONC002 negatives: blocking work correctly hopped off the loop.
+
+``settle`` *is* blocking — proving the async callers are fine takes
+edge typing (``to_thread`` edges do not propagate blocking-ness), not
+a per-file scan for ``sleep``.
+"""
+
+import asyncio
+import time
+
+
+def settle():
+    time.sleep(0.5)
+
+
+async def handler():
+    await asyncio.to_thread(settle)
+    await asyncio.sleep(0.1)
+
+
+async def pooled(loop, executor):
+    await loop.run_in_executor(executor, settle)

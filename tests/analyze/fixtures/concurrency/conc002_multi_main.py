@@ -1,0 +1,7 @@
+"""CONC002 cross-module positive: the blocking call lives one file away."""
+
+from conc002_multi_util import run_command
+
+
+async def deploy():
+    return run_command(["true"])

@@ -1,0 +1,7 @@
+"""Helper module for the cross-module CONC002 fixture."""
+
+import subprocess
+
+
+def run_command(args):
+    return subprocess.run(args, capture_output=True)

@@ -1,0 +1,15 @@
+"""CONC002 positives: the event loop stalls, directly and transitively."""
+
+import time
+
+
+def settle():
+    # Sync helper: blocking on its own is fine...
+    time.sleep(0.5)
+
+
+async def handler():
+    # ...a direct primitive on the loop thread is not,
+    time.sleep(0.1)
+    # and neither is reaching one through a sync call chain.
+    settle()

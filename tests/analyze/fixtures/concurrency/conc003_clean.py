@@ -1,0 +1,23 @@
+"""CONC003 negative: two paths, nested and via a call, same lock order."""
+
+import threading
+
+_ALPHA = threading.Lock()
+_BETA = threading.Lock()
+
+
+def finish():
+    with _BETA:
+        return True
+
+
+def snapshot():
+    with _ALPHA:
+        with _BETA:
+            return {}
+
+
+def refresh():
+    # Also _ALPHA before _BETA, just through a callee: consistent.
+    with _ALPHA:
+        return finish()

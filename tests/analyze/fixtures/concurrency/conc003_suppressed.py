@@ -1,0 +1,27 @@
+"""CONC003 suppression: opposite orders that provably never interleave.
+
+A lock cycle is a multi-site finding (every acquisition edge is part
+of it), so the supported suppression is file-level with the
+justification next to it.
+"""
+
+# Justification: startup() and shutdown() are serialized by the
+# process lifecycle; the opposite lock orders can never interleave.
+# repro: noqa-file[CONC003]
+
+import threading
+
+_ALPHA = threading.Lock()
+_BETA = threading.Lock()
+
+
+def startup():
+    with _ALPHA:
+        with _BETA:
+            return {}
+
+
+def shutdown():
+    with _BETA:
+        with _ALPHA:
+            return None

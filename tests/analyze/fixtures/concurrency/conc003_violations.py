@@ -1,0 +1,24 @@
+"""CONC003 positive: AB/BA lock order, one side hidden behind a call."""
+
+import threading
+
+_ALPHA = threading.Lock()
+_BETA = threading.Lock()
+
+
+def flush():
+    # The reverse acquisition happens transitively: refresh() holds
+    # _BETA while *calling* flush(), which takes _ALPHA.
+    with _ALPHA:
+        return True
+
+
+def snapshot():
+    with _ALPHA:
+        with _BETA:
+            return {}
+
+
+def refresh():
+    with _BETA:
+        return flush()

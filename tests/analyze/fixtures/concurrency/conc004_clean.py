@@ -1,0 +1,23 @@
+"""CONC004 negatives: plain data and lock-free instances are fine.
+
+Proving ``Plan`` is safe takes cross-class inspection (its __init__
+holds no locks/threads/sockets), not a per-file pattern.
+"""
+
+
+class Plan:
+    def __init__(self, steps):
+        self.steps = list(steps)
+
+
+def job(payload):
+    return payload
+
+
+def ship_plain(pool):
+    pool.apply_async(job, (1, "name", {"k": 2}))
+
+
+def ship_instance(pool):
+    plan = Plan(["a", "b"])
+    pool.apply_async(job, (plan,))

@@ -1,0 +1,16 @@
+"""CONC004 suppression: a fork-server pool set up before the lock exists."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def job(payload):
+    return payload
+
+
+def ship_lock(pool):
+    # Justification: this pool uses the spawn start method with an
+    # initializer that rebuilds the lock; the parent's lock is a
+    # sentinel the child replaces on first use.
+    pool.apply_async(job, (_LOCK,))  # repro: noqa[CONC004]

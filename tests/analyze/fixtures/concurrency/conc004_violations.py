@@ -1,0 +1,33 @@
+"""CONC004 positives: fork-unsafe state crossing into worker processes."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def job(payload):
+    return payload
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def submit(self, pool):
+        # Bound method: pickling self drags the lock into the child.
+        pool.apply_async(self.bump, (1,))
+
+    def bump(self, step):
+        with self._lock:
+            self.count += step
+
+
+def ship_lock(pool):
+    # The module lock rides along as an argument.
+    pool.apply_async(job, (_LOCK,))
+
+
+def ship_instance(pool):
+    tracker = Tracker()
+    pool.apply_async(job, (tracker,))

@@ -1,0 +1,31 @@
+"""CONC005 negatives: both sanctioned token disciplines.
+
+The class form needs cross-method reasoning — the set() in __enter__
+is only safe because __exit__ resets the token stored on self.
+"""
+
+import contextvars
+
+_REQUEST = contextvars.ContextVar("request")
+
+
+def with_request(request, fn):
+    token = _REQUEST.set(request)
+    try:
+        return fn()
+    finally:
+        _REQUEST.reset(token)
+
+
+class RequestScope:
+    def __init__(self, request):
+        self._request = request
+        self._token = None
+
+    def __enter__(self):
+        self._token = _REQUEST.set(self._request)
+        return self
+
+    def __exit__(self, *exc):
+        _REQUEST.reset(self._token)
+        return False

@@ -1,0 +1,11 @@
+"""CONC005 suppression: a process-lifetime set() that must not reset."""
+
+import contextvars
+
+_MODE = contextvars.ContextVar("mode", default="off")
+
+
+def enable(mode):
+    # Justification: process-wide configuration set once at startup;
+    # there is no previous value worth restoring.
+    _MODE.set(mode)  # repro: noqa[CONC005]

@@ -1,0 +1,16 @@
+"""CONC005 positives: contextvar tokens dropped or never reset."""
+
+import contextvars
+
+_REQUEST = contextvars.ContextVar("request")
+
+
+def enter_discarded(request):
+    # The token vanishes: nothing can ever restore the old value.
+    _REQUEST.set(request)
+
+
+def enter_leaky(request):
+    # Captured but never reset in this function: same leak, delayed.
+    token = _REQUEST.set(request)
+    return token

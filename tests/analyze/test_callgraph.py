@@ -1,0 +1,198 @@
+"""Call-graph mechanics: edge typing, resolution, cycles, lock identity."""
+
+from pathlib import Path
+
+from repro.analyze.callgraph import (CALL, EXECUTOR, PROCESS, TASK, THREAD,
+                                     TO_THREAD, Project)
+from repro.analyze.engine import Analyzer
+
+
+def build_project(**files: str) -> Project:
+    """Build a Project from ``{module_name: source}`` mappings."""
+    analyzer = Analyzer()
+    contexts = []
+    for name, source in files.items():
+        ctx, parse_findings = analyzer._context_for(
+            source, Path(f"fixtures/pkg/{name}.py"))
+        assert ctx is not None, parse_findings
+        contexts.append(ctx)
+    return Project.build(contexts)
+
+
+def edge_kinds(project: Project, caller: str) -> dict[str, str]:
+    return {e.callee: e.kind for e in project.edges_from(caller)
+            if e.callee is not None}
+
+
+class TestEdgeTyping:
+    def test_to_thread_edge(self):
+        project = build_project(mod=(
+            "import asyncio\n"
+            "def work():\n    return 1\n"
+            "async def run():\n    await asyncio.to_thread(work)\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.mod.work": TO_THREAD}
+
+    def test_run_in_executor_edge(self):
+        project = build_project(mod=(
+            "def work():\n    return 1\n"
+            "async def run(loop, pool):\n"
+            "    await loop.run_in_executor(pool, work)\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.mod.work": TO_THREAD}
+
+    def test_thread_target_edge(self):
+        project = build_project(mod=(
+            "import threading\n"
+            "def work():\n    return 1\n"
+            "def run():\n    threading.Thread(target=work).start()\n"))
+        assert edge_kinds(project, "pkg.mod.run")["pkg.mod.work"] == THREAD
+
+    def test_pool_submission_is_process_edge(self):
+        project = build_project(mod=(
+            "def work(x):\n    return x\n"
+            "def run(pool):\n    pool.apply_async(work, (1,))\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.mod.work": PROCESS}
+        assert len(project.process_spawns) == 1
+        assert project.process_spawns[0].callee == "pkg.mod.work"
+
+    def test_generic_map_needs_pool_receiver(self):
+        project = build_project(mod=(
+            "def work(x):\n    return x\n"
+            "def a(pool, policy):\n    pool.map(work, [1])\n"
+            "def b(pool, policy):\n    policy.apply(work, 1)\n"))
+        assert edge_kinds(project, "pkg.mod.a") == {"pkg.mod.work": PROCESS}
+        assert PROCESS not in edge_kinds(project, "pkg.mod.b").values()
+
+    def test_create_task_edge(self):
+        project = build_project(mod=(
+            "import asyncio\n"
+            "async def work():\n    return 1\n"
+            "async def run():\n    asyncio.create_task(work())\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.mod.work": TASK}
+
+    def test_executor_submit_edge(self):
+        project = build_project(mod=(
+            "def work():\n    return 1\n"
+            "def run(pool):\n    pool.submit(work)\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.mod.work": EXECUTOR}
+
+
+class TestResolution:
+    def test_cross_module_import(self):
+        project = build_project(
+            util="def helper():\n    return 1\n",
+            mod=("from util import helper\n"
+                 "def run():\n    return helper()\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.util.helper": CALL}
+
+    def test_module_alias_attribute_call(self):
+        project = build_project(
+            util="def helper():\n    return 1\n",
+            mod=("import util\n"
+                 "def run():\n    return util.helper()\n"))
+        assert edge_kinds(project, "pkg.mod.run") == {"pkg.util.helper": CALL}
+
+    def test_self_method_resolves_in_class(self):
+        project = build_project(mod=(
+            "class Server:\n"
+            "    def step(self):\n        return self.render()\n"
+            "    def render(self):\n        return 1\n"))
+        assert edge_kinds(project, "pkg.mod.Server.step") == {
+            "pkg.mod.Server.render": CALL}
+
+    def test_dynamic_dispatch_unique_name_resolves(self):
+        project = build_project(mod=(
+            "class Worker:\n"
+            "    def run_once(self):\n        return 1\n"
+            "def drive(worker):\n    return worker.run_once()\n"))
+        assert edge_kinds(project, "pkg.mod.drive") == {
+            "pkg.mod.Worker.run_once": CALL}
+
+    def test_dynamic_dispatch_ambiguous_name_stays_unresolved(self):
+        project = build_project(mod=(
+            "class A:\n"
+            "    def run_once(self):\n        return 1\n"
+            "class B:\n"
+            "    def run_once(self):\n        return 2\n"
+            "def drive(x):\n    return x.run_once()\n"))
+        edges = project.edges_from("pkg.mod.drive")
+        assert [e.callee for e in edges] == [None]
+        assert edges[0].dotted == "x.run_once"
+
+
+class TestGraphQueries:
+    def test_call_cycle_terminates(self):
+        project = build_project(mod=(
+            "def ping():\n    return pong()\n"
+            "def pong():\n    return ping()\n"))
+        reach = project.reachable({"pkg.mod.ping"})
+        assert reach == {"pkg.mod.ping", "pkg.mod.pong"}
+
+    def test_entry_points_exclude_called_functions(self):
+        project = build_project(mod=(
+            "def inner():\n    return 1\n"
+            "def outer():\n    return inner()\n"))
+        assert project.entry_points() == {"pkg.mod.outer"}
+
+    def test_reachability_respects_edge_kinds(self):
+        project = build_project(mod=(
+            "import asyncio\n"
+            "def work():\n    return deeper()\n"
+            "def deeper():\n    return 1\n"
+            "async def run():\n    await asyncio.to_thread(work)\n"))
+        sync_reach = project.reachable({"pkg.mod.run"})
+        assert "pkg.mod.work" not in sync_reach
+        thread_reach = project.reachable({"pkg.mod.work"})
+        assert thread_reach == {"pkg.mod.work", "pkg.mod.deeper"}
+
+
+class TestLockAndStateFacts:
+    def test_module_and_instance_locks_identified(self):
+        project = build_project(mod=(
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._guard = threading.RLock()\n"))
+        assert set(project.locks) == {"pkg.mod._LOCK", "pkg.mod.Box._guard"}
+
+    def test_with_lock_nesting_recorded(self):
+        project = build_project(mod=(
+            "import threading\n"
+            "_A = threading.Lock()\n"
+            "_B = threading.Lock()\n"
+            "def f():\n"
+            "    with _A:\n"
+            "        with _B:\n"
+            "            pass\n"))
+        nested = [a for a in project.acquisitions if a.held]
+        assert len(nested) == 1
+        assert nested[0].lock == "pkg.mod._B"
+        assert nested[0].held == ("pkg.mod._A",)
+
+    def test_contextvar_set_and_reset_facts(self):
+        project = build_project(mod=(
+            "import contextvars\n"
+            "_V = contextvars.ContextVar('v')\n"
+            "def scope(value):\n"
+            "    token = _V.set(value)\n"
+            "    _V.reset(token)\n"))
+        assert [(s.var, s.token) for s in project.ctx_sets] == [
+            ("pkg.mod._V", ("local", "token"))]
+        assert [(r.var, r.token) for r in project.ctx_resets] == [
+            ("pkg.mod._V", ("local", "token"))]
+
+    def test_mutable_global_accesses_carry_held_locks(self):
+        project = build_project(mod=(
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "_STATE = {}\n"
+            "def locked_write():\n"
+            "    with _LOCK:\n"
+            "        _STATE['k'] = 1\n"
+            "def bare_read():\n"
+            "    return _STATE\n"))
+        writes = [a for a in project.global_accesses if a.is_write]
+        assert [w.locks_held for w in writes] == [("pkg.mod._LOCK",)]
+        bare = [a for a in project.global_accesses
+                if a.function == "pkg.mod.bare_read"]
+        assert [(a.is_write, a.locks_held) for a in bare] == [(False, ())]

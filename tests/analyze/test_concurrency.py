@@ -1,0 +1,130 @@
+"""CONC rule behaviour over the concurrency fixtures, plus the timing budget.
+
+Every rule gets three proofs: a true positive, a true negative that
+*requires* cross-function (or cross-module) reasoning, and a working
+suppression path.
+"""
+
+import time
+from pathlib import Path
+
+from repro.analyze import Analyzer
+
+FIXTURES = Path(__file__).parent / "fixtures" / "concurrency"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def findings_for(*names: str):
+    return Analyzer().check_paths([FIXTURES / name for name in names])
+
+
+def codes_for(*names: str) -> list[str]:
+    return [f.code for f in findings_for(*names)]
+
+
+class TestConc001:
+    def test_flags_unguarded_and_lockless_writes(self):
+        findings = findings_for("conc001_violations.py")
+        assert [f.code for f in findings] == ["CONC001"] * 2
+        messages = "\n".join(f.message for f in findings)
+        assert "_CACHE" in messages and "_LOCK" in messages
+        assert "no lock held at any access site" in messages
+        # The message points at a witness site that does hold the lock.
+        assert "conc001_violations.py:13" in messages
+
+    def test_cross_function_negatives(self):
+        # Guarded writes and main-thread-only globals both need the
+        # call graph to prove clean; a per-file pattern cannot.
+        assert codes_for("conc001_clean.py") == []
+
+    def test_suppressed(self):
+        assert codes_for("conc001_suppressed.py") == []
+
+
+class TestConc002:
+    def test_flags_direct_and_transitive_blocking(self):
+        findings = findings_for("conc002_violations.py")
+        assert [f.code for f in findings] == ["CONC002"] * 2
+        messages = "\n".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        # The transitive finding names its witness chain.
+        assert "settle -> time.sleep" in messages
+
+    def test_to_thread_hop_is_clean(self):
+        # settle() *is* blocking; the hop is what makes this clean.
+        assert codes_for("conc002_clean.py") == []
+
+    def test_cross_module_chain(self):
+        findings = findings_for("conc002_multi_main.py",
+                                "conc002_multi_util.py")
+        assert [f.code for f in findings] == ["CONC002"]
+        assert "subprocess.run" in findings[0].message
+        assert findings[0].path.endswith("conc002_multi_main.py")
+
+    def test_unresolved_callee_stays_silent(self):
+        # Analyzed alone, the import cannot resolve: conservative, no
+        # finding rather than a guess.
+        assert codes_for("conc002_multi_main.py") == []
+
+    def test_suppressed(self):
+        assert codes_for("conc002_suppressed.py") == []
+
+
+class TestConc003:
+    def test_flags_cycle_with_transitive_edge(self):
+        findings = findings_for("conc003_violations.py")
+        assert [f.code for f in findings] == ["CONC003"]
+        message = findings[0].message
+        assert "_ALPHA" in message and "_BETA" in message
+        # Both witness sites are named, including the one that only
+        # exists through the flush() call.
+        assert "conc003_violations.py:18" in message
+        assert "conc003_violations.py:24" in message
+
+    def test_consistent_order_through_calls_is_clean(self):
+        assert codes_for("conc003_clean.py") == []
+
+    def test_file_suppression(self):
+        assert codes_for("conc003_suppressed.py") == []
+
+
+class TestConc004:
+    def test_flags_bound_method_lock_arg_and_instance(self):
+        findings = findings_for("conc004_violations.py")
+        assert [f.code for f in findings] == ["CONC004"] * 3
+        messages = "\n".join(f.message for f in findings)
+        assert "bound method" in messages
+        assert "fork-unsafe value (threading.Lock)" in messages
+        assert "instance of" in messages and "Tracker" in messages
+
+    def test_plain_payloads_and_safe_classes_are_clean(self):
+        assert codes_for("conc004_clean.py") == []
+
+    def test_suppressed(self):
+        assert codes_for("conc004_suppressed.py") == []
+
+
+class TestConc005:
+    def test_flags_discarded_and_unreset_tokens(self):
+        findings = findings_for("conc005_violations.py")
+        assert [f.code for f in findings] == ["CONC005"] * 2
+        messages = "\n".join(f.message for f in findings)
+        assert "discards its token" in messages
+        assert "never reset()" in messages
+
+    def test_try_finally_and_enter_exit_pairs_are_clean(self):
+        # The __enter__/__exit__ pair is cross-method reasoning.
+        assert codes_for("conc005_clean.py") == []
+
+    def test_suppressed(self):
+        assert codes_for("conc005_suppressed.py") == []
+
+
+class TestTimingBudget:
+    def test_full_tree_analysis_stays_fast(self):
+        # CI gate: the two-phase run over all of src must stay well
+        # under 30s or the analyzer becomes a bottleneck (satellite).
+        start = time.monotonic()
+        Analyzer().check_paths([SRC])
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0, f"analyze took {elapsed:.1f}s (budget 30s)"

@@ -1,6 +1,9 @@
 """Engine mechanics: suppressions, scoping, selection, output, exit codes."""
 
+import dataclasses
 import json
+import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -10,6 +13,7 @@ from repro.analyze.engine import _parse_noqa, _scope_key
 from repro.errors import AnalysisError
 
 FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden" / "concurrency_report.txt"
 
 
 class TestNoqaParsing:
@@ -138,9 +142,231 @@ class TestMain:
             assert code in out
 
 
+class TestExitCodeContract:
+    def test_zero_python_files_exits_two(self, tmp_path, capsys):
+        # A run that analyzed nothing must not masquerade as clean
+        # (satellite: exit-code contract regression test).
+        (tmp_path / "README.md").write_text("not python\n")
+        assert main([str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no Python files found" in err
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "no Python files found" in capsys.readouterr().err
+
+
+class TestDeterminism:
+    CONCURRENCY = FIXTURES / "concurrency"
+    VIOLATIONS = ["conc001_violations.py", "conc002_violations.py",
+                  "conc002_multi_main.py", "conc002_multi_util.py",
+                  "conc003_violations.py", "conc004_violations.py",
+                  "conc005_violations.py"]
+
+    def _relativized_report(self, names: list[str]) -> str:
+        findings = Analyzer().check_paths(
+            [self.CONCURRENCY / name for name in names])
+        prefix = str(self.CONCURRENCY) + "/"
+        rel = [dataclasses.replace(f, path=f.path.replace(prefix, ""),
+                                   message=f.message.replace(prefix, ""))
+               for f in findings]
+        return render_text(rel) + "\n"
+
+    def test_report_matches_golden_byte_for_byte(self):
+        assert self._relativized_report(self.VIOLATIONS) == GOLDEN.read_text()
+
+    def test_input_order_does_not_change_output(self):
+        forward = self._relativized_report(self.VIOLATIONS)
+        backward = self._relativized_report(list(reversed(self.VIOLATIONS)))
+        assert forward == backward
+
+    def test_rules_execute_in_code_order(self):
+        analyzer = Analyzer()
+        codes = [type(r).code for r in analyzer.rules]
+        assert codes == sorted(codes)
+
+
+class TestBaseline:
+    VIOLATION = FIXTURES / "concurrency" / "conc005_violations.py"
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(self.VIOLATION), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+        # With the baseline applied the same tree now exits 0, and the
+        # grandfathered findings stay visible in the footer.
+        assert main([str(self.VIOLATION), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "2 pre-existing finding(s) suppressed" in out
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        main([str(self.VIOLATION), "--baseline", str(baseline),
+              "--write-baseline"])
+        capsys.readouterr()
+        extra = tmp_path / "fixtures" / "concurrency"
+        extra.mkdir(parents=True)
+        copy = extra / "conc005_violations.py"
+        copy.write_text(self.VIOLATION.read_text())
+        # Same fingerprints, but twice the count: the surplus is new.
+        rc = main([str(self.VIOLATION), str(copy),
+                   "--baseline", str(baseline)])
+        assert rc == 1
+        assert "CONC005" in capsys.readouterr().out
+
+    def test_write_baseline_requires_path(self, capsys):
+        assert main([str(self.VIOLATION), "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]")
+        assert main([str(self.VIOLATION), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_fingerprints_are_line_independent(self):
+        from repro.analyze.baseline import fingerprint
+        from repro.analyze.engine import Finding
+        a = Finding("tests/analyze/fixtures/concurrency/x.py", 3, 1,
+                    "CONC001", "error", "message")
+        b = Finding("elsewhere/fixtures/concurrency/x.py", 99, 7,
+                    "CONC001", "error", "message")
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestSarif:
+    def _log(self, *paths):
+        from repro.analyze.sarif import sarif_log
+        findings = Analyzer().check_paths(list(paths))
+        return sarif_log(findings), findings
+
+    def test_structure_validates_against_2_1_shape(self):
+        log, findings = self._log(
+            FIXTURES / "concurrency" / "conc002_violations.py")
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0.json" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert {"CONC001", "CONC002", "CONC003", "CONC004",
+                "CONC005"} <= set(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning")
+        assert len(run["results"]) == len(findings) == 2
+        for result in run["results"]:
+            assert result["ruleId"] == "CONC002"
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            (loc,) = result["locations"]
+            region = loc["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            uri = loc["physicalLocation"]["artifactLocation"]["uri"]
+            assert uri.endswith("conc002_violations.py")
+
+    def test_baselined_findings_carry_suppressions(self):
+        from repro.analyze.sarif import sarif_log
+        findings = Analyzer().check_paths(
+            [FIXTURES / "concurrency" / "conc005_violations.py"])
+        log = sarif_log([], baselined=findings)
+        results = log["runs"][0]["results"]
+        assert len(results) == 2
+        for result in results:
+            assert result["suppressions"] == [
+                {"kind": "external", "justification": "analyzer baseline"}]
+
+    def test_cli_emits_parseable_sarif(self, capsys):
+        rc = main(["--format", "sarif",
+                   str(FIXTURES / "concurrency" / "conc005_violations.py")])
+        assert rc == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+
+
+class TestChanged:
+    @pytest.fixture()
+    def git_tree(self, tmp_path, monkeypatch):
+        def git(*args):
+            subprocess.run(["git", *args], cwd=tmp_path, check=True,
+                           capture_output=True,
+                           env={**os.environ,
+                                "GIT_AUTHOR_NAME": "t",
+                                "GIT_AUTHOR_EMAIL": "t@t",
+                                "GIT_COMMITTER_NAME": "t",
+                                "GIT_COMMITTER_EMAIL": "t@t",
+                                "HOME": str(tmp_path)})
+        pkg = tmp_path / "fixtures" / "concurrency"
+        pkg.mkdir(parents=True)
+        violation = FIXTURES / "concurrency" / "conc005_violations.py"
+        (pkg / "stale.py").write_text(violation.read_text())
+        (pkg / "fresh.py").write_text("x = 1\n")
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return pkg
+
+    def test_only_changed_files_reported(self, git_tree, capsys):
+        # Make fresh.py newly-violating; stale.py keeps its committed
+        # violations but is unchanged, so it must not be reported.
+        (git_tree / "fresh.py").write_text(
+            "import contextvars\n"
+            "_V = contextvars.ContextVar('v')\n"
+            "def f(x):\n    _V.set(x)\n")
+        rc = main(["--changed", str(git_tree)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "stale.py" not in out
+
+    def test_no_changes_is_clean_exit_zero(self, git_tree, capsys):
+        assert main(["--changed", str(git_tree)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_untracked_files_count_as_changed(self, git_tree, capsys):
+        (git_tree / "brand_new.py").write_text(
+            "import contextvars\n"
+            "_V = contextvars.ContextVar('v')\n"
+            "def f(x):\n    _V.set(x)\n")
+        assert main(["--changed", str(git_tree)]) == 1
+        assert "brand_new.py" in capsys.readouterr().out
+
+    def test_changed_conflicts_with_write_baseline(self, tmp_path, capsys):
+        assert main(["--changed", "--write-baseline",
+                     "--baseline", str(tmp_path / "b.json"), "."]) == 2
+
+
 class TestCliSubcommand:
     def test_domino_repro_analyze_forwards(self, capsys):
         from repro.cli import main as cli_main
         rc = cli_main(["analyze", str(FIXTURES / "sim" / "det_clean.py")])
         assert rc == 0
         assert "no findings" in capsys.readouterr().out
+
+    def test_domino_repro_analyze_forwards_baseline_flags(
+            self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        baseline = tmp_path / "baseline.json"
+        violation = FIXTURES / "concurrency" / "conc005_violations.py"
+        rc = cli_main(["analyze", str(violation),
+                       "--baseline", str(baseline), "--write-baseline"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main(["analyze", str(violation),
+                       "--baseline", str(baseline)])
+        assert rc == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_domino_repro_analyze_forwards_sarif(self, capsys):
+        from repro.cli import main as cli_main
+        violation = FIXTURES / "concurrency" / "conc005_violations.py"
+        rc = cli_main(["analyze", "--format", "sarif", str(violation)])
+        assert rc == 1
+        assert json.loads(capsys.readouterr().out)["version"] == "2.1.0"

@@ -152,7 +152,9 @@ class TestIo001:
 class TestRegistry:
     def test_expected_rule_set(self):
         assert set(all_rules()) == {"DET001", "PICKLE001", "ERR001",
-                                    "OBS001", "OBS002", "IO001"}
+                                    "OBS001", "OBS002", "IO001",
+                                    "CONC001", "CONC002", "CONC003",
+                                    "CONC004", "CONC005"}
 
     def test_rules_carry_metadata(self):
         for cls in all_rules().values():
