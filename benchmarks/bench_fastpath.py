@@ -1,36 +1,41 @@
 #!/usr/bin/env python
-"""Fastpath wall-clock harness: fig11-style grid, fastpath on vs. off.
+"""Fastpath wall-clock harness: fig11-style grid plus hot-path probes.
 
-Measures the end-to-end cost of one fig11-style sweep (workloads ×
-paper prefetchers trace cells, plus one opportunity cell per workload)
-twice under identical, cold cell caches:
+Four measurement groups, all sharing one JSON report
+(``BENCH_PR10.json``) and one exit status CI can gate on:
 
-* **off** — ``DOMINO_FASTPATH=0``: every cell regenerates its trace
-  (once per worker process) and replays all accesses through the L1;
-* **on** — fastpath enabled against a store prewarmed with the grid's
-  L1 filter artifacts: trace generation is skipped entirely (the filter
-  key is computable without the trace) and each cell replays only the
-  miss fraction.
+* **grid** — one fig11-style sweep (workloads × paper prefetchers
+  trace cells, plus one opportunity cell per workload) run twice under
+  identical cold cell caches: ``DOMINO_FASTPATH=0`` (regenerate the
+  trace, replay every access) vs. fastpath enabled against a store
+  prewarmed with the grid's L1 filter artifacts.  The two passes must
+  produce identical payload lists; the wall-clock ratio is gated by
+  ``--min-speedup``.
+* **hot_path** — microbenchmarks of the three components this PR
+  vectorised, each measured in its ``legacy`` (PR 9-era) and current
+  form: filter *build* (scalar L1 loop vs. numpy per-set sweep),
+  filter *codec* (inline zlib+base64 JSON vs. binary ``.npy`` sidecar
+  opened through ``mmap``), and replay *prep* (four per-call
+  ``tolist()`` copies vs. one cached packed materialisation).  The
+  combined legacy/current ratio is gated by ``--min-hotpath-speedup``.
+* **modes** — the same serial probe grid under ``DOMINO_FASTPATH``
+  ``0``/``1``/``jit``/``legacy``: every mode must produce bit-identical
+  payloads (on a numba-less box ``jit`` exercises its soft fallback,
+  which counts as a pass).
+* **shm** — the pooled grid with and without shared-memory trace
+  handoff (``DOMINO_TRACE_SHM``): identical payloads, and zero leaked
+  ``/dev/shm`` segments from this process after both passes.
 
-The "warm artifact store" scenario is the steady state the fastpath
-exists for: the filters are shared by every cell of the grid, by
-``--resume``, and by any later sweep with the same trace identity, so
-after the first grid they are always already on disk.
-
-Alongside the timing the harness re-checks the fastpath contract: the
-two passes must produce *identical* payload lists.  A third probe
-attaches an uncancelled :class:`~repro.cancel.CancelToken` to a
-serial, cache-free pass and gates its checkpoint overhead (default
-<= 2%) and payload equivalence, so lifecycle instrumentation can
-never quietly tax or perturb the engine loop.  Results go to a
-JSON report (``BENCH_PR5.json``) and the exit status is non-zero if
-the speedup falls below ``--min-speedup`` or the equivalence check
-fails, so CI can gate on it.
+A final probe attaches an uncancelled
+:class:`~repro.cancel.CancelToken` to a serial, cache-free pass and
+gates its checkpoint overhead (default <= 2%) and payload equivalence,
+so lifecycle instrumentation can never quietly tax or perturb the
+engine loop.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py \
-        --jobs 4 --out BENCH_PR5.json
+        --jobs 2 --n 30000 --out BENCH_PR10.json
 """
 
 from __future__ import annotations
@@ -43,12 +48,16 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.cancel import CancelToken
 from repro.config import SystemConfig
 from repro.experiments.common import ExperimentOptions
 from repro.experiments.fig11_degree1 import build_cells
-from repro.runner import ExecutionPolicy, run_cells
+from repro.runner import ExecutionPolicy, run_cells, shm
 from repro.runner import execute as execute_mod
+from repro.sim import fastpath
+from repro.workloads.suite import WorkloadSuite
 
 
 def _reset_process_caches() -> None:
@@ -61,6 +70,7 @@ def _reset_process_caches() -> None:
     execute_mod._SUITES.clear()
     execute_mod._FILTERS.clear()
     execute_mod.set_fastpath_root(None)
+    execute_mod.set_trace_share(None)
 
 
 def _prewarm_filters(options: ExperimentOptions, root: Path) -> float:
@@ -87,8 +97,8 @@ def _prewarm_filters(options: ExperimentOptions, root: Path) -> float:
 
 
 def _run_pass(cells, options: ExperimentOptions, cache_dir: Path,
-              jobs: int, fastpath: bool) -> tuple[float, list]:
-    os.environ["DOMINO_FASTPATH"] = "1" if fastpath else "0"
+              jobs: int, fastpath_on: bool) -> tuple[float, list]:
+    os.environ["DOMINO_FASTPATH"] = "1" if fastpath_on else "0"
     _reset_process_caches()
     policy = ExecutionPolicy(jobs=jobs, use_cache=True, cache_dir=cache_dir)
     started = time.perf_counter()
@@ -98,6 +108,161 @@ def _run_pass(cells, options: ExperimentOptions, cache_dir: Path,
         raise RuntimeError(f"{manifest.failed} cell(s) failed; "
                            "benchmark numbers would be meaningless")
     return wall, payloads
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure_hot_path(options: ExperimentOptions, scratch: Path,
+                      repeats: int = 3, reuses: int = 8) -> dict:
+    """Legacy vs. current cost of the vectorised fastpath components.
+
+    ``reuses`` models how many cells consume one persisted filter in a
+    grid (fig11: 7 trace cells + 1 opportunity cell per workload): the
+    codec's decode and the replay prep are paid once per consumer, the
+    build and encode once per filter.
+    """
+    config = SystemConfig()
+    workload = options.workloads[0]
+    trace = WorkloadSuite(seed=options.seed).trace(workload,
+                                                  options.n_accesses)
+
+    # -- build: scalar L1 loop vs. numpy per-set sweep ------------------
+    os.environ["DOMINO_FASTPATH"] = "legacy"
+    build_legacy_s = _best_of(
+        repeats, lambda: fastpath.build_l1_filter(trace, config))
+    os.environ["DOMINO_FASTPATH"] = "1"
+    build_vec_s = _best_of(
+        repeats, lambda: fastpath.build_l1_filter(trace, config))
+    filt = fastpath.build_l1_filter(trace, config)
+    reference = fastpath.build_l1_filter_scalar(trace, config)
+    builds_equal = all(
+        np.array_equal(getattr(filt, f), getattr(reference, f))
+        for f in ("indices", "pcs", "blocks", "evicted"))
+
+    # -- codec: inline zlib+b64 JSON vs. .npy sidecar through mmap ------
+    def json_roundtrip() -> None:
+        document = json.dumps(fastpath.filter_to_payload(filt))
+        for _ in range(reuses):
+            fastpath.filter_from_payload(json.loads(document))
+
+    sidecar_path = scratch / "hotpath-filter.bin"
+
+    def binary_roundtrip() -> None:
+        payload, data = fastpath.filter_to_binary(filt)
+        sidecar_path.write_bytes(data)
+        document = json.dumps(payload)
+        for _ in range(reuses):
+            served = json.loads(document)
+            served["sidecar_path"] = str(sidecar_path)
+            fastpath.filter_from_payload(served)
+
+    codec_json_s = _best_of(repeats, json_roundtrip)
+    codec_binary_s = _best_of(repeats, binary_roundtrip)
+
+    # -- prep: four per-call tolist() copies vs. cached packed rows -----
+    def prep_legacy() -> None:
+        os.environ["DOMINO_FASTPATH"] = "legacy"
+        for _ in range(reuses):
+            filt.replay_rows()
+
+    def prep_packed() -> None:
+        os.environ["DOMINO_FASTPATH"] = "1"
+        object.__setattr__(filt, "_rows", None)  # cold cache per repeat
+        for _ in range(reuses):
+            filt.replay_rows()
+
+    prep_legacy_s = _best_of(repeats, prep_legacy)
+    prep_packed_s = _best_of(repeats, prep_packed)
+    os.environ["DOMINO_FASTPATH"] = "1"
+
+    legacy_s = build_legacy_s + codec_json_s + prep_legacy_s
+    current_s = build_vec_s + codec_binary_s + prep_packed_s
+    return {
+        "workload": workload,
+        "n_accesses": options.n_accesses,
+        "n_misses": filt.n_misses,
+        "filter_reuses": reuses,
+        "build_legacy_s": round(build_legacy_s, 4),
+        "build_vectorised_s": round(build_vec_s, 4),
+        "build_speedup": round(build_legacy_s / build_vec_s, 2)
+        if build_vec_s else float("inf"),
+        "builds_equal": builds_equal,
+        "codec_json_s": round(codec_json_s, 4),
+        "codec_binary_s": round(codec_binary_s, 4),
+        "codec_speedup": round(codec_json_s / codec_binary_s, 2)
+        if codec_binary_s else float("inf"),
+        "prep_legacy_s": round(prep_legacy_s, 4),
+        "prep_packed_s": round(prep_packed_s, 4),
+        "prep_speedup": round(prep_legacy_s / prep_packed_s, 2)
+        if prep_packed_s else float("inf"),
+        "legacy_s": round(legacy_s, 4),
+        "current_s": round(current_s, 4),
+        "speedup": round(legacy_s / current_s, 4)
+        if current_s else float("inf"),
+    }
+
+
+def _measure_modes(options: ExperimentOptions) -> dict:
+    """Payload equivalence of every DOMINO_FASTPATH mode, serially."""
+    probe = ExperimentOptions(
+        n_accesses=options.n_accesses, seed=options.seed,
+        workloads=options.workloads[:1])
+    cells = build_cells(probe, degree=1)
+    policy = ExecutionPolicy(jobs=1, use_cache=False)
+    walls, payloads = {}, {}
+    for value in fastpath.MODES:
+        os.environ["DOMINO_FASTPATH"] = value
+        _reset_process_caches()
+        started = time.perf_counter()
+        payloads[value], manifest = run_cells(cells, probe, policy)
+        walls[value] = round(time.perf_counter() - started, 4)
+        if manifest.failed:
+            raise RuntimeError(f"mode {value!r} probe cell failed")
+    os.environ["DOMINO_FASTPATH"] = "1"
+    equivalent = all(payloads[value] == payloads["0"]
+                     for value in fastpath.MODES)
+    return {
+        "modes": list(fastpath.MODES),
+        "wall_s": walls,
+        "jit_backend_available": fastpath.jit_available(),
+        "equivalent": equivalent,
+    }
+
+
+def _measure_shm(cells, options: ExperimentOptions, jobs: int) -> dict:
+    """Pooled grid with vs. without shared-memory trace handoff."""
+    prefix = f"{shm.SEGMENT_PREFIX}{os.getpid()}x"
+
+    def leaked() -> list[str]:
+        return [n for n in shm.active_segments() if n.startswith(prefix)]
+
+    policy = ExecutionPolicy(jobs=jobs, use_cache=False)
+    walls, payloads = {}, {}
+    os.environ["DOMINO_FASTPATH"] = "1"
+    for label, value in (("off", "0"), ("on", "1")):
+        os.environ["DOMINO_TRACE_SHM"] = value
+        _reset_process_caches()
+        started = time.perf_counter()
+        payloads[label], manifest = run_cells(cells, options, policy)
+        walls[label] = round(time.perf_counter() - started, 4)
+        if manifest.failed:
+            raise RuntimeError(f"shm={label} pass cell failed")
+    os.environ.pop("DOMINO_TRACE_SHM", None)
+    remaining = leaked()
+    return {
+        "jobs": jobs,
+        "wall_s": walls,
+        "equivalent": payloads["on"] == payloads["off"],
+        "leaked_segments": remaining,
+        "leak_free": not remaining,
+    }
 
 
 def _measure_cancel_overhead(options: ExperimentOptions,
@@ -132,6 +297,7 @@ def _measure_cancel_overhead(options: ExperimentOptions,
 
     plain_s, plain_payloads, _ = best_of(lambda: None)
     metered_s, metered_payloads, token = best_of(CancelToken)
+    os.environ["DOMINO_FASTPATH"] = "1"
     expected = len(cells) * probe.n_accesses
     if token.progress != expected:
         raise RuntimeError(
@@ -159,16 +325,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--degree", type=int, default=1,
                         help="prefetch degree of the trace cells")
     parser.add_argument("--seed", type=int, default=1234)
-    parser.add_argument("--out", default="BENCH_PR5.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="JSON report path")
     parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="fail below this off/on wall-clock ratio")
+                        help="fail below this off/on grid wall ratio")
+    parser.add_argument("--min-hotpath-speedup", type=float, default=2.0,
+                        help="fail below this legacy/current hot-path "
+                             "composite ratio")
     parser.add_argument("--max-cancel-overhead", type=float, default=2.0,
                         help="fail if an uncancelled token slows the "
                              "serial engine loop by more than this "
                              "percentage")
     parser.add_argument("--cache-dir", default=None,
-                        help="scratch root for the two passes "
+                        help="scratch root for the passes "
                              "(default: a fresh temp dir)")
     args = parser.parse_args(argv)
 
@@ -180,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
 
     scratch = Path(args.cache_dir) if args.cache_dir else Path(
         tempfile.mkdtemp(prefix="bench-fastpath-"))
+    scratch.mkdir(parents=True, exist_ok=True)
     off_root = scratch / "off-store"
     on_root = scratch / "on-store"
 
@@ -191,11 +361,27 @@ def main(argv: list[str] | None = None) -> int:
           f"in {prewarm_s:.2f}s -> {on_root}")
 
     off_wall, off_payloads = _run_pass(cells, options, off_root,
-                                       args.jobs, fastpath=False)
+                                       args.jobs, fastpath_on=False)
     print(f"fastpath off: {off_wall:.2f}s")
     on_wall, on_payloads = _run_pass(cells, options, on_root,
-                                     args.jobs, fastpath=True)
+                                     args.jobs, fastpath_on=True)
     print(f"fastpath on:  {on_wall:.2f}s (warm filter store)")
+
+    hot_path = _measure_hot_path(options, scratch)
+    print(f"hot path: build {hot_path['build_speedup']:g}x, "
+          f"codec {hot_path['codec_speedup']:g}x, "
+          f"prep {hot_path['prep_speedup']:g}x "
+          f"-> composite {hot_path['speedup']:.2f}x")
+
+    modes = _measure_modes(options)
+    print(f"modes: {modes['wall_s']} equivalent={modes['equivalent']} "
+          f"(jit backend available: {modes['jit_backend_available']})")
+
+    shm_report = _measure_shm(cells, options, args.jobs)
+    print(f"shm handoff: off {shm_report['wall_s']['off']:.2f}s, "
+          f"on {shm_report['wall_s']['on']:.2f}s, "
+          f"equivalent={shm_report['equivalent']}, "
+          f"leak_free={shm_report['leak_free']}")
 
     cancel = _measure_cancel_overhead(options)
     print(f"cancel checkpoints: plain {cancel['plain_s']:.2f}s, "
@@ -206,7 +392,11 @@ def main(argv: list[str] | None = None) -> int:
     speedup = off_wall / on_wall if on_wall else float("inf")
     cancel_ok = (cancel["equivalent"]
                  and cancel["overhead_pct"] <= args.max_cancel_overhead)
-    ok = equivalent and speedup >= args.min_speedup and cancel_ok
+    hotpath_ok = (hot_path["builds_equal"]
+                  and hot_path["speedup"] >= args.min_hotpath_speedup)
+    ok = (equivalent and speedup >= args.min_speedup and hotpath_ok
+          and modes["equivalent"] and shm_report["equivalent"]
+          and shm_report["leak_free"] and cancel_ok)
 
     report = {
         "benchmark": "fastpath_fig11_grid",
@@ -222,6 +412,10 @@ def main(argv: list[str] | None = None) -> int:
         "speedup": round(speedup, 4),
         "min_speedup": args.min_speedup,
         "equivalent": equivalent,
+        "hot_path": hot_path,
+        "min_hotpath_speedup": args.min_hotpath_speedup,
+        "modes": modes,
+        "shm": shm_report,
         "cancel_overhead": cancel,
         "max_cancel_overhead_pct": args.max_cancel_overhead,
         "pass": ok,
@@ -229,9 +423,24 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
                               encoding="utf-8")
     print(f"speedup: {speedup:.2f}x (min {args.min_speedup:g}x), "
+          f"hot path {hot_path['speedup']:.2f}x "
+          f"(min {args.min_hotpath_speedup:g}x), "
           f"equivalent: {equivalent} -> {args.out}")
     if not equivalent:
         print("FAIL: fastpath-on payloads differ from fastpath-off",
+              file=sys.stderr)
+    elif not hot_path["builds_equal"]:
+        print("FAIL: vectorised filter differs from scalar reference",
+              file=sys.stderr)
+    elif hot_path["speedup"] < args.min_hotpath_speedup:
+        print(f"FAIL: hot-path speedup {hot_path['speedup']:.2f}x below "
+              f"{args.min_hotpath_speedup:g}x", file=sys.stderr)
+    elif not modes["equivalent"]:
+        print("FAIL: DOMINO_FASTPATH modes disagree", file=sys.stderr)
+    elif not shm_report["equivalent"]:
+        print("FAIL: shm trace handoff perturbed payloads", file=sys.stderr)
+    elif not shm_report["leak_free"]:
+        print(f"FAIL: leaked shm segments {shm_report['leaked_segments']}",
               file=sys.stderr)
     elif not cancel["equivalent"]:
         print("FAIL: metered payloads differ from unmetered",

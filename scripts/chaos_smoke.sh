@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Chaos smoke: exercise the runner's fault-tolerance layer end to end.
 #
-# Three gates, all deterministic (fault rolls are pure functions of the
+# Four gates, all deterministic (fault rolls are pure functions of the
 # fault seed + cell key + attempt, so a passing combination passes on
 # every machine, forever):
 #
@@ -13,6 +13,10 @@
 #   3. kill + resume — a journaled run killed mid-flight and resumed
 #                      must leave bit-identical cached payloads vs an
 #                      uninterrupted run in a fresh cache.
+#   4. shm hygiene   — a pooled run whose workers are killed with
+#                      os._exit (the harshest worker death: no atexit,
+#                      no cleanup) must still reap every shared-memory
+#                      trace segment when the parent's scheduler exits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -67,5 +71,22 @@ hash_cache "$WORK/ref-cache" > "$WORK/ref.sha"
 hash_cache "$WORK/cache"     > "$WORK/resumed.sha"
 diff -u "$WORK/ref.sha" "$WORK/resumed.sha"
 echo "resumed cache bit-identical to uninterrupted run"
+
+echo "== gate 4: worker kill -9 leaks no shared-memory segments =="
+# exit:P makes workers die via os._exit mid-cell (skipping all worker
+# cleanup); --timeout-s lets the watchdog detect the vanished worker
+# and rebuild the pool.  The parent's scheduler owns the shm trace
+# segments and must unlink them all on the way out regardless.
+$RUN --no-cache --jobs 2 \
+  --inject-faults exit:0.4,seed:3 --retries 3 --timeout-s 5 \
+  | tee "$WORK/chaos-exit.txt"
+python - <<'EOF'
+from repro.runner import shm
+
+leaked = shm.active_segments()
+if leaked:
+    raise SystemExit(f"leaked shm segments after worker-kill chaos: {leaked}")
+print("no shared-memory segments leaked")
+EOF
 
 echo "chaos smoke: all gates passed"

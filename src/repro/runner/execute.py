@@ -29,8 +29,10 @@ from ..sequitur.analysis import analyze_sequence
 from ..sim import fastpath
 from ..sim.engine import TraceSimulator, collect_miss_stream, simulate_trace
 from ..sim.multicore import simulate_multicore
+from ..sim.trace import MemoryTrace
 from ..workloads.suite import WorkloadSuite
 from .cells import Cell, cell_config, l1_filter_key
+from .shm import attach_trace, trace_share_key
 
 #: Per-process workload suites, keyed by generation seed.
 _SUITES: dict[int, WorkloadSuite] = {}
@@ -41,6 +43,10 @@ _FILTERS: dict[str, fastpath.L1Filter] = {}
 #: Artifact-store root the fastpath shares filters through (set per
 #: work item by :func:`execute_timed`; ``None`` = in-process memo only).
 _FASTPATH_ROOT: str | None = None
+
+#: Shared-memory trace spec published by the scheduler (set per work
+#: item by :func:`execute_timed`; ``None`` = regenerate from the seed).
+_TRACE_SHARE: dict[str, dict[str, Any]] | None = None
 
 #: Fastpath reuse telemetry (off until obs.configure()).
 _OBS = obs.scope("runner.fastpath")
@@ -56,6 +62,32 @@ def set_fastpath_root(root: str | None) -> None:
     """Point the fastpath at an artifact store (or detach it)."""
     global _FASTPATH_ROOT
     _FASTPATH_ROOT = root
+
+
+def set_trace_share(spec: dict[str, dict[str, Any]] | None) -> None:
+    """Install (or clear) the scheduler's shared-memory trace spec."""
+    global _TRACE_SHARE
+    _TRACE_SHARE = spec
+
+
+def _trace(workload: str, options: Any) -> MemoryTrace:
+    """The workload trace for ``options``, zero-copy when shared.
+
+    Preference order: an attached shared-memory segment published by
+    the scheduler (no per-worker generation, no private pages), then
+    the per-process suite memo (deterministic regeneration from the
+    seed).  Both return the same values, so the share is purely an
+    optimisation channel.
+    """
+    spec = _TRACE_SHARE
+    if spec is not None:
+        entry = spec.get(
+            trace_share_key(workload, options.n_accesses, options.seed))
+        if entry is not None:
+            trace = attach_trace(entry)
+            if trace is not None:
+                return trace
+    return _suite(options.seed).trace(workload, options.n_accesses)
 
 
 def _l1_filter(workload: str, options: Any, config: SystemConfig,
@@ -82,8 +114,17 @@ def _l1_filter(workload: str, options: Any, config: SystemConfig,
         if payload is not None:
             try:
                 filt = fastpath.filter_from_payload(payload)
-            except SimulationError:
-                filt = None  # incompatible/corrupt: rebuild below
+            except SimulationError as exc:
+                # The envelope parsed but the payload is unusable
+                # (stale codec, corrupt arrays, mismatched sidecar).
+                # Quarantine it like any other bad artifact — leaving
+                # it in place would re-trip every future reader and
+                # hide the evidence behind the rebuild's overwrite.
+                filt = None
+                store.quarantine_key(key, reason=str(exc))
+                _OBS.warning(obs_names.EVT_FASTPATH_FILTER_REJECTED,
+                             workload=workload, key=key[:12],
+                             reason=str(exc))
             if filt is not None:
                 _FILTERS[key] = filt
                 if _OBS.enabled:
@@ -91,13 +132,14 @@ def _l1_filter(workload: str, options: Any, config: SystemConfig,
                     _OBS.info(obs_names.EVT_FASTPATH_FILTER_HIT, source="store",
                               workload=workload, misses=filt.n_misses)
                 return filt
-    trace = _suite(options.seed).trace(workload, options.n_accesses)
+    trace = _trace(workload, options)
     if window is not None:
         trace = trace.slice(*window)
     filt = fastpath.build_l1_filter(trace, config)
     _FILTERS[key] = filt
     if store is not None:
-        store.put(key, fastpath.filter_to_payload(filt), kind="l1_filter")
+        payload, sidecar = fastpath.filter_to_binary(filt)
+        store.put(key, payload, kind="l1_filter", sidecar=sidecar)
     return filt
 
 
@@ -115,7 +157,7 @@ def _execute_trace(cell: Cell, options: Any) -> dict[str, Any]:
         sim = TraceSimulator(config, prefetcher)
         result = sim.run_filtered(filt, warmup=_warmup(options))
     else:
-        trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+        trace = _trace(cell.workload, options)
         result = simulate_trace(trace, config, prefetcher,
                                 warmup=_warmup(options))
     return {
@@ -139,7 +181,7 @@ def _execute_opportunity(cell: Cell, options: Any) -> dict[str, Any]:
         filt = _l1_filter(cell.workload, options, config, window=bounds)
         blocks = filt.blocks.tolist()
     else:
-        trace = _suite(options.seed).trace(cell.workload, options.n_accesses)
+        trace = _trace(cell.workload, options)
         window = trace.slice(_warmup(options), len(trace))
         miss_stream = collect_miss_stream(window, config)
         blocks = [block for _, block in miss_stream]
@@ -238,7 +280,8 @@ def execute_timed(
 ) -> tuple[int, str, dict[str, Any], CellTelemetry]:
     """Pool entry point:
     ``(index, key, cell, options[, obs_config[, faults, attempt[,
-    fastpath_root]]])`` in, ``(index, key, payload, telemetry)`` out.
+    fastpath_root[, trace_share]]]])`` in,
+    ``(index, key, payload, telemetry)`` out.
 
     When an :class:`repro.obs.ObsConfig` rides along, the cell runs
     under a fresh captured telemetry state (shielding whatever the
@@ -256,6 +299,7 @@ def execute_timed(
     faults = item[5] if len(item) > 5 else None
     attempt = item[6] if len(item) > 6 else 0
     set_fastpath_root(item[7] if len(item) > 7 else None)
+    set_trace_share(item[8] if len(item) > 8 else None)
     if faults is not None:
         faults.apply(key, attempt)
     wall0 = time.perf_counter()

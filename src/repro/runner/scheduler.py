@@ -48,7 +48,10 @@ from ..obs.trace import current_span, span
 from ..errors import (CellFailedError, CheckpointError, JobCancelled,
                       RunnerTimeoutError)
 from ..faults import FaultPlan, corrupt_artifact
-from .cells import Cell, cell_key
+from ..sim import fastpath
+from ..workloads.suite import WorkloadSuite
+from . import shm
+from .cells import Cell, cell_config, cell_key, l1_filter_key
 from .checkpoint import CheckpointJournal
 from .execute import CellTelemetry, execute_timed
 from .manifest import RunManifest
@@ -347,6 +350,67 @@ def _make_pool(processes: int) -> multiprocessing.pool.Pool | None:
         return None
 
 
+def _trace_share_plan(pending: list[tuple[int, str, Cell]], options: Any,
+                      store: ResultStore | None) -> dict[str, str]:
+    """Spec key -> workload for traces some pool worker will generate.
+
+    A trace is needed unless the fastpath will serve the cell from an
+    already-stored filter — probed via :func:`l1_filter_key`, which is
+    computable without the trace bytes.  A filter that is *not* stored
+    yet means the first worker to claim the cell builds it from the
+    trace (and concurrent workers on sibling cells race to do the
+    same), so the trace still has to travel.
+    """
+    needed: dict[str, str] = {}
+    fastpath_on = fastpath.enabled()
+    for _, _, cell in pending:
+        if cell.kind not in ("trace", "opportunity"):
+            continue
+        if fastpath_on and store is not None:
+            if cell.kind == "trace":
+                window = None
+            else:
+                window = (int(options.n_accesses * options.warmup_frac),
+                          options.n_accesses)
+            fkey = l1_filter_key(cell.workload, options, cell_config(cell),
+                                 window=window)
+            if store.path_for(fkey).exists():
+                continue
+        spec_key = shm.trace_share_key(cell.workload, options.n_accesses,
+                                       options.seed)
+        needed[spec_key] = cell.workload
+    return needed
+
+
+def _publish_trace_share(pending: list[tuple[int, str, Cell]], options: Any,
+                         store: ResultStore | None) -> shm.TraceShare | None:
+    """Generate needed traces once and export them to shared memory.
+
+    Returns ``None`` whenever sharing is off, pointless, or fails —
+    workers then regenerate per process exactly as before, so this can
+    only ever remove work, never change results.  ``legacy`` fastpath
+    mode also opts out: it exists to reproduce the PR 9-era cost model
+    for benchmarking.
+    """
+    if not shm.share_enabled() or fastpath.mode() == "legacy":
+        return None
+    shm.reap_stale_segments()
+    try:
+        plan = _trace_share_plan(pending, options, store)
+        if not plan:
+            return None
+        # A local suite, not the executor memo: the parent should not
+        # keep private copies of arrays whose lifetime the share owns.
+        suite = WorkloadSuite(seed=options.seed)
+        traces = {spec_key: suite.trace(workload, options.n_accesses)
+                  for spec_key, workload in plan.items()}
+    except Exception:
+        # e.g. an unknown workload: let the per-cell isolation in the
+        # workers report it with retries/keep_going semantics intact.
+        return None
+    return shm.publish_traces(traces)
+
+
 def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
               results: list[dict[str, Any] | None], store: ResultStore | None,
               manifest: RunManifest, policy: ExecutionPolicy,
@@ -367,8 +431,20 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
     obs_config = obs.current_config()
     fastpath_root = str(store.base) if store is not None else None
     n_workers = min(policy.jobs, len(pending))
+    # Shared-memory trace handoff: published once here, attached lazily
+    # by workers (by segment name, so it also survives pool rebuilds),
+    # unlinked in the finally below when the run is over.  Publishing
+    # BEFORE the pool forks matters: the first segment registration
+    # starts the parent's resource tracker, and only a tracker already
+    # running at fork time is inherited by the workers — otherwise each
+    # worker lazily spawns a private tracker that later misreports the
+    # parent's (properly unlinked) segments as leaked.
+    share = _publish_trace_share(pending, options, store)
+    share_spec = share.spec if share is not None else None
     pool = _make_pool(n_workers)
     if pool is None:
+        if share is not None:
+            share.close()
         return False
     _OBS.debug(obs_names.EVT_POOL_START, jobs=n_workers, pending=len(pending))
 
@@ -385,7 +461,7 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
         handle = pool.apply_async(
             execute_timed,
             ((item.index, item.key, item.cell, options, obs_config,
-              policy.faults, item.attempt, fastpath_root),))
+              policy.faults, item.attempt, fastpath_root, share_spec),))
         deadline = (now + policy.timeout_s + _DISPATCH_GRACE_S
                     if policy.timeout_s is not None else None)
         in_flight[item.index] = _InFlight(handle=handle, key=item.key,
@@ -496,6 +572,12 @@ def _run_pool(pending: list[tuple[int, str, Cell]], options: Any,
     else:
         pool.close()
         pool.join()
+    finally:
+        # Unlink after the workers are gone (normal exit) or on the way
+        # out of a teardown; attached mappings in any straggler worker
+        # stay valid until it exits, but the names leave /dev/shm now.
+        if share is not None:
+            share.close()
     return True
 
 

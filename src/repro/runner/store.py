@@ -19,6 +19,18 @@ or concurrent writer can never leave a half-written artifact behind a
 valid name, and a completed ``put`` survives power loss (which is what
 lets the checkpoint journal treat a journaled key as durably done).
 
+Bulk numeric payloads (today: ``l1_filter`` arrays) ride in a **binary
+sidecar** — a ``<key>.bin`` file in the same shard directory holding
+raw ``.npy`` bytes that readers open with ``np.load(mmap_mode="r")``
+for zero-copy sharing through the page cache.  The JSON envelope stays
+the source of truth: it records the sidecar under ``payload_path``
+(file name only; resolved on ``get`` and attached into the payload as
+an absolute ``sidecar_path``).  Sidecars get the same fsync +
+atomic-rename treatment and are written *before* the envelope, so the
+only crash artifact possible is an orphan sidecar with no envelope —
+harmless, and swept by ``gc``/``clear``.  Quarantine moves envelope
+and sidecar together so the evidence stays paired.
+
 Reads are defensive: any unreadable, unparsable, or mismatched artifact
 is treated as a cache *miss* and **quarantined** — moved to
 ``quarantine/`` and logged through ``repro.obs`` — rather than raised
@@ -204,10 +216,19 @@ class ResultStore:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def sidecar_path_for(self, key: str) -> Path:
+        """Where ``key``'s binary sidecar lives (next to the envelope)."""
+        return self.root / key[:2] / f"{key}.bin"
+
     def _artifacts(self) -> list[Path]:
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("*/*.json"))
+
+    def _sidecars(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.bin"))
 
     def _quarantined(self) -> list[Path]:
         if not self.quarantine_dir.is_dir():
@@ -249,14 +270,48 @@ class ResultStore:
                 or not isinstance(document.get("payload"), dict)):
             self._quarantine(path, reason="schema/key/kind mismatch")
             return None
-        return document["payload"]
+        payload: dict[str, Any] = document["payload"]
+        payload_path = document.get("payload_path")
+        if payload_path is not None:
+            # The envelope names its sidecar by file name only; resolve
+            # it relative to the shard so a relocated cache still works.
+            if (not isinstance(payload_path, str) or "/" in payload_path
+                    or os.sep in payload_path):
+                self._quarantine(path, reason="malformed payload_path")
+                return None
+            sidecar = path.parent / payload_path
+            if not sidecar.is_file():
+                self._quarantine(path, reason="missing payload sidecar")
+                return None
+            payload["sidecar_path"] = str(sidecar)
+        return payload
 
-    def put(self, key: str, payload: dict[str, Any], kind: str = "cell") -> None:
-        """Durably and atomically persist ``payload`` under ``key``."""
+    def put(self, key: str, payload: dict[str, Any], kind: str = "cell",
+            sidecar: bytes | None = None) -> None:
+        """Durably and atomically persist ``payload`` under ``key``.
+
+        When ``sidecar`` bytes are given they are written first (own
+        fsync + atomic rename) and the envelope records them under
+        ``payload_path`` — so a valid envelope always implies a fully
+        written sidecar.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {"schema": SCHEMA_VERSION, "code_version": CODE_VERSION,
                     "key": key, "kind": kind, "payload": payload}
+        if sidecar is not None:
+            side = self.sidecar_path_for(key)
+            stmp = side.parent / f".{key}.{os.getpid()}.bin.tmp"
+            try:
+                with open(stmp, "wb") as bfh:
+                    bfh.write(sidecar)
+                    bfh.flush()
+                    os.fsync(bfh.fileno())
+                os.replace(stmp, side)
+            finally:
+                if stmp.exists():
+                    stmp.unlink(missing_ok=True)
+            document["payload_path"] = side.name
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
@@ -268,12 +323,45 @@ class ResultStore:
             if tmp.exists():  # json.dump failed mid-way
                 tmp.unlink(missing_ok=True)
 
+    def quarantine_key(self, key: str, reason: str = "") -> bool:
+        """Quarantine whatever the store holds for ``key``.
+
+        The public entry point for callers that discover an artifact is
+        bad *after* ``get`` handed it over (e.g. a filter payload whose
+        decode fails).  Moves the envelope and its sidecar together.
+        Returns whether anything existed to move.
+        """
+        path = self.path_for(key)
+        if path.exists():
+            self._quarantine(path, reason=reason)
+            return True
+        sidecar = self.sidecar_path_for(key)
+        if sidecar.exists():
+            self._quarantine(sidecar, reason=reason)
+            return True
+        return False
+
     def _quarantine(self, path: Path, reason: str = "") -> Path | None:
         """Move a corrupt artifact aside (graceful degradation).
 
-        Falls back to deletion when the move itself fails — a corrupt
-        artifact must never be able to block a run twice.
+        An envelope's sidecar travels with it — a quarantined filter
+        without its bytes (or orphaned bytes behind a fresh rebuild)
+        would be useless as evidence and confusing on disk.  Falls back
+        to deletion when the move itself fails — a corrupt artifact
+        must never be able to block a run twice.
         """
+        moved = self._move_aside(path)
+        if path.suffix == ".json":
+            sidecar = path.with_suffix(".bin")
+            if sidecar.exists():
+                self._move_aside(sidecar)
+        if moved is None:
+            return None
+        _OBS.warning(obs_names.EVT_ARTIFACT_QUARANTINED, path=str(path),
+                     to=str(moved), reason=reason)
+        return moved
+
+    def _move_aside(self, path: Path) -> Path | None:
         try:
             self.quarantine_dir.mkdir(parents=True, exist_ok=True)
             target = self.quarantine_dir / path.name
@@ -283,8 +371,6 @@ class ResultStore:
         except OSError:
             self._discard(path)
             return None
-        _OBS.warning(obs_names.EVT_ARTIFACT_QUARANTINED, path=str(path),
-                     to=str(target), reason=reason)
         return target
 
     @staticmethod
@@ -295,8 +381,10 @@ class ResultStore:
     # -- maintenance ----------------------------------------------------
     def stats(self) -> StoreStats:
         artifacts = self._artifacts()
+        payload_bytes = sum(p.stat().st_size
+                            for p in artifacts + self._sidecars())
         return StoreStats(root=str(self.base), n_entries=len(artifacts),
-                          total_bytes=sum(p.stat().st_size for p in artifacts),
+                          total_bytes=payload_bytes,
                           n_quarantined=len(self._quarantined()))
 
     def clear(self, lock_timeout_s: float | None = None) -> int:
@@ -325,10 +413,38 @@ class ResultStore:
                             and child.name.startswith("v")):
                         removed += sum(1 for _ in child.glob("*/*.json"))
                         shutil.rmtree(child, ignore_errors=True)
-            artifacts = self._artifacts()
-            if keep >= 0 and len(artifacts) > keep:
-                by_age = sorted(artifacts, key=lambda p: p.stat().st_mtime)
-                for path in by_age[:len(artifacts) - keep]:
+            stamped = []
+            for path in self._artifacts():
+                try:
+                    stamped.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+            if keep >= 0 and len(stamped) > keep:
+                stamped.sort()
+                for mtime, path in stamped[:len(stamped) - keep]:
+                    # put() is lock-free, so re-check against the
+                    # snapshot: an artifact refreshed since we ranked
+                    # it is no longer the oldest — keep it.
+                    try:
+                        if path.stat().st_mtime != mtime:
+                            continue
+                    except OSError:
+                        continue
                     self._discard(path)
+                    self._discard(path.with_suffix(".bin"))
                     removed += 1
+            # Orphan sidecars (crash between sidecar and envelope
+            # write, or an envelope gc'd by an older code version).
+            # Age-gated: a fresh sidecar may belong to a put() that
+            # has not written its envelope yet.
+            kept = {p.with_suffix(".bin") for p in self._artifacts()}
+            cutoff = time.time() - 300.0
+            for sidecar in self._sidecars():
+                try:
+                    orphaned = (sidecar not in kept
+                                and sidecar.stat().st_mtime < cutoff)
+                except OSError:
+                    continue
+                if orphaned:
+                    self._discard(sidecar)
         return removed

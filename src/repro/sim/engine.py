@@ -270,18 +270,16 @@ class TraceSimulator:
         else:
             next_check = NEVER
 
-        indices = filt.indices.tolist()
-        pcs = filt.pcs.tolist()
-        blocks = filt.blocks.tolist()
-        evicted = filt.evicted.tolist()
+        # One packed materialisation, cached on the filter — every cell
+        # sharing this filter (memo or store mmap) reuses the same rows.
+        rows = filt.replay_rows()
         resident: set[int] = set()
         reset_done = warmup == 0
 
         with trace_span(obs_names.SPAN_SIMULATE, trace=filt.trace_name,
                         accesses=n_accesses, mode="replay"), \
                 timed("simulate", emit=False):
-            for j in range(len(indices)):
-                i = indices[j]
+            for i, pc, block, victim_block in rows:
                 if i >= next_check:
                     cancel.checkpoint(i - published)
                     published = i
@@ -290,9 +288,6 @@ class TraceSimulator:
                     self._reset_counters()
                     metrics = self.metrics
                     reset_done = True
-                block = blocks[j]
-                pc = pcs[j]
-                victim_block = evicted[j]
                 if victim_block >= 0:
                     resident.discard(victim_block)
                 resident.add(block)

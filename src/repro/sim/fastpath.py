@@ -25,23 +25,44 @@ residency set is bit-identical to running the full cache
 (:meth:`repro.sim.engine.TraceSimulator.run_filtered` carries the
 replay; ``tests/sim/test_fastpath.py`` pins the equivalence).
 
-Filters serialise to JSON-safe payloads (zlib + base64 over
-little-endian int64) so the :mod:`repro.runner` artifact store can
-share one filter across every cell of a grid, across ``--resume``, and
-across worker processes.  The cache *key* of a filter is owned by
-:func:`repro.runner.cells.l1_filter_key` — the runner layer knows what
-identifies a generated trace; this module only knows how to build,
-encode, and replay filters.
+Three build kernels produce identical filters (cross-checked in tests):
+
+``1`` (default)
+    A vectorised per-set sweep: accesses are grouped by cache set with
+    one stable argsort, a numpy mask proves most re-references are
+    *certain hits* (a block re-accessed within ``ways`` set-local
+    accesses cannot have been evicted in between), and only the
+    remaining uncertain positions run through a small Python sweep that
+    tracks residency and LRU recency via per-block occurrence pointers.
+``jit``
+    An optional numba-compiled per-access kernel.  When numba is not
+    importable (it is an optional dependency) the build soft-falls-back
+    to the vectorised sweep — ``DOMINO_FASTPATH=jit`` is always safe.
+``legacy``
+    The original scalar loop over the :class:`~repro.memory.cache.Cache`
+    model.  Kept as the reference implementation for cross-checks and
+    as the PR 9-era baseline for ``benchmarks/bench_fastpath.py``.
+
+Filters serialise two ways: the original JSON-inline codec (zlib +
+base64 over little-endian int64, still accepted on load) and the
+binary sidecar codec — a real ``.npy`` file of the four int64 columns
+written next to the JSON envelope by :class:`repro.runner.store` and
+opened by workers via ``np.load(..., mmap_mode="r")`` (zero-copy, page
+cache shared across processes).  The cache *key* of a filter is owned
+by :func:`repro.runner.cells.l1_filter_key` — the runner layer knows
+what identifies a generated trace; this module only knows how to
+build, encode, and replay filters.
 """
 
 from __future__ import annotations
 
 import base64
+import io
 import os
 import time
 import zlib
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -54,26 +75,55 @@ from ..obs import scope as obs_scope
 from ..obs.trace import span as trace_span
 from .trace import MemoryTrace
 
-#: Bump when the filter semantics or payload layout change (rides next
-#: to the runner's ``CODE_VERSION`` inside the artifact key material).
+#: Bump when the filter semantics change (rides next to the runner's
+#: ``CODE_VERSION`` inside the artifact key material).  The binary
+#: sidecar codec did *not* bump this: the filter content is unchanged,
+#: old JSON-inline payloads still load, and keys stay stable.
 FASTPATH_VERSION = 1
 
-#: Environment toggle: set ``DOMINO_FASTPATH=0`` to force every cell
-#: through the unfiltered engine loop (the results are bit-identical
-#: either way; the toggle exists for benchmarking and bisection).
+#: Environment toggle (``DOMINO_FASTPATH``): ``0`` forces every cell
+#: through the unfiltered engine loop, ``1`` (default) uses the
+#: vectorised build, ``jit`` prefers the numba kernel (falling back to
+#: ``1`` when numba is absent), and ``legacy`` keeps the scalar build
+#: plus uncached replay prep (benchmark baseline).  Results are
+#: bit-identical in every mode.
 ENV_TOGGLE = "DOMINO_FASTPATH"
 
+#: Recognised ``DOMINO_FASTPATH`` modes (anything else reads as ``1``).
+MODES = ("0", "1", "jit", "legacy")
+
+_OFF_VALUES = ("0", "false", "off", "no")
+
 _ARRAY_FIELDS = ("indices", "pcs", "blocks", "evicted")
+
+#: JSON-inline codec marker (PR 5-era payloads; still loadable).
 _CODEC = "zlib+b64:<i8"
+
+#: Binary sidecar codec marker: the envelope stays JSON, the four int64
+#: columns live in a ``.npy`` sidecar opened with ``mmap_mode="r"``.
+BINARY_CODEC = "npy:<i8"
 
 #: Fastpath telemetry scope (off until obs.configure()).
 _OBS = obs_scope("sim.fastpath")
 
 
+def mode() -> str:
+    """The active ``DOMINO_FASTPATH`` mode: ``0``/``1``/``jit``/``legacy``.
+
+    Unset or unrecognised values read as ``1`` (vectorised, on); the
+    historical falsy spellings (``false``/``off``/``no``) read as ``0``.
+    """
+    raw = os.environ.get(ENV_TOGGLE, "1").strip().lower()
+    if raw in _OFF_VALUES:
+        return "0"
+    if raw in ("jit", "legacy"):
+        return raw
+    return "1"
+
+
 def enabled() -> bool:
     """Whether the filtered replay path is active (default: yes)."""
-    return os.environ.get(ENV_TOGGLE, "1").strip().lower() not in (
-        "0", "false", "off", "no")
+    return mode() != "0"
 
 
 @dataclass(frozen=True)
@@ -85,6 +135,12 @@ class L1Filter:
     displaced (``-1`` for none).  ``n_accesses`` is the length of the
     originating trace (hits included), which the replay needs to place
     warm-up boundaries and to reconstruct the hit counters.
+
+    All four arrays are **read-only**, whichever way the filter was
+    produced — built from a trace, decoded from a JSON payload, or
+    mapped from a binary sidecar — so a filter shared through the
+    in-process memo or the page cache can never be mutated under
+    another cell's feet.
     """
 
     trace_name: str
@@ -93,6 +149,10 @@ class L1Filter:
     pcs: np.ndarray
     blocks: np.ndarray
     evicted: np.ndarray
+    #: Packed replay rows, built lazily once per filter object (see
+    #: :meth:`replay_rows`); never part of identity or comparisons.
+    _rows: list[list[int]] | None = field(default=None, init=False,
+                                          repr=False, compare=False)
 
     def __post_init__(self) -> None:
         n = len(self.indices)
@@ -101,6 +161,10 @@ class L1Filter:
             if arr.ndim != 1 or len(arr) != n:
                 raise SimulationError(
                     f"L1 filter field {fname} must be 1-D of length {n}")
+            # Uniform ownership semantics on every construction path:
+            # freshly built arrays are owned-and-frozen, frombuffer
+            # views and read-only memmaps are already non-writable.
+            arr.setflags(write=False)
         if n > self.n_accesses:
             raise SimulationError(
                 f"L1 filter has {n} misses for {self.n_accesses} accesses")
@@ -117,54 +181,414 @@ class L1Filter:
         """Number of recorded misses with access index >= ``warmup``."""
         return int(self.n_misses - np.searchsorted(self.indices, warmup))
 
+    def replay_rows(self) -> list[list[int]]:
+        """``[index, pc, block, evicted]`` rows for the engine's replay.
+
+        One packed ``np.stack(...).tolist()`` materialisation, cached on
+        the filter, so every cell sharing a memoized/store-served filter
+        walks plain Python ints with zero per-cell prep — replacing the
+        four full ``tolist()`` copies the replay used to make per run.
+        In ``legacy`` mode the prep is deliberately rebuilt per call
+        (the PR 9-era cost model the benchmark measures against).
+        """
+        if mode() == "legacy":
+            return [list(row) for row in zip(
+                self.indices.tolist(), self.pcs.tolist(),
+                self.blocks.tolist(), self.evicted.tolist())]
+        rows = self._rows
+        if rows is None:
+            if self.n_misses:
+                rows = np.stack(
+                    (self.indices, self.pcs, self.blocks, self.evicted),
+                    axis=1).tolist()
+            else:
+                rows = []
+            object.__setattr__(self, "_rows", rows)
+        return rows
+
+
+# -- build kernels ----------------------------------------------------------
+
+
+def _cancel_checks() -> tuple[Any, int]:
+    """(token, check_every) with the NEVER sentinel when untokened."""
+    cancel = current_token()
+    if cancel is None:
+        return None, NEVER
+    cancel.raise_if_cancelled()
+    return cancel, cancel.check_every
+
+
+def _build_arrays_scalar(
+        trace: MemoryTrace, config: SystemConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reference kernel: one scalar pass through the ``Cache`` model."""
+    l1 = Cache(config.l1d)
+    access = l1.access_traced
+    pcs_list, blocks_list, _, _ = trace.as_lists()
+    indices: list[int] = []
+    miss_pcs: list[int] = []
+    miss_blocks: list[int] = []
+    evicted: list[int] = []
+    # Cancellation checkpoints only — no progress advance: the replay
+    # re-walks these accesses and meters them there, so advancing here
+    # would double-bill the tenant's quota.
+    cancel, check_every = _cancel_checks()
+    next_check = check_every if cancel is not None else NEVER
+    for i, block in enumerate(blocks_list):
+        if i >= next_check:
+            cancel.raise_if_cancelled()
+            next_check = i + check_every
+        hit, victim = access(block)
+        if hit:
+            continue
+        indices.append(i)
+        miss_pcs.append(pcs_list[i])
+        miss_blocks.append(block)
+        evicted.append(victim if victim is not None else -1)
+    return (np.asarray(indices, dtype=np.int64),
+            np.asarray(miss_pcs, dtype=np.int64),
+            np.asarray(miss_blocks, dtype=np.int64),
+            np.asarray(evicted, dtype=np.int64))
+
+
+def _build_arrays_lru2(
+        trace: MemoryTrace, blocks: np.ndarray, set_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form kernel for 2-way LRU sets: pure numpy, no sweep.
+
+    Two classic LRU identities make associativity 2 (both shipped
+    configs) fully vectorisable:
+
+    * an access **hits** iff its stack distance is <= 2, i.e. the gap
+      back to the block's previous occurrence contains at most one
+      distinct block — the gap is empty or a single same-block run;
+    * the **resident pair** before any access is the two most recently
+      used distinct blocks, so a miss's victim is the closer of the
+      two: the block of the last pre-gap run (and no victim at all
+      while the set has seen fewer than two distinct blocks).
+
+    Everything reduces to run boundaries and previous-occurrence links,
+    each one global stable sort or scan — no per-set work, no python
+    loop over accesses.
+    """
+    n = len(blocks)
+    cancel, _ = _cancel_checks()
+
+    def checkpoint() -> None:
+        # Cancellation only — no progress advance (the replay re-walks
+        # and meters these accesses; advancing here would double-bill).
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+
+    checkpoint()
+    g = np.arange(n, dtype=np.int64)
+    order = np.argsort(set_idx, kind="stable")
+    sorted_sets = set_idx[order]
+    b_s = blocks[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    sstart = np.maximum.accumulate(np.where(is_start, g, 0))
+    checkpoint()
+    # Previous occurrence of the same block, in set-grouped coords
+    # (same block => same set, so one value sort links occurrences).
+    border = np.argsort(b_s, kind="stable")
+    bb = b_s[border]
+    prev_g = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        same = bb[1:] == bb[:-1]
+        prev_g[border[1:][same]] = border[:-1][same]
+    checkpoint()
+    # Runs of consecutive equal blocks (set boundaries break runs).
+    change = is_start.copy()
+    change[1:] |= b_s[1:] != b_s[:-1]
+    run_start = np.maximum.accumulate(np.where(change, g, 0))
+    run_id = np.cumsum(change)
+    has_prev = prev_g >= 0
+    prev1 = np.minimum(prev_g + 1, n - 1)
+    gm1 = np.maximum(g - 1, 0)
+    hit = has_prev & ((prev_g == g - 1) | (run_id[prev1] == run_id[gm1]))
+    # Distinct blocks seen strictly earlier in the same set.
+    first = (~has_prev).astype(np.int64)
+    excl = np.cumsum(first) - first
+    seen = excl - excl[sstart]
+    miss = ~hit
+    evict = miss & (seen >= 2)
+    # Victim = block of the last run before the current one: the
+    # second most recently used distinct block (the first is b_s[g-1],
+    # which a missing access never equals).
+    ldiff = np.maximum(run_start[gm1] - 1, 0)
+    victim_s = np.where(evict, b_s[ldiff], np.int64(-1))
+    checkpoint()
+    orig = order[miss]
+    merge = np.argsort(orig, kind="stable")
+    indices = orig[merge]
+    return (indices,
+            np.ascontiguousarray(trace.pcs, dtype=np.int64)[indices],
+            blocks[indices],
+            victim_s[miss][merge])
+
+
+def _build_arrays_vectorised(
+        trace: MemoryTrace, config: SystemConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised kernel: global numpy passes, certain-hit masking.
+
+    Sets are independent, so the whole trace is analysed as one batch
+    of per-set streams.  A block determines its set, which lets every
+    per-set quantity come out of **global** sorts instead of a numpy
+    call per set (the fixed cost of small-array numpy ops across
+    hundreds of sets would otherwise dominate):
+
+    * ``kpos`` — each access's set-local sequence position, from one
+      stable sort grouping accesses by set;
+    * the previous occurrence of each access's block, from one stable
+      sort of the block ids (same block ⇒ same set);
+    * the **certain-hit mask**: a re-reference at set-local position
+      ``k`` whose previous occurrence sits at ``p`` is provably a hit
+      whenever ``k - p <= ways`` — evicting the block in between would
+      take at least ``ways`` accesses to other blocks (``ways - 1``
+      promotions to push it to LRU plus the evicting miss), and only
+      ``k - p - 1`` happened.
+
+    Only the leftovers — first occurrences and far re-references,
+    typically a small fraction of the trace — run through an exact
+    residency/LRU python sweep.  Its recency source is each block's
+    full occurrence list (in set-local positions), so certain hits
+    still "promote" their block without ever being visited.
+    """
+    blocks = np.ascontiguousarray(trace.blocks, dtype=np.int64)
+    n = len(blocks)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    n_sets = config.l1d.n_sets
+    ways = config.l1d.ways
+    if n_sets & (n_sets - 1) == 0:
+        set_idx = blocks & (n_sets - 1)
+    else:
+        set_idx = blocks % n_sets
+    if ways == 2:
+        return _build_arrays_lru2(trace, blocks, set_idx)
+    # One stable sort groups every set's accesses contiguously while
+    # preserving time order inside each group; kpos is then each
+    # access's position within its own set's stream.
+    order = np.argsort(set_idx, kind="stable")
+    sorted_sets = set_idx[order]
+    cuts = np.flatnonzero(np.diff(sorted_sets)) + 1
+    starts = np.concatenate(([0], cuts))
+    sizes = np.diff(np.concatenate((starts, [n])))
+    kpos_sorted = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+    kpos = np.empty(n, dtype=np.int64)
+    kpos[order] = kpos_sorted
+    # Previous occurrence of the same block, in set-local positions.
+    uniq, uinv = np.unique(blocks, return_inverse=True)
+    border = np.argsort(uinv, kind="stable")
+    bsorted = uinv[border]
+    prev_k = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        same = bsorted[1:] == bsorted[:-1]
+        prev_k[border[1:][same]] = kpos[border[:-1][same]]
+    certain_hit = (prev_k >= 0) & (kpos - prev_k <= ways)
+    # Each block's occurrence list (ascending set-local positions) and
+    # a lazily-advanced cursor per block: the LRU recency source.
+    occ_k = kpos[border].tolist()
+    occ_bounds = np.concatenate(
+        ([0], np.cumsum(np.bincount(uinv, minlength=len(uniq)))))
+    occ_ends = occ_bounds[1:].tolist()
+    ptr = occ_bounds[:-1].tolist()
+    uniq_l = uniq.tolist()
+    # The sweep's worklist: non-certain accesses, set-grouped, each as
+    # (global position, set-local position, block id, set id).
+    keep = ~certain_hit[order]
+    int_i = order[keep].tolist()
+    int_k = kpos_sorted[keep].tolist()
+    int_u = uinv[order[keep]].tolist()
+    int_s = sorted_sets[keep].tolist()
+    cancel, check_every = _cancel_checks()
+    next_check = check_every if cancel is not None else NEVER
+    resident: set[int] = set()
+    current_set = -1
+    miss_pos: list[int] = []
+    miss_vic: list[int] = []
+    for visited, (i, k, u, s) in enumerate(zip(int_i, int_k, int_u, int_s)):
+        if visited >= next_check:
+            cancel.raise_if_cancelled()
+            next_check = visited + check_every
+        if s != current_set:
+            resident = set()
+            current_set = s
+        if u in resident:
+            continue              # uncertain re-reference that did hit
+        if len(resident) >= ways:
+            # Victim = resident block with the oldest last access < k;
+            # advance each block's occurrence cursor lazily (monotone
+            # in k within a set, so the sweep stays linear).
+            vic_u = -1
+            vic_rec = n
+            # Recencies are distinct positions, so the argmin is unique
+            # and iteration order cannot change the victim; sorted()
+            # keeps the DET001 no-unordered-iteration invariant anyway.
+            for ru in sorted(resident):
+                p = ptr[ru]
+                end = occ_ends[ru]
+                while p + 1 < end and occ_k[p + 1] < k:
+                    p += 1
+                ptr[ru] = p
+                rec = occ_k[p]
+                if rec < vic_rec:
+                    vic_rec = rec
+                    vic_u = ru
+            resident.discard(vic_u)
+            miss_vic.append(uniq_l[vic_u])
+        else:
+            miss_vic.append(-1)
+        resident.add(u)
+        miss_pos.append(i)
+    if not miss_pos:
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    all_pos = np.asarray(miss_pos, dtype=np.int64)
+    all_vic = np.asarray(miss_vic, dtype=np.int64)
+    merge = np.argsort(all_pos, kind="stable")
+    indices = all_pos[merge]
+    return (indices,
+            np.ascontiguousarray(trace.pcs, dtype=np.int64)[indices],
+            blocks[indices],
+            all_vic[merge])
+
+
+# -- optional numba kernel (DOMINO_FASTPATH=jit) ----------------------------
+
+#: Chunk size between cancellation checkpoints of the jit kernel.
+_JIT_CHUNK = 1 << 16
+
+_JIT_KERNEL: Callable[..., int] | None = None
+_JIT_STATE = "unloaded"          # unloaded | ready | unavailable
+
+
+def _load_jit_kernel() -> Callable[..., int] | None:
+    """Compile (once) and return the numba build kernel, or ``None``.
+
+    Soft dependency: an absent or broken numba leaves the state
+    ``unavailable`` and every ``jit``-mode build falls back to the
+    vectorised kernel, reported once per process through obs.
+    """
+    global _JIT_KERNEL, _JIT_STATE
+    if _JIT_STATE == "unloaded":
+        try:
+            from numba import njit  # type: ignore[import-not-found]
+
+            @njit(cache=True)
+            def _kernel(blocks, start, tags, stamps, out_idx, out_vic, m,
+                        n_sets, ways, use_mask):   # pragma: no cover - needs numba
+                for i in range(blocks.shape[0]):
+                    gi = start + i
+                    block = blocks[i]
+                    if use_mask:
+                        s = block & (n_sets - 1)
+                    else:
+                        s = block % n_sets
+                    base = s * ways
+                    hit = False
+                    for w in range(base, base + ways):
+                        if tags[w] == block:
+                            stamps[w] = gi + 1
+                            hit = True
+                            break
+                    if hit:
+                        continue
+                    slot = -1
+                    for w in range(base, base + ways):
+                        if tags[w] == -1:
+                            slot = w
+                            break
+                    if slot == -1:
+                        slot = base
+                        for w in range(base + 1, base + ways):
+                            if stamps[w] < stamps[slot]:
+                                slot = w
+                        out_vic[m] = tags[slot]
+                    else:
+                        out_vic[m] = -1
+                    out_idx[m] = gi
+                    m += 1
+                    tags[slot] = block
+                    stamps[slot] = gi + 1
+                return m
+
+            _JIT_KERNEL = _kernel
+            _JIT_STATE = "ready"
+        except Exception:  # numba missing or failed to compile
+            _JIT_KERNEL = None
+            _JIT_STATE = "unavailable"
+            if _OBS.enabled:
+                _OBS.counter(obs_names.MET_FASTPATH_JIT_FALLBACKS).inc()
+                _OBS.warning(obs_names.EVT_FASTPATH_JIT_FALLBACK,
+                             fallback="vectorised")
+    return _JIT_KERNEL
+
+
+def jit_available() -> bool:
+    """Whether the numba kernel can actually run in this process."""
+    return _load_jit_kernel() is not None
+
+
+def _build_arrays_jit(
+        trace: MemoryTrace, config: SystemConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Numba kernel build; falls back to vectorised when unavailable."""
+    kernel = _load_jit_kernel()
+    if kernel is None:
+        return _build_arrays_vectorised(trace, config)
+    blocks = np.ascontiguousarray(trace.blocks, dtype=np.int64)
+    n = len(blocks)
+    n_sets = config.l1d.n_sets
+    ways = config.l1d.ways
+    tags = np.full(n_sets * ways, -1, dtype=np.int64)
+    stamps = np.zeros(n_sets * ways, dtype=np.int64)
+    out_idx = np.empty(n, dtype=np.int64)
+    out_vic = np.empty(n, dtype=np.int64)
+    use_mask = n_sets & (n_sets - 1) == 0
+    cancel, check_every = _cancel_checks()
+    m = 0
+    for start in range(0, n, _JIT_CHUNK):
+        if cancel is not None:
+            cancel.raise_if_cancelled()
+        m = kernel(blocks[start:start + _JIT_CHUNK], start, tags, stamps,
+                   out_idx, out_vic, m, n_sets, ways, use_mask)
+    indices = out_idx[:m].copy()
+    return (indices,
+            np.ascontiguousarray(trace.pcs, dtype=np.int64)[indices],
+            blocks[indices],
+            out_vic[:m].copy())
+
+
+_BUILDERS = {
+    "0": _build_arrays_vectorised,    # filter requested despite mode 0
+    "1": _build_arrays_vectorised,
+    "jit": _build_arrays_jit,
+    "legacy": _build_arrays_scalar,
+}
+
 
 def build_l1_filter(trace: MemoryTrace, config: SystemConfig) -> L1Filter:
     """One pass over ``trace`` through the L1-D alone.
 
-    Uses the same :class:`~repro.memory.cache.Cache` model (via
-    ``access_traced``) that the unfiltered engine drives, so the
-    recorded hit/miss split and eviction sequence are exactly what
-    every prefetcher cell would observe.
+    The kernel follows :func:`mode`; every kernel reproduces exactly
+    the hit/miss split and eviction sequence of the
+    :class:`~repro.memory.cache.Cache` model (via ``access_traced``)
+    that the unfiltered engine drives, so the recorded events are
+    precisely what every prefetcher cell would observe.
     """
     with trace_span(obs_names.SPAN_FASTPATH_BUILD, trace=trace.name,
                     accesses=len(trace)):
         wall0 = time.perf_counter()
-        l1 = Cache(config.l1d)
-        access = l1.access_traced
-        pcs_list, blocks_list, _, _ = trace.as_lists()
-        indices: list[int] = []
-        miss_pcs: list[int] = []
-        miss_blocks: list[int] = []
-        evicted: list[int] = []
-        # Cancellation checkpoints only — no progress advance: the
-        # replay re-walks these accesses and meters them there, so
-        # advancing here would double-bill the tenant's quota.
-        cancel = current_token()
-        if cancel is not None:
-            cancel.raise_if_cancelled()
-            check_every = cancel.check_every
-            next_check = check_every
-        else:
-            next_check = NEVER
-        for i, block in enumerate(blocks_list):
-            if i >= next_check:
-                cancel.raise_if_cancelled()
-                next_check = i + check_every
-            hit, victim = access(block)
-            if hit:
-                continue
-            indices.append(i)
-            miss_pcs.append(pcs_list[i])
-            miss_blocks.append(block)
-            evicted.append(victim if victim is not None else -1)
-        filt = L1Filter(
-            trace_name=trace.name,
-            n_accesses=len(trace),
-            indices=np.asarray(indices, dtype=np.int64),
-            pcs=np.asarray(miss_pcs, dtype=np.int64),
-            blocks=np.asarray(miss_blocks, dtype=np.int64),
-            evicted=np.asarray(evicted, dtype=np.int64),
-        )
+        build = _BUILDERS[mode()]
+        indices, pcs, blocks, evicted = build(trace, config)
+        filt = L1Filter(trace_name=trace.name, n_accesses=len(trace),
+                        indices=indices, pcs=pcs, blocks=blocks,
+                        evicted=evicted)
         if _OBS.enabled:
             _OBS.counter(obs_names.MET_FASTPATH_BUILDS).inc()
             _OBS.info(obs_names.EVT_FASTPATH_BUILD, trace=trace.name,
@@ -174,7 +598,19 @@ def build_l1_filter(trace: MemoryTrace, config: SystemConfig) -> L1Filter:
         return filt
 
 
-# -- payload codec ----------------------------------------------------------
+def build_l1_filter_scalar(trace: MemoryTrace,
+                           config: SystemConfig) -> L1Filter:
+    """The reference scalar build, independent of :func:`mode`.
+
+    Used by tests to cross-check the vectorised/jit kernels and by the
+    benchmark as the PR 9-era baseline.
+    """
+    indices, pcs, blocks, evicted = _build_arrays_scalar(trace, config)
+    return L1Filter(trace_name=trace.name, n_accesses=len(trace),
+                    indices=indices, pcs=pcs, blocks=blocks, evicted=evicted)
+
+
+# -- payload codecs ---------------------------------------------------------
 
 
 def _encode(arr: np.ndarray) -> str:
@@ -196,7 +632,13 @@ def _decode(text: str, expected_len: int) -> np.ndarray:
 
 
 def filter_to_payload(filt: L1Filter) -> dict[str, Any]:
-    """Serialise a filter into a JSON-safe artifact payload."""
+    """Serialise a filter into a self-contained JSON-safe payload.
+
+    The PR 5-era inline codec: still written by callers that need a
+    single JSON document and still accepted by
+    :func:`filter_from_payload` for backward compatibility with
+    already-stored artifacts.
+    """
     payload: dict[str, Any] = {
         "version": FASTPATH_VERSION,
         "codec": _CODEC,
@@ -209,22 +651,89 @@ def filter_to_payload(filt: L1Filter) -> dict[str, Any]:
     return payload
 
 
-def filter_from_payload(payload: dict[str, Any]) -> L1Filter:
-    """Rebuild a filter from an artifact payload.
+def filter_to_binary(filt: L1Filter) -> tuple[dict[str, Any], bytes]:
+    """Serialise a filter as ``(JSON envelope, .npy sidecar bytes)``.
 
-    Raises :class:`SimulationError` on any structural mismatch so the
-    caller can treat the artifact as a miss and rebuild from the trace.
+    The sidecar is a genuine ``.npy`` serialisation of one packed
+    ``(4, n_misses)`` little-endian int64 array (rows: indices, pcs,
+    blocks, evicted), so any numpy can open it — including with
+    ``mmap_mode="r"``, which is how workers load it zero-copy.  The
+    envelope records size and CRC so a mismatched or truncated sidecar
+    is detected before use.
     """
+    packed = np.ascontiguousarray(
+        np.stack([getattr(filt, fname) for fname in _ARRAY_FIELDS], axis=0),
+        dtype="<i8")
+    buf = io.BytesIO()
+    np.save(buf, packed, allow_pickle=False)
+    data = buf.getvalue()
+    payload: dict[str, Any] = {
+        "version": FASTPATH_VERSION,
+        "codec": BINARY_CODEC,
+        "trace_name": filt.trace_name,
+        "n_accesses": filt.n_accesses,
+        "n_misses": filt.n_misses,
+        "sidecar_bytes": len(data),
+        "sidecar_crc32": zlib.crc32(data),
+    }
+    return payload, data
+
+
+def _filter_from_sidecar(payload: dict[str, Any], n_accesses: int,
+                         n_misses: int, name: str) -> L1Filter:
+    path = payload.get("sidecar_path")
+    if not isinstance(path, str) or not path:
+        raise SimulationError(
+            "binary L1 filter payload has no sidecar attached")
+    expected = payload.get("sidecar_bytes")
+    try:
+        actual = os.path.getsize(path)
+    except OSError as exc:
+        raise SimulationError(
+            f"L1 filter sidecar unreadable: {exc}") from exc
+    if not isinstance(expected, int) or actual != expected:
+        raise SimulationError(
+            f"L1 filter sidecar size mismatch: recorded {expected!r} bytes, "
+            f"found {actual}")
+    try:
+        # Zero-length arrays cannot be mmapped on every platform; the
+        # empty filter is tiny anyway.
+        arr = np.load(path, mmap_mode="r" if n_misses else None,
+                      allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SimulationError(f"corrupt L1 filter sidecar: {exc}") from exc
+    if (arr.ndim != 2 or arr.shape != (4, n_misses)
+            or arr.dtype != np.dtype("<i8")):
+        raise SimulationError(
+            f"L1 filter sidecar shape mismatch: expected (4, {n_misses}) "
+            f"<i8, found {arr.shape} {arr.dtype}")
+    return L1Filter(trace_name=name, n_accesses=n_accesses,
+                    indices=arr[0], pcs=arr[1], blocks=arr[2],
+                    evicted=arr[3])
+
+
+def filter_from_payload(payload: dict[str, Any]) -> L1Filter:
+    """Rebuild a filter from an artifact payload (either codec).
+
+    Binary-codec payloads must carry a ``sidecar_path`` (attached by
+    :meth:`repro.runner.store.ResultStore.get` when it resolves the
+    envelope's ``payload_path``).  Raises :class:`SimulationError` on
+    any structural mismatch so the caller can treat the artifact as a
+    miss, quarantine it, and rebuild from the trace.
+    """
+    codec = payload.get("codec")
     if (payload.get("version") != FASTPATH_VERSION
-            or payload.get("codec") != _CODEC):
+            or codec not in (_CODEC, BINARY_CODEC)):
         raise SimulationError(
             "L1 filter payload has an incompatible version or codec")
     try:
         n_accesses = int(payload["n_accesses"])
         n_misses = int(payload["n_misses"])
+        name = str(payload["trace_name"])
+        if codec == BINARY_CODEC:
+            return _filter_from_sidecar(payload, n_accesses, n_misses, name)
         arrays = {fname: _decode(payload[fname], n_misses)
                   for fname in _ARRAY_FIELDS}
-        name = str(payload["trace_name"])
     except (KeyError, TypeError, ValueError) as exc:
         raise SimulationError(f"malformed L1 filter payload: {exc}") from exc
     return L1Filter(trace_name=name, n_accesses=n_accesses, **arrays)

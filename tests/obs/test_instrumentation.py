@@ -125,7 +125,9 @@ class TestRunnerTelemetry:
                 events = [{k: v for k, v in e.items()
                            if k not in ("seq", "wall_s", "cpu_s", "key")}
                           for e in obs.state().trace.events()
-                          if e["event"] not in ("run_summary", "pool_start")]
+                          if e["event"] not in ("run_summary", "pool_start",
+                                                "trace_shm_published",
+                                                "trace_shm_reaped")]
             finally:
                 obs.disable()
             return payloads, events

@@ -3,10 +3,14 @@ on/off payload-equality guarantee at the scheduler level."""
 
 import json
 
+import numpy as np
 import pytest
 
-from repro.runner import Cell, ExecutionPolicy, run_cells
+from repro import obs
+from repro.obs import names as obs_names
+from repro.runner import Cell, ExecutionPolicy, ResultStore, run_cells
 from repro.runner import execute as execute_mod
+from repro.sim import fastpath
 
 
 @pytest.fixture(autouse=True)
@@ -84,3 +88,86 @@ class TestFilterArtifacts:
         monkeypatch.setenv("DOMINO_CACHE_DIR", str(tmp_path / "unused"))
         run_cells(_grid(), tiny_options, ExecutionPolicy(use_cache=False))
         assert not (tmp_path / "unused").exists()
+
+    def test_filters_persist_binary_sidecars(self, tiny_options, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        cache = tmp_path / "store"
+        run_cells(_grid(), tiny_options,
+                  ExecutionPolicy(use_cache=True, cache_dir=cache))
+        sidecars = list(cache.glob("v*/*/*.bin"))
+        assert len(sidecars) == 2  # full-trace + opportunity-window filter
+        for sidecar in sidecars:
+            assert sidecar.read_bytes()[:6] == b"\x93NUMPY"
+
+
+class TestCorruptFilterRecovery:
+    """A filter the codec rejects is quarantined, reported, rebuilt."""
+
+    def test_truncated_sidecar_quarantined_and_rebuilt(self, tiny_options,
+                                                       tmp_path, monkeypatch):
+        monkeypatch.setenv("DOMINO_FASTPATH", "1")
+        cache = tmp_path / "store"
+        first, _ = run_cells(_grid(), tiny_options,
+                             ExecutionPolicy(use_cache=True, cache_dir=cache))
+        sidecars = list(cache.glob("v*/*/*.bin"))
+        assert sidecars
+        for sidecar in sidecars:
+            sidecar.write_bytes(sidecar.read_bytes()[:-16])
+        # Drop the cached cell results so the cells really re-execute
+        # and have to load (then reject) the corrupt filters.
+        for envelope in cache.glob("v*/*/*.json"):
+            if json.loads(envelope.read_text()).get("kind") != "l1_filter":
+                envelope.unlink()
+        execute_mod._FILTERS.clear()
+        obs.configure(level=obs.DEBUG)
+        try:
+            again, _ = run_cells(_grid(), tiny_options,
+                                 ExecutionPolicy(use_cache=True,
+                                                 cache_dir=cache))
+            rejected = [e for e in obs.state().trace.events()
+                        if e["event"] == obs_names.EVT_FASTPATH_FILTER_REJECTED]
+        finally:
+            obs.disable()
+        assert again == first                 # rebuilt bit-identical
+        assert rejected                       # the rejection was reported
+        store = ResultStore(cache)
+        assert store.stats().n_quarantined >= 2  # envelope + sidecar pairs
+        assert list(cache.glob("v*/*/*.bin"))    # fresh sidecars re-persisted
+
+
+class TestWindowedFilters:
+    """Opportunity-style sliced-trace filters stay consistent across
+    codecs and agree with the full-trace filter on prefix windows."""
+
+    def test_prefix_window_matches_full_filter_restriction(self, config,
+                                                           tiny_trace):
+        # Cache state at access i depends only on accesses < i, so the
+        # filter of the (0, k) prefix must equal the full filter
+        # restricted to indices < k — including the evicted blocks.
+        full = fastpath.build_l1_filter(tiny_trace, config)
+        k = len(tiny_trace) // 2
+        prefix = fastpath.build_l1_filter(tiny_trace.slice(0, k), config)
+        mask = full.indices < k
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            assert np.array_equal(getattr(prefix, fname),
+                                  getattr(full, fname)[mask]), fname
+
+    def test_windowed_filter_roundtrips_both_codecs(self, config, tiny_trace,
+                                                    tmp_path):
+        window = tiny_trace.slice(1500, len(tiny_trace))
+        filt = fastpath.build_l1_filter(window, config)
+        store = ResultStore(tmp_path / "cache")
+        key_bin, key_json = "aa" + "0" * 62, "bb" + "1" * 62
+        payload, sidecar = fastpath.filter_to_binary(filt)
+        store.put(key_bin, payload, kind="l1_filter", sidecar=sidecar)
+        store.put(key_json, fastpath.filter_to_payload(filt),
+                  kind="l1_filter")  # JSON-era inline artifact
+        for key in (key_bin, key_json):
+            served = store.get(key, kind="l1_filter")
+            assert served is not None
+            back = fastpath.filter_from_payload(served)
+            assert back.n_accesses == filt.n_accesses
+            for fname in ("indices", "pcs", "blocks", "evicted"):
+                assert np.array_equal(getattr(back, fname),
+                                      getattr(filt, fname)), (key, fname)

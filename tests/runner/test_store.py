@@ -147,6 +147,109 @@ class TestQuarantine:
         assert store.stats().n_quarantined == 0
 
 
+class TestSidecars:
+    """Binary payload sidecars: atomic pairing with their envelopes."""
+
+    PAYLOAD = {"codec": "npy:<i8", "n_misses": 3, "sidecar_bytes": 7}
+
+    def test_put_get_attaches_sidecar_path(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter",
+                  sidecar=b"\x93NUMPY!")
+        got = store.get(KEY, kind="l1_filter")
+        assert got is not None
+        side = got["sidecar_path"]
+        assert os.path.isabs(side)
+        assert open(side, "rb").read() == b"\x93NUMPY!"
+        assert store.sidecar_path_for(KEY).read_bytes() == b"\x93NUMPY!"
+
+    def test_plain_payloads_have_no_sidecar(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        got = store.get(KEY)
+        assert got == {"v": 1}
+        assert "sidecar_path" not in got
+        assert not store.sidecar_path_for(KEY).exists()
+
+    def test_overwrite_replaces_sidecar(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"old old")
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"new new")
+        assert store.sidecar_path_for(KEY).read_bytes() == b"new new"
+        assert store.stats().n_entries == 1
+
+    def test_missing_sidecar_is_a_miss_and_quarantined(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        store.sidecar_path_for(KEY).unlink()
+        assert store.get(KEY, kind="l1_filter") is None
+        assert not store.path_for(KEY).exists()
+        assert store.stats().n_quarantined == 1
+
+    def test_malformed_payload_path_is_a_miss(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        document = json.loads(store.path_for(KEY).read_text())
+        document["payload_path"] = "../../etc/passwd"
+        store.path_for(KEY).write_text(json.dumps(document))
+        assert store.get(KEY, kind="l1_filter") is None
+        assert store.stats().n_quarantined == 2  # envelope + sidecar
+
+    def test_quarantine_moves_both_halves(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        store.path_for(KEY).write_text("corrupt json")
+        assert store.get(KEY, kind="l1_filter") is None
+        names = sorted(p.name for p in store.quarantine_dir.iterdir())
+        assert names == [f"{KEY}.bin", f"{KEY}.json"]
+        assert not store.sidecar_path_for(KEY).exists()
+
+    def test_quarantine_key_api(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        assert store.quarantine_key(KEY, reason="codec rejected it")
+        assert store.get(KEY, kind="l1_filter") is None
+        assert store.stats().n_quarantined == 2  # envelope + sidecar
+        assert not store.quarantine_key(OTHER)  # nothing there: no-op
+
+    def test_gc_prunes_sidecar_with_envelope(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        store.put(OTHER, {"v": 2})
+        os.utime(store.path_for(KEY), (1, 1))
+        assert store.gc(keep=1) == 1
+        assert not store.sidecar_path_for(KEY).exists()
+        assert store.get(OTHER) == {"v": 2}
+
+    def test_gc_sweeps_old_orphan_sidecars_only(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        old = store.sidecar_path_for(OTHER)
+        old.parent.mkdir(parents=True, exist_ok=True)
+        old.write_bytes(b"crash debris")
+        os.utime(old, (1, 1))
+        fresh = store.sidecar_path_for("ef" + "2" * 62)
+        fresh.parent.mkdir(parents=True, exist_ok=True)
+        fresh.write_bytes(b"mid-put")  # may belong to an in-flight put
+        store.gc(keep=10)
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_stats_count_sidecar_bytes(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, {"v": 1})
+        lean = store.stats().total_bytes
+        store.put(OTHER, dict(self.PAYLOAD), kind="l1_filter",
+                  sidecar=b"x" * 4096)
+        assert store.stats().total_bytes >= lean + 4096
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, dict(self.PAYLOAD), kind="l1_filter", sidecar=b"1234567")
+        store.clear()
+        assert not store.sidecar_path_for(KEY).exists()
+
+
 class TestStoreLock:
     def test_exclusive_between_instances(self, tmp_path):
         store = make_store(tmp_path)

@@ -8,8 +8,10 @@ from repro.errors import SimulationError
 from repro.prefetchers.base import NullPrefetcher
 from repro.prefetchers.registry import make_prefetcher, prefetcher_names
 from repro.sim.engine import TraceSimulator, collect_miss_stream
-from repro.sim.fastpath import (L1Filter, build_l1_filter, enabled,
-                                filter_from_payload, filter_to_payload)
+from repro.sim.fastpath import (BINARY_CODEC, L1Filter, build_l1_filter,
+                                build_l1_filter_scalar, enabled,
+                                filter_from_payload, filter_to_binary,
+                                filter_to_payload, jit_available, mode)
 
 
 class TestBuild:
@@ -127,6 +129,225 @@ class TestReplayEquivalence:
         sim = TraceSimulator(config, NullPrefetcher(config))
         with pytest.raises(SimulationError):
             sim.run_filtered(filt, warmup=len(tiny_trace))
+
+
+def _empty_trace(trace_factory):
+    return trace_factory([])
+
+
+class TestModes:
+    def test_default_mode_is_vectorised(self, monkeypatch):
+        monkeypatch.delenv("DOMINO_FASTPATH", raising=False)
+        assert mode() == "1"
+
+    @pytest.mark.parametrize("value,expected", [
+        ("0", "0"), ("FALSE", "0"), (" off ", "0"), ("no", "0"),
+        ("1", "1"), ("jit", "jit"), ("JIT", "jit"),
+        ("legacy", "legacy"), ("turbo", "1"),  # unrecognised -> default
+    ])
+    def test_mode_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv("DOMINO_FASTPATH", value)
+        assert mode() == expected
+
+    @pytest.mark.parametrize("build_mode", ["1", "jit", "legacy"])
+    def test_all_builders_match_scalar_reference(self, config, tiny_trace,
+                                                 monkeypatch, build_mode):
+        reference = build_l1_filter_scalar(tiny_trace, config)
+        monkeypatch.setenv("DOMINO_FASTPATH", build_mode)
+        built = build_l1_filter(tiny_trace, config)
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            assert np.array_equal(getattr(built, fname),
+                                  getattr(reference, fname)), fname
+
+    def test_windowed_slices_match_scalar(self, config, tiny_trace):
+        # The opportunity analysis filters sliced traces; the
+        # vectorised sweep must agree on every window too.
+        for start, stop in ((0, 1000), (1500, 4000), (5990, 6000)):
+            window = tiny_trace.slice(start, stop)
+            fast = build_l1_filter(window, config)
+            slow = build_l1_filter_scalar(window, config)
+            for fname in ("indices", "pcs", "blocks", "evicted"):
+                assert np.array_equal(getattr(fast, fname),
+                                      getattr(slow, fname)), (start, stop)
+
+    def test_single_set_contention_matches_scalar(self, config, trace_factory):
+        # Adversarial: every access lands in set 0, six blocks over two
+        # ways, so the LRU victim logic is exercised constantly.
+        n_sets = config.l1d.n_sets
+        rng = np.random.default_rng(11)
+        trace = trace_factory(
+            (rng.integers(0, 6, size=5000) * n_sets).tolist())
+        fast = build_l1_filter(trace, config)
+        slow = build_l1_filter_scalar(trace, config)
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            assert np.array_equal(getattr(fast, fname), getattr(slow, fname))
+
+    def test_jit_soft_fallback_without_numba(self, config, tiny_trace,
+                                             monkeypatch):
+        # numba is absent in CI: jit mode must fall back, never fail.
+        monkeypatch.setenv("DOMINO_FASTPATH", "jit")
+        built = build_l1_filter(tiny_trace, config)
+        reference = build_l1_filter_scalar(tiny_trace, config)
+        assert np.array_equal(built.indices, reference.indices)
+        assert isinstance(jit_available(), bool)
+
+
+class TestWritability:
+    """Filter arrays are immutable on every construction path.
+
+    Mutating a cached filter would silently corrupt every later replay
+    sharing it; built, JSON-decoded, and sidecar-mmapped filters must
+    all refuse writes identically.
+    """
+
+    @staticmethod
+    def _assert_frozen(filt):
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            arr = getattr(filt, fname)
+            assert not arr.flags.writeable, fname
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_built_filter_frozen(self, config, tiny_trace):
+        self._assert_frozen(build_l1_filter(tiny_trace, config))
+
+    def test_json_roundtripped_filter_frozen(self, config, tiny_trace):
+        payload = filter_to_payload(build_l1_filter(tiny_trace, config))
+        self._assert_frozen(filter_from_payload(payload))
+
+    def test_binary_loaded_filter_frozen(self, config, tiny_trace, tmp_path):
+        payload, data = filter_to_binary(build_l1_filter(tiny_trace, config))
+        sidecar = tmp_path / "filter.bin"
+        sidecar.write_bytes(data)
+        payload["sidecar_path"] = str(sidecar)
+        self._assert_frozen(filter_from_payload(payload))
+
+
+class TestDegenerate:
+    """Pinned boundary cases: empty, all-hit, and all-miss traces."""
+
+    def test_empty_trace_filter(self, config, trace_factory):
+        trace = _empty_trace(trace_factory)
+        filt = build_l1_filter(trace, config)
+        assert filt.n_accesses == 0 and filt.n_misses == 0
+        plain = TraceSimulator(config, NullPrefetcher(config)).run(trace)
+        replay = TraceSimulator(config, NullPrefetcher(config)).run_filtered(
+            filt)
+        assert plain == replay
+
+    def test_all_hit_trace(self, config, trace_factory):
+        trace = trace_factory([5] * 50)
+        filt = build_l1_filter(trace, config)
+        assert filt.n_misses == 1  # the single cold miss
+        plain = TraceSimulator(config, NullPrefetcher(config)).run(trace)
+        replay = TraceSimulator(config, NullPrefetcher(config)).run_filtered(
+            filt)
+        assert plain == replay
+
+    def test_all_miss_trace(self, config, trace_factory):
+        # Distinct blocks all mapping to set 0: no reuse, every access
+        # misses, and evictions start as soon as the ways fill.
+        n_sets = config.l1d.n_sets
+        trace = trace_factory([i * n_sets for i in range(200)])
+        filt = build_l1_filter(trace, config)
+        assert filt.n_misses == 200
+        assert int(np.count_nonzero(filt.evicted >= 0)) == 200 - config.l1d.ways
+        plain = TraceSimulator(config, make_prefetcher("stms", config)).run(
+            trace)
+        replay = TraceSimulator(
+            config, make_prefetcher("stms", config)).run_filtered(filt)
+        assert plain == replay
+
+    def test_handcrafted_zero_miss_filter(self, config):
+        empty = np.zeros(0, dtype=np.int64)
+        empty.setflags(write=False)
+        filt = L1Filter(trace_name="synthetic", n_accesses=50,
+                        indices=empty, pcs=empty, blocks=empty,
+                        evicted=empty)
+        result = TraceSimulator(config, NullPrefetcher(config)).run_filtered(
+            filt, warmup=10)
+        assert result.metrics.accesses == 40
+        assert result.metrics.misses == 0
+
+
+class TestBinaryCodec:
+    """The .npy sidecar codec: roundtrip, validation, and v1 compat."""
+
+    def _roundtrip(self, filt, tmp_path):
+        payload, data = filter_to_binary(filt)
+        sidecar = tmp_path / "filter.bin"
+        sidecar.write_bytes(data)
+        payload["sidecar_path"] = str(sidecar)
+        return payload, filter_from_payload(payload)
+
+    def test_roundtrip_exact(self, config, tiny_trace, tmp_path):
+        filt = build_l1_filter(tiny_trace, config)
+        payload, back = self._roundtrip(filt, tmp_path)
+        assert payload["codec"] == BINARY_CODEC
+        assert back.trace_name == filt.trace_name
+        assert back.n_accesses == filt.n_accesses
+        for fname in ("indices", "pcs", "blocks", "evicted"):
+            assert np.array_equal(getattr(back, fname), getattr(filt, fname))
+
+    def test_replay_through_sidecar_bit_identical(self, config, tiny_trace,
+                                                  tmp_path):
+        _, back = self._roundtrip(build_l1_filter(tiny_trace, config),
+                                  tmp_path)
+        plain = TraceSimulator(config, make_prefetcher("domino", config)).run(
+            tiny_trace, warmup=1500)
+        replay = TraceSimulator(
+            config, make_prefetcher("domino", config)).run_filtered(
+            back, warmup=1500)
+        assert plain == replay
+
+    def test_empty_filter_roundtrip(self, config, trace_factory, tmp_path):
+        filt = build_l1_filter(_empty_trace(trace_factory), config)
+        _, back = self._roundtrip(filt, tmp_path)
+        assert back.n_misses == 0
+
+    def test_envelope_is_json_safe(self, config, tiny_trace):
+        import json
+
+        payload, _ = filter_to_binary(build_l1_filter(tiny_trace, config))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_missing_sidecar_path_rejected(self, config, tiny_trace):
+        payload, _ = filter_to_binary(build_l1_filter(tiny_trace, config))
+        with pytest.raises(SimulationError, match="no sidecar"):
+            filter_from_payload(payload)
+
+    def test_truncated_sidecar_rejected(self, config, tiny_trace, tmp_path):
+        payload, data = filter_to_binary(build_l1_filter(tiny_trace, config))
+        sidecar = tmp_path / "filter.bin"
+        sidecar.write_bytes(data[:-16])
+        payload["sidecar_path"] = str(sidecar)
+        with pytest.raises(SimulationError, match="size mismatch"):
+            filter_from_payload(payload)
+
+    def test_tampered_n_misses_rejected(self, config, tiny_trace, tmp_path):
+        payload, data = filter_to_binary(build_l1_filter(tiny_trace, config))
+        sidecar = tmp_path / "filter.bin"
+        sidecar.write_bytes(data)
+        payload["sidecar_path"] = str(sidecar)
+        payload["n_misses"] = payload["n_misses"] + 1
+        with pytest.raises(SimulationError, match="shape mismatch"):
+            filter_from_payload(payload)
+
+    def test_garbage_sidecar_rejected(self, config, tiny_trace, tmp_path):
+        payload, data = filter_to_binary(build_l1_filter(tiny_trace, config))
+        sidecar = tmp_path / "filter.bin"
+        sidecar.write_bytes(b"\x00" * len(data))
+        payload["sidecar_path"] = str(sidecar)
+        with pytest.raises(SimulationError):
+            filter_from_payload(payload)
+
+    def test_v1_inline_payloads_still_load(self, config, tiny_trace):
+        # Artifacts written before the sidecar codec keep working.
+        filt = build_l1_filter(tiny_trace, config)
+        payload = filter_to_payload(filt)
+        assert payload["codec"] == "zlib+b64:<i8"
+        back = filter_from_payload(payload)
+        assert np.array_equal(back.indices, filt.indices)
 
 
 class TestPayloadCodec:
